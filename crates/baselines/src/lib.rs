@@ -1,0 +1,18 @@
+//! # bootleg-baselines
+//!
+//! The comparison systems of §4.2:
+//!
+//! * [`ned_base::NedBase`] — our re-implementation of the Févry et al. (2020)
+//!   baseline the paper calls **NED-Base**: a trainable contextual encoder
+//!   whose mention representation is dot-producted with learned entity
+//!   embeddings. It sees only text and entity ids — no types, relations, or
+//!   KG — which is exactly why it collapses on the tail.
+//! * [`priors`] — the popularity prior (always pick Γ's top candidate) and a
+//!   seeded random baseline, used for sanity floors and the Table 1
+//!   prior-SotA comparisons.
+
+pub mod ned_base;
+pub mod priors;
+
+pub use ned_base::{train_ned_base, NedBase, NedBaseConfig};
+pub use priors::{PopularityPrior, RandomBaseline};

@@ -1,0 +1,82 @@
+//! Non-neural floors: popularity prior and random choice.
+
+use bootleg_core::Example;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+
+/// Always predicts the top-ranked (most popular / most-anchored) candidate —
+/// the strongest non-contextual baseline, and the reason KORE50-style
+/// benchmarks are hard (their golds are never the prior answer).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PopularityPrior;
+
+impl PopularityPrior {
+    /// Candidate indexes per mention (always 0).
+    pub fn predict_indices(&self, ex: &Example) -> Vec<usize> {
+        vec![0; ex.mentions.len()]
+    }
+}
+
+/// Uniform random choice among candidates (seeded).
+#[derive(Debug)]
+pub struct RandomBaseline {
+    rng: RefCell<StdRng>,
+}
+
+impl RandomBaseline {
+    /// Creates the baseline with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Candidate indexes per mention, uniform over each candidate list.
+    pub fn predict_indices(&self, ex: &Example) -> Vec<usize> {
+        let mut rng = self.rng.borrow_mut();
+        ex.mentions.iter().map(|m| rng.gen_range(0..m.candidates.len().max(1))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_core::ExMention;
+    use bootleg_kb::EntityId;
+
+    fn example() -> Example {
+        Example {
+            tokens: vec![0, 1],
+            mentions: vec![
+                ExMention {
+                    first: 0,
+                    last: 0,
+                    candidates: vec![EntityId(1), EntityId(2), EntityId(3)],
+                    gold: Some(1),
+                },
+                ExMention { first: 1, last: 1, candidates: vec![EntityId(9)], gold: Some(0) },
+            ],
+        }
+    }
+
+    #[test]
+    fn prior_picks_first() {
+        assert_eq!(PopularityPrior.predict_indices(&example()), vec![0, 0]);
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let r = RandomBaseline::new(3);
+        for _ in 0..50 {
+            let p = r.predict_indices(&example());
+            assert!(p[0] < 3);
+            assert_eq!(p[1], 0);
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a: Vec<Vec<usize>> =
+            (0..5).map(|_| RandomBaseline::new(9).predict_indices(&example())).collect();
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+    }
+}

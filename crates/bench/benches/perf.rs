@@ -1,0 +1,130 @@
+//! Criterion performance benches: the numeric kernels and end-to-end
+//! component throughputs (inference latency, training step, candidate
+//! generation, weak labeling, KG adjacency construction).
+
+use bootleg_baselines::{NedBase, NedBaseConfig};
+use bootleg_candgen::{extract_mentions, CandidateGenerator};
+use bootleg_core::{BootlegConfig, BootlegModel, Example};
+use bootleg_corpus::{generate_corpus, weaklabel, CorpusConfig};
+use bootleg_kb::{generate as gen_kb, KbConfig};
+use bootleg_nn::optim::Adam;
+use bootleg_nn::MhaBlock;
+use bootleg_tensor::{init, kernels, Graph, ParamStore};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn setup() -> (bootleg_kb::KnowledgeBase, bootleg_corpus::Corpus, BootlegModel, NedBase) {
+    let kb = gen_kb(&KbConfig { n_entities: 1_000, seed: 9, ..KbConfig::default() });
+    let corpus = generate_corpus(&kb, &CorpusConfig { n_pages: 200, seed: 9, ..CorpusConfig::default() });
+    let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+    let model = BootlegModel::new(&kb, &corpus.vocab, &counts, BootlegConfig::default());
+    let ned = NedBase::new(&kb, &corpus.vocab, NedBaseConfig::default());
+    (kb, corpus, model, ned)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = init::normal(&mut rng, &[64, 64], 1.0);
+    let b = init::normal(&mut rng, &[64, 64], 1.0);
+    let mut out = vec![0.0f32; 64 * 64];
+    c.bench_function("kernels/matmul_64", |bench| {
+        bench.iter(|| {
+            out.iter_mut().for_each(|x| *x = 0.0);
+            kernels::matmul_acc(black_box(a.data()), black_box(b.data()), &mut out, 64, 64, 64);
+        })
+    });
+
+    let x = init::normal(&mut rng, &[32, 128], 1.0);
+    let mut sm = vec![0.0f32; 32 * 128];
+    c.bench_function("kernels/softmax_rows_32x128", |bench| {
+        bench.iter(|| kernels::softmax_rows(black_box(x.data()), &mut sm, 32, 128))
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let blk = MhaBlock::new(&mut ps, &mut rng, "b", 48, 4, 2, 0.0);
+    let x = init::normal(&mut rng, &[24, 48], 1.0);
+    c.bench_function("nn/mha_block_forward_24x48", |bench| {
+        bench.iter(|| {
+            let g = Graph::new();
+            let xv = g.leaf(x.clone());
+            black_box(blk.forward(&g, &ps, &xv, None).value())
+        })
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (kb, corpus, model, ned) = setup();
+    let ex: Example =
+        corpus.train.iter().find_map(Example::training).expect("training example");
+    c.bench_function("model/bootleg_inference_sentence", |bench| {
+        bench.iter(|| black_box(model.forward(&kb, &ex, false, 0).predictions.clone()))
+    });
+    c.bench_function("model/ned_base_inference_sentence", |bench| {
+        bench.iter(|| black_box(ned.predict_indices(&ex)))
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (kb, corpus, mut model, _) = setup();
+    let ex: Example =
+        corpus.train.iter().find_map(Example::training).expect("training example");
+    let mut opt = Adam::new(&model.params, 1e-3);
+    let mut seed = 0u64;
+    c.bench_function("model/bootleg_train_step", |bench| {
+        bench.iter(|| {
+            seed += 1;
+            let out = model.forward(&kb, &ex, true, seed);
+            let loss = out.loss.expect("supervised");
+            out.graph.backward(&loss, &mut model.params);
+            opt.step(&mut model.params);
+            model.params.zero_grad();
+        })
+    });
+}
+
+fn bench_data_pipeline(c: &mut Criterion) {
+    let (kb, corpus, _, _) = setup();
+    let gamma = CandidateGenerator::from_kb(&kb, 8);
+    let sentences: Vec<_> = corpus.train.iter().take(100).collect();
+    c.bench_function("candgen/extract_mentions_100_sentences", |bench| {
+        bench.iter(|| {
+            for s in &sentences {
+                black_box(extract_mentions(&s.tokens, &corpus.vocab, &kb, &gamma));
+            }
+        })
+    });
+
+    c.bench_function("corpus/weak_label_1000_sentences", |bench| {
+        bench.iter_batched(
+            || corpus.train.iter().take(1000).cloned().collect::<Vec<_>>(),
+            |mut batch| black_box(weaklabel::apply(&kb, &corpus.vocab, &mut batch)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    let candidates: Vec<bootleg_kb::EntityId> =
+        (0..24u32).map(bootleg_kb::EntityId).collect();
+    c.bench_function("kb/adjacency_24_candidates", |bench| {
+        bench.iter(|| black_box(kb.adjacency(&candidates)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernels, bench_attention, bench_inference, bench_train_step, bench_data_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Design-choice ablations called out in DESIGN.md, beyond the paper's
+//! signal ablations:
+//!
+//! * **ensemble scoring** — §3.2's `S = max(E_k vᵀ, E′ vᵀ)` vs scoring only
+//!   the final layer output;
+//! * **Ent2Ent** — removing the co-occurrence module (the paper credits it
+//!   for Ent-only's tail performance);
+//! * **two-hop KG** (extension, §5 future work) — adding a two-hop adjacency
+//!   as an extra KG2Ent matrix, targeting the multi-hop error bucket.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin ablation_design`
+
+use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_core::BootlegConfig;
+use bootleg_eval::{error_analysis, evaluate_slices};
+
+fn main() {
+    let wb = Workbench::full(2024);
+    let eval_set = &wb.corpus.dev;
+
+    let configs: Vec<(&str, BootlegConfig)> = vec![
+        ("Bootleg (full)", BootlegConfig::default()),
+        ("  - ensemble scoring", BootlegConfig { ensemble_scoring: false, ..Default::default() }),
+        ("  - Ent2Ent", BootlegConfig { use_ent2ent: false, ..Default::default() }),
+        ("  + two-hop KG", BootlegConfig { kg_two_hop: true, ..Default::default() }),
+    ];
+
+    let widths = [24, 8, 8, 8, 8, 12];
+    println!("Design ablations (micro F1; multi-hop = share of errors in that bucket)");
+    println!(
+        "{}",
+        row(
+            &[
+                "Model".into(),
+                "All".into(),
+                "Torso".into(),
+                "Tail".into(),
+                "Unseen".into(),
+                "MultiHopErr".into(),
+            ],
+            &widths
+        )
+    );
+    for (name, config) in configs {
+        let model = wb.train_bootleg(config, &full_train_config());
+        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        let errors =
+            error_analysis(&wb.kb, &wb.corpus.vocab, eval_set, wb.predictor(&model), 0);
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{:.1}", r.all.f1()),
+                    format!("{:.1}", r.torso.f1()),
+                    format!("{:.1}", r.tail.f1()),
+                    format!("{:.1}", r.unseen.f1()),
+                    format!("{:.1}%", 100.0 * errors.frac(errors.multi_hop)),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 1 (right): F1 versus the number of times an entity was seen in
+//! training, for NED-Base vs Bootleg, across head/torso/tail/unseen.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin fig1_tail_curve`
+
+use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
+use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_core::BootlegConfig;
+use bootleg_eval::slices::f1_by_count_bucket;
+
+fn main() {
+    let wb = Workbench::full(2024);
+    let eval_set = &wb.corpus.dev;
+
+    let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
+    train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
+    let ned_curve = f1_by_count_bucket(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
+
+    let bootleg = wb.train_bootleg(BootlegConfig::default(), &full_train_config());
+    let boot_curve = f1_by_count_bucket(eval_set, &wb.counts, wb.predictor(&bootleg));
+
+    println!("Figure 1 (right): F1 vs number of entity occurrences in training");
+    let widths = [18, 10, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "Occurrences".into(),
+                "Slice".into(),
+                "NED-Base".into(),
+                "Bootleg".into(),
+                "#Ment".into()
+            ],
+            &widths
+        )
+    );
+    for (n, b) in ned_curve.iter().zip(&boot_curve) {
+        let label = if n.hi == u32::MAX {
+            format!("{}+", n.lo)
+        } else {
+            format!("{}-{}", n.lo, n.hi)
+        };
+        let slice = match n.lo {
+            0 if n.hi == 0 => "unseen",
+            lo if lo <= 10 => "tail",
+            lo if lo <= 1000 => "torso",
+            _ => "head",
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    label,
+                    slice.into(),
+                    format!("{:.1}", n.prf.f1()),
+                    format!("{:.1}", b.prf.f1()),
+                    n.prf.gold.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Table 10: model sizes (embedding MB / network MB / total MB) for the five
+//! ablation models. No training needed — sizes are a property of the
+//! architecture over the knowledge base.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin table10_sizes`
+
+use bootleg_baselines::{NedBase, NedBaseConfig};
+use bootleg_bench::{row, Workbench};
+use bootleg_core::{BootlegConfig, BootlegModel, ModelVariant, SizeReport};
+
+fn main() {
+    let wb = Workbench::full(2024);
+
+    let widths = [22, 16, 14, 12];
+    println!("Table 10: model sizes (MB of f32 parameters; word encoder excluded,");
+    println!("as the paper excludes the shared frozen BERT)");
+    println!(
+        "{}",
+        row(
+            &["Model".into(), "Embedding (MB)".into(), "Network (MB)".into(), "Total (MB)".into()],
+            &widths
+        )
+    );
+
+    // NED-Base first (entity table + mention projection).
+    let ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
+    let emb = ned.params.bytes_where(|n| n.starts_with("embedding.")) as f64 / 1_048_576.0;
+    let net = ned.params.bytes_where(|n| n.starts_with("net.")) as f64 / 1_048_576.0;
+    println!(
+        "{}",
+        row(
+            &[
+                "NED-Base".into(),
+                format!("{emb:.3}"),
+                format!("{net:.3}"),
+                format!("{:.3}", emb + net)
+            ],
+            &widths
+        )
+    );
+
+    for variant in [
+        ModelVariant::Full,
+        ModelVariant::EntOnly,
+        ModelVariant::TypeOnly,
+        ModelVariant::KgOnly,
+    ] {
+        let model = BootlegModel::new(
+            &wb.kb,
+            &wb.corpus.vocab,
+            &wb.counts,
+            BootlegConfig::default().with_variant(variant),
+        );
+        let s = SizeReport::of(&model);
+        println!(
+            "{}",
+            row(
+                &[
+                    variant.name().into(),
+                    format!("{:.3}", s.embedding_mb()),
+                    format!("{:.3}", s.network_mb()),
+                    format!("{:.3}", s.total_mb()),
+                ],
+                &widths
+            )
+        );
+    }
+    println!(
+        "\n(entities: {}, types: {}, relations: {})",
+        wb.kb.num_entities(),
+        wb.kb.types.len(),
+        wb.kb.relations.len()
+    );
+}

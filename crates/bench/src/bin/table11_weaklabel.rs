@@ -1,0 +1,75 @@
+//! Table 11: Bootleg trained with vs without weak labeling on the micro
+//! workbench. Slices are defined by gold **anchor** counts (pre weak
+//! labeling), as in the paper, to measure the lift weak labels add.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin table11_weaklabel`
+
+use bootleg_bench::{micro_train_config, row, scale, Workbench};
+use bootleg_core::BootlegConfig;
+use bootleg_corpus::CorpusConfig;
+use bootleg_eval::evaluate_slices;
+use bootleg_kb::KbConfig;
+
+fn main() {
+    let n_entities = ((2_000.0 * scale()).round() as usize).max(16);
+    let n_pages = ((800.0 * scale()).round() as usize).max(16);
+    let kb_cfg = KbConfig { n_entities, n_types: 60, n_relations: 30, seed: 7, ..Default::default() };
+    let corpus_cfg = CorpusConfig { n_pages, seed: 6, ..Default::default() };
+
+    let with_wl = Workbench::build(kb_cfg.clone(), corpus_cfg.clone(), true);
+    let without_wl = Workbench::build(kb_cfg, corpus_cfg, false);
+
+    println!("Table 11: weak labeling ablation (slices by pre-WL anchor counts)");
+    println!(
+        "weak labeling added {} labels ({} pronoun, {} alt-name, {} mislabeled), lift {:.2}x",
+        with_wl.wl_stats.total_weak(),
+        with_wl.wl_stats.pronoun_labels,
+        with_wl.wl_stats.alt_name_labels,
+        with_wl.wl_stats.mislabeled,
+        with_wl.wl_stats.label_lift()
+    );
+
+    let widths = [22, 8, 8, 8, 8];
+    println!(
+        "{}",
+        row(
+            &["Model".into(), "All".into(), "Torso".into(), "Tail".into(), "Unseen".into()],
+            &widths
+        )
+    );
+
+    for (name, wb) in [("Bootleg (No WL)", &without_wl), ("Bootleg (WL)", &with_wl)] {
+        let model = wb.train_bootleg(BootlegConfig::default(), &micro_train_config());
+        // Evaluate on the *same* dev population; slice by pre-WL counts.
+        let r = evaluate_slices(&wb.corpus.dev, &wb.counts_pre_wl, wb.predictor(&model));
+        println!(
+            "{}",
+            row(
+                &[
+                    name.into(),
+                    format!("{:.1}", r.all.f1()),
+                    format!("{:.1}", r.torso.f1()),
+                    format!("{:.1}", r.tail.f1()),
+                    format!("{:.1}", r.unseen.f1()),
+                ],
+                &widths
+            )
+        );
+    }
+    let r = evaluate_slices(&with_wl.corpus.dev, &with_wl.counts_pre_wl, |ex| {
+        vec![0; ex.mentions.len()]
+    });
+    println!(
+        "{}",
+        row(
+            &[
+                "# Mentions".into(),
+                r.all.gold.to_string(),
+                r.torso.gold.to_string(),
+                r.tail.gold.to_string(),
+                r.unseen.gold.to_string(),
+            ],
+            &widths
+        )
+    );
+}

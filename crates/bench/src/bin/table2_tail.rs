@@ -1,0 +1,99 @@
+//! Table 2: All/Torso/Tail/Unseen micro-F1 on the Wikipedia-analog
+//! validation set for NED-Base, Bootleg, and the three ablations
+//! (Ent-only / Type-only / KG-only).
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin table2_tail`
+//! Scale with `BOOTLEG_SCALE` (default 1.0).
+
+use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
+use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_core::{BootlegConfig, ModelVariant};
+use bootleg_eval::evaluate_slices;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let wb = Workbench::full(2024);
+    let eval_set = &wb.corpus.dev;
+    eprintln!(
+        "[setup {:.1}s] train={} dev={} entities={} heldout={}",
+        t0.elapsed().as_secs_f32(),
+        wb.corpus.train.len(),
+        eval_set.len(),
+        wb.kb.num_entities(),
+        wb.corpus.heldout.len()
+    );
+
+    let widths = [26, 8, 8, 8, 8];
+    println!("Table 2: tail disambiguation (micro F1)");
+    println!(
+        "{}",
+        row(
+            &["Model".into(), "All".into(), "Torso".into(), "Tail".into(), "Unseen".into()],
+            &widths
+        )
+    );
+
+    // NED-Base.
+    let t = std::time::Instant::now();
+    let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
+    train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
+    let r = evaluate_slices(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
+    println!(
+        "{}   [{:.0}s]",
+        row(
+            &[
+                "NED-Base".into(),
+                format!("{:.1}", r.all.f1()),
+                format!("{:.1}", r.torso.f1()),
+                format!("{:.1}", r.tail.f1()),
+                format!("{:.1}", r.unseen.f1()),
+            ],
+            &widths
+        ),
+        t.elapsed().as_secs_f32()
+    );
+
+    // Bootleg and ablations.
+    for variant in [
+        ModelVariant::Full,
+        ModelVariant::EntOnly,
+        ModelVariant::TypeOnly,
+        ModelVariant::KgOnly,
+    ] {
+        let t = std::time::Instant::now();
+        let model =
+            wb.train_bootleg(BootlegConfig::default().with_variant(variant), &full_train_config());
+        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        println!(
+            "{}   [{:.0}s]",
+            row(
+                &[
+                    variant.name().into(),
+                    format!("{:.1}", r.all.f1()),
+                    format!("{:.1}", r.torso.f1()),
+                    format!("{:.1}", r.tail.f1()),
+                    format!("{:.1}", r.unseen.f1()),
+                ],
+                &widths
+            ),
+            t.elapsed().as_secs_f32()
+        );
+    }
+
+    // Mention counts row (paper reports them).
+    let r = evaluate_slices(eval_set, &wb.counts, |ex| vec![0; ex.mentions.len()]);
+    println!(
+        "{}",
+        row(
+            &[
+                "# Mentions".into(),
+                r.all.gold.to_string(),
+                r.torso.gold.to_string(),
+                r.tail.gold.to_string(),
+                r.unseen.gold.to_string(),
+            ],
+            &widths
+        )
+    );
+    eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f32());
+}

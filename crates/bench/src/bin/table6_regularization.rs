@@ -1,0 +1,102 @@
+//! Tables 6 and 9: the regularization ablation on the micro (Wikipedia
+//! subset) workbench — fixed p(e) ∈ {0, 20, 50, 80}%, PopPow, and the three
+//! inverse-popularity schemes, plus NED-Base and the signal ablations.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin table6_regularization`
+
+use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
+use bootleg_bench::{micro_train_config, row, Workbench};
+use bootleg_core::{BootlegConfig, ModelVariant, RegScheme};
+use bootleg_eval::evaluate_slices;
+
+fn main() {
+    let wb = Workbench::micro(7);
+    let eval_set = &wb.corpus.dev;
+    eprintln!(
+        "[micro setup] train={} dev={} entities={}",
+        wb.corpus.train.len(),
+        eval_set.len(),
+        wb.kb.num_entities()
+    );
+
+    let widths = [24, 8, 8, 8, 8];
+    println!("Table 9: micro-dataset ablation (micro F1)");
+    println!(
+        "{}",
+        row(
+            &["Model".into(), "All".into(), "Torso".into(), "Tail".into(), "Unseen".into()],
+            &widths
+        )
+    );
+
+    let print_row = |name: String, r: &bootleg_eval::SliceReport| {
+        println!(
+            "{}",
+            row(
+                &[
+                    name,
+                    format!("{:.1}", r.all.f1()),
+                    format!("{:.1}", r.torso.f1()),
+                    format!("{:.1}", r.tail.f1()),
+                    format!("{:.1}", r.unseen.f1()),
+                ],
+                &widths
+            )
+        );
+    };
+
+    // NED-Base row.
+    let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
+    train_ned_base(&mut ned, &wb.corpus.train, &micro_train_config());
+    let r = evaluate_slices(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
+    print_row("NED-Base".into(), &r);
+
+    // Signal ablations (standard InvPopPow regularization).
+    for variant in [ModelVariant::EntOnly, ModelVariant::TypeOnly, ModelVariant::KgOnly] {
+        let model = wb
+            .train_bootleg(BootlegConfig::default().with_variant(variant), &micro_train_config());
+        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        print_row(variant.name().into(), &r);
+    }
+
+    // Regularization schemes on the full model (Tables 6 + 9 bottom).
+    let schemes = [
+        RegScheme::None,
+        RegScheme::Fixed(0.2),
+        RegScheme::Fixed(0.5),
+        RegScheme::Fixed(0.8),
+        RegScheme::InvPopLog,
+        RegScheme::InvPopPow,
+        RegScheme::InvPopLin,
+        RegScheme::PopPow,
+    ];
+    let mut unseen_line = Vec::new();
+    for scheme in schemes {
+        let config = BootlegConfig { regularization: scheme, ..BootlegConfig::default() };
+        let model = wb.train_bootleg(config, &micro_train_config());
+        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        print_row(format!("Bootleg (p(e)={})", scheme.name()), &r);
+        unseen_line.push((scheme.name(), r.unseen.f1()));
+    }
+
+    // Mention counts.
+    let r = evaluate_slices(eval_set, &wb.counts, |ex| vec![0; ex.mentions.len()]);
+    println!(
+        "{}",
+        row(
+            &[
+                "# Mentions".into(),
+                r.all.gold.to_string(),
+                r.torso.gold.to_string(),
+                r.tail.gold.to_string(),
+                r.unseen.gold.to_string(),
+            ],
+            &widths
+        )
+    );
+
+    println!("\nTable 6: unseen-entity F1 by regularization scheme");
+    for (name, f1) in &unseen_line {
+        println!("  {name:<12} {f1:.1}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Table 7: Overall/Tail F1 on the four reasoning-pattern slices (§5) for
+//! NED-Base, Bootleg, and the three ablations. Slices are mined from data
+//! properties (structureless golds, shared-type lists, KG-connected golds,
+//! affordance keywords), exactly as §5 defines them.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin table7_patterns`
+
+use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
+use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_core::{BootlegConfig, ModelVariant};
+use bootleg_corpus::Pattern;
+use bootleg_eval::pattern_slices;
+
+const ORDER: [Pattern; 4] =
+    [Pattern::Memorization, Pattern::Consistency, Pattern::KgRelation, Pattern::Affordance];
+
+fn main() {
+    let wb = Workbench::full(2024);
+    let eval_set = &wb.corpus.dev;
+
+    let widths = [22, 14, 18, 14, 16];
+    println!("Table 7: Overall/Tail F1 per reasoning-pattern slice");
+    println!(
+        "{}",
+        row(
+            &[
+                "Model".into(),
+                "Entity".into(),
+                "Type Consistency".into(),
+                "KG Relation".into(),
+                "Type Affordance".into(),
+            ],
+            &widths
+        )
+    );
+
+    let fmt = |report: &bootleg_eval::PatternSliceReport| -> Vec<String> {
+        ORDER
+            .iter()
+            .map(|p| {
+                let (overall, tail) = report.per_pattern[p];
+                format!("{:.0}/{:.0}", overall.f1(), tail.f1())
+            })
+            .collect()
+    };
+
+    let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
+    train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
+    let r = pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, |ex| {
+        ned.predict_indices(ex)
+    });
+    let mut cells = vec!["NED-Base".to_string()];
+    cells.extend(fmt(&r));
+    println!("{}", row(&cells, &widths));
+
+    for variant in [
+        ModelVariant::Full,
+        ModelVariant::EntOnly,
+        ModelVariant::TypeOnly,
+        ModelVariant::KgOnly,
+    ] {
+        let model = wb
+            .train_bootleg(BootlegConfig::default().with_variant(variant), &full_train_config());
+        let r =
+            pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, wb.predictor(&model));
+        let mut cells = vec![variant.name().to_string()];
+        cells.extend(fmt(&r));
+        println!("{}", row(&cells, &widths));
+    }
+
+    // Slice sizes (overall/tail gold mentions).
+    let sizes = pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, |ex| {
+        vec![0; ex.mentions.len()]
+    });
+    let mut cells = vec!["# Mentions".to_string()];
+    for p in ORDER {
+        let (overall, tail) = sizes.per_pattern[&p];
+        cells.push(format!("{}/{}", overall.gold, tail.gold));
+    }
+    println!("{}", row(&cells, &widths));
+}

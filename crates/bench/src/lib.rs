@@ -1,0 +1,142 @@
+//! # bootleg-bench
+//!
+//! Shared experiment scaffolding for the per-table/per-figure binaries in
+//! `src/bin/` and the Criterion benches in `benches/`.
+//!
+//! Two standard workbenches mirror the paper's two data regimes:
+//!
+//! * [`Workbench::full`] — the "full Wikipedia" analog used by Tables 1/2/7,
+//!   Figures 1/3/4.
+//! * [`Workbench::micro`] — the "Wikipedia subset" analog used by the
+//!   regularization/weak-labeling ablations (Tables 6/9/11).
+//!
+//! Sizes scale with the `BOOTLEG_SCALE` environment variable (default 1.0);
+//! EXPERIMENTS.md records results at the default scale.
+
+use bootleg_core::{train, BootlegConfig, BootlegModel, Example, TrainConfig};
+use bootleg_corpus::{generate_corpus, weaklabel, Corpus, CorpusConfig};
+use bootleg_kb::{generate as generate_kb, EntityId, KbConfig, KnowledgeBase};
+use std::collections::HashMap;
+
+/// A prepared knowledge base + corpus + occurrence counts.
+pub struct Workbench {
+    /// The knowledge base.
+    pub kb: KnowledgeBase,
+    /// The corpus, already weak-labeled (unless built with `raw`).
+    pub corpus: Corpus,
+    /// Occurrence counts including weak labels (the §4.1 slicing counts).
+    pub counts: HashMap<EntityId, u32>,
+    /// Occurrence counts over anchors only (pre weak labeling, Table 11).
+    pub counts_pre_wl: HashMap<EntityId, u32>,
+    /// Weak-labeling statistics of the pass that was applied.
+    pub wl_stats: weaklabel::WeakLabelStats,
+}
+
+/// Reads the global scale knob (`BOOTLEG_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("BOOTLEG_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+fn scaled(base: usize) -> usize {
+    ((base as f64) * scale()).round().max(16.0) as usize
+}
+
+impl Workbench {
+    /// The "full Wikipedia" analog.
+    pub fn full(seed: u64) -> Self {
+        Self::build(
+            KbConfig { n_entities: scaled(6_000), seed, ..KbConfig::default() },
+            CorpusConfig { n_pages: scaled(2_400), seed: seed ^ 1, ..CorpusConfig::default() },
+            true,
+        )
+    }
+
+    /// The "Wikipedia subset" (micro) analog for ablations.
+    pub fn micro(seed: u64) -> Self {
+        Self::build(
+            KbConfig { n_entities: scaled(2_000), n_types: 60, n_relations: 30, seed, ..KbConfig::default() },
+            CorpusConfig { n_pages: scaled(800), seed: seed ^ 1, ..CorpusConfig::default() },
+            true,
+        )
+    }
+
+    /// Builds a workbench; `weak_label` controls whether the §3.3.2 pass runs.
+    pub fn build(kb_cfg: KbConfig, corpus_cfg: CorpusConfig, weak_label: bool) -> Self {
+        let kb = generate_kb(&kb_cfg);
+        let mut corpus = generate_corpus(&kb, &corpus_cfg);
+        let counts_pre_wl = bootleg_corpus::stats::entity_counts(&corpus.train, false);
+        let wl_stats = if weak_label {
+            let vocab = corpus.vocab.clone();
+            weaklabel::apply(&kb, &vocab, &mut corpus.train)
+        } else {
+            weaklabel::WeakLabelStats::default()
+        };
+        let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+        Self { kb, corpus, counts, counts_pre_wl, wl_stats }
+    }
+
+    /// Trains a Bootleg model on this workbench's training split.
+    pub fn train_bootleg(&self, config: BootlegConfig, tcfg: &TrainConfig) -> BootlegModel {
+        let mut model = BootlegModel::new(&self.kb, &self.corpus.vocab, &self.counts, config);
+        if model.config.cooccur_kg {
+            let idx = bootleg_core::cooccur::CooccurrenceIndex::build(&self.corpus.train, 2);
+            model.set_cooccurrence(idx);
+        }
+        train(&mut model, &self.kb, &self.corpus.train, tcfg);
+        model
+    }
+
+    /// A closure adapter: model → per-mention candidate-index predictor.
+    pub fn predictor<'a>(
+        &'a self,
+        model: &'a BootlegModel,
+    ) -> impl FnMut(&Example) -> Vec<usize> + 'a {
+        move |ex| model.forward(&self.kb, ex, false, 0).predictions
+    }
+}
+
+fn epochs_override(default: usize) -> usize {
+    std::env::var("BOOTLEG_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Default Bootleg training configuration for the full workbench.
+pub fn full_train_config() -> TrainConfig {
+    TrainConfig { epochs: epochs_override(4), lr: 1.5e-3, batch_size: 16, ..TrainConfig::default() }
+}
+
+/// Default training configuration for micro ablations (more epochs on the
+/// smaller corpus, as in the paper's 8-epoch micro runs).
+pub fn micro_train_config() -> TrainConfig {
+    TrainConfig { epochs: epochs_override(6), lr: 1.5e-3, batch_size: 16, ..TrainConfig::default() }
+}
+
+/// Prints a table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_workbench_builds() {
+        std::env::set_var("BOOTLEG_SCALE", "0.1");
+        let wb = Workbench::micro(3);
+        std::env::remove_var("BOOTLEG_SCALE");
+        assert!(!wb.corpus.train.is_empty());
+        assert!(wb.wl_stats.total_weak() > 0);
+        assert!(!wb.counts.is_empty());
+    }
+
+    #[test]
+    fn row_formats_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,113 @@
+//! Mention extraction for un-annotated text (the TACRED path, Appendix C):
+//! "we perform mention extraction by searching over n-grams, from longest to
+//! shortest, in the sentence and extract those that are known mentions in
+//! Bootleg's candidate maps."
+
+use crate::gamma::CandidateGenerator;
+use bootleg_corpus::Vocab;
+use bootleg_kb::{AliasId, KnowledgeBase};
+
+/// A mention found by n-gram matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtractedMention {
+    /// First token index.
+    pub start: usize,
+    /// Last token index (inclusive).
+    pub last: usize,
+    /// The alias that matched.
+    pub alias: AliasId,
+}
+
+/// Maximum n-gram length searched (our alias surfaces are 1 token; the
+/// search is written generally so multi-token surfaces would also match).
+const MAX_NGRAM: usize = 3;
+
+/// Extracts non-overlapping mentions by longest-first n-gram lookup against
+/// the alias table. Earlier (leftmost) matches win at equal length.
+pub fn extract_mentions(
+    tokens: &[u32],
+    vocab: &Vocab,
+    kb: &KnowledgeBase,
+    gamma: &CandidateGenerator,
+) -> Vec<ExtractedMention> {
+    let words: Vec<&str> = tokens.iter().map(|&t| vocab.word(t)).collect();
+    let mut taken = vec![false; tokens.len()];
+    let mut out = Vec::new();
+    for n in (1..=MAX_NGRAM.min(tokens.len())).rev() {
+        for start in 0..=tokens.len() - n {
+            if taken[start..start + n].iter().any(|&t| t) {
+                continue;
+            }
+            let surface = words[start..start + n].join(" ");
+            let Some(alias) = kb.alias_by_surface(&surface) else { continue };
+            if gamma.candidates(alias).is_empty() {
+                continue;
+            }
+            taken[start..start + n].iter_mut().for_each(|t| *t = true);
+            out.push(ExtractedMention { start, last: start + n - 1, alias });
+        }
+    }
+    out.sort_by_key(|m| m.start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{generate_corpus, CorpusConfig, LabelKind};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn setup() -> (bootleg_kb::KnowledgeBase, bootleg_corpus::Corpus, CandidateGenerator) {
+        let kb = gen_kb(&KbConfig { n_entities: 400, seed: 21, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 100, seed: 21, ..CorpusConfig::default() });
+        let g = CandidateGenerator::from_kb(&kb, 8);
+        (kb, c, g)
+    }
+
+    #[test]
+    fn recovers_alias_mentions_from_generated_sentences() {
+        let (kb, c, g) = setup();
+        let mut recovered = 0;
+        let mut total = 0;
+        for s in c.train.iter().take(200) {
+            let found = extract_mentions(&s.tokens, &c.vocab, &kb, &g);
+            for m in &s.mentions {
+                if m.label == LabelKind::Anchor && m.alias.is_some() {
+                    total += 1;
+                    if found.iter().any(|f| f.start == m.start && Some(f.alias) == m.alias) {
+                        recovered += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 50);
+        assert!(
+            recovered as f64 / total as f64 > 0.95,
+            "extraction should recover alias mentions: {recovered}/{total}"
+        );
+    }
+
+    #[test]
+    fn extracted_mentions_do_not_overlap() {
+        let (kb, c, g) = setup();
+        for s in c.train.iter().take(100) {
+            let found = extract_mentions(&s.tokens, &c.vocab, &kb, &g);
+            for w in found.windows(2) {
+                assert!(w[0].last < w[1].start, "overlap: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_mentions_in_pure_function_words() {
+        let (kb, c, g) = setup();
+        let tokens = c.vocab.encode(&["the", "is", "and", "w0"]);
+        assert!(extract_mentions(&tokens, &c.vocab, &kb, &g).is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (kb, c, g) = setup();
+        assert!(extract_mentions(&[], &c.vocab, &kb, &g).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! The candidate map Γ: alias → ranked candidate entities.
+
+use bootleg_corpus::{LabelKind, Sentence};
+use bootleg_kb::{AliasId, EntityId, KnowledgeBase};
+use std::collections::HashMap;
+
+/// Alias → candidate lookup with top-K truncation.
+///
+/// Candidates are ranked by corpus anchor-link counts when mined from a
+/// corpus (mirroring the paper's Wikipedia anchor mining), falling back to KB
+/// popularity order otherwise.
+#[derive(Clone, Debug)]
+pub struct CandidateGenerator {
+    by_alias: Vec<Vec<EntityId>>,
+    /// Maximum candidates per alias (the paper's K = 30; we default to the
+    /// KB's alias-group cap).
+    pub max_candidates: usize,
+}
+
+impl CandidateGenerator {
+    /// Builds Γ directly from the KB (popularity-ranked).
+    pub fn from_kb(kb: &KnowledgeBase, max_candidates: usize) -> Self {
+        let by_alias = kb
+            .aliases
+            .iter()
+            .map(|a| a.candidates.iter().copied().take(max_candidates).collect())
+            .collect();
+        Self { by_alias, max_candidates }
+    }
+
+    /// Builds Γ from the KB and re-ranks each alias's candidates by the
+    /// number of anchor links observed in `sentences` (ties broken by KB
+    /// popularity order, which is the incoming order).
+    pub fn mine_from_corpus(
+        kb: &KnowledgeBase,
+        sentences: &[Sentence],
+        max_candidates: usize,
+    ) -> Self {
+        let mut anchor_counts: HashMap<(AliasId, EntityId), u32> = HashMap::new();
+        for s in sentences {
+            for m in &s.mentions {
+                if m.label == LabelKind::Anchor {
+                    if let Some(a) = m.alias {
+                        *anchor_counts.entry((a, m.gold)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let by_alias = kb
+            .aliases
+            .iter()
+            .map(|a| {
+                let mut ranked: Vec<EntityId> = a.candidates.clone();
+                // Stable sort: corpus anchor count descending; KB order ties.
+                ranked.sort_by_key(|&e| {
+                    std::cmp::Reverse(*anchor_counts.get(&(a.id, e)).unwrap_or(&0))
+                });
+                ranked.truncate(max_candidates);
+                ranked
+            })
+            .collect();
+        Self { by_alias, max_candidates }
+    }
+
+    /// The ranked candidates of an alias.
+    pub fn candidates(&self, alias: AliasId) -> &[EntityId] {
+        &self.by_alias[alias.idx()]
+    }
+
+    /// The most likely (top-ranked) candidate — the popularity-prior answer.
+    pub fn prior(&self, alias: AliasId) -> Option<EntityId> {
+        self.by_alias[alias.idx()].first().copied()
+    }
+
+    /// Number of aliases covered.
+    pub fn len(&self) -> usize {
+        self.by_alias.len()
+    }
+
+    /// `true` if Γ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_alias.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn setup() -> (KnowledgeBase, bootleg_corpus::Corpus) {
+        let kb = gen_kb(&KbConfig { n_entities: 500, seed: 19, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 150, seed: 19, ..CorpusConfig::default() });
+        (kb, c)
+    }
+
+    #[test]
+    fn from_kb_preserves_popularity_order() {
+        let (kb, _) = setup();
+        let g = CandidateGenerator::from_kb(&kb, 8);
+        for a in &kb.aliases {
+            let cands = g.candidates(a.id);
+            assert!(cands.len() <= 8);
+            for w in cands.windows(2) {
+                assert!(kb.entity(w[0]).popularity >= kb.entity(w[1]).popularity);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_respects_k() {
+        let (kb, _) = setup();
+        let g = CandidateGenerator::from_kb(&kb, 2);
+        for a in &kb.aliases {
+            assert!(g.candidates(a.id).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn mined_gamma_ranks_frequent_golds_first() {
+        let (kb, c) = setup();
+        let g = CandidateGenerator::mine_from_corpus(&kb, &c.train, 8);
+        // For each alias, count anchors per candidate and confirm the top
+        // candidate has the max count.
+        let mut counts: HashMap<(AliasId, EntityId), u32> = HashMap::new();
+        for s in &c.train {
+            for m in s.mentions.iter().filter(|m| m.label == LabelKind::Anchor) {
+                if let Some(a) = m.alias {
+                    *counts.entry((a, m.gold)).or_insert(0) += 1;
+                }
+            }
+        }
+        for a in &kb.aliases {
+            let cands = g.candidates(a.id);
+            if cands.len() < 2 {
+                continue;
+            }
+            let top = *counts.get(&(a.id, cands[0])).unwrap_or(&0);
+            for &other in &cands[1..] {
+                assert!(top >= *counts.get(&(a.id, other)).unwrap_or(&0));
+            }
+        }
+    }
+
+    #[test]
+    fn prior_is_top_candidate() {
+        let (kb, _) = setup();
+        let g = CandidateGenerator::from_kb(&kb, 8);
+        for a in &kb.aliases {
+            assert_eq!(g.prior(a.id), g.candidates(a.id).first().copied());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # bootleg-candgen
+//!
+//! Candidate generation for Bootleg (§3.1, §4.1): the candidate map Γ is
+//! mined from corpus anchor statistics and the KB's "also known as" aliases
+//! (which already include person first/last names), candidates are ranked
+//! most-popular-first and truncated to K, and un-annotated text (the TACRED
+//! path, Appendix C) gets mentions extracted by longest-known-alias n-gram
+//! matching — the same procedure the paper uses in place of gold mention
+//! boundaries.
+
+pub mod extract;
+pub mod gamma;
+
+pub use extract::{extract_mentions, ExtractedMention};
+pub use gamma::CandidateGenerator;

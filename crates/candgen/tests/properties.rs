@@ -1,0 +1,56 @@
+//! Property-based tests for candidate generation and mention extraction.
+
+use bootleg_candgen::{extract_mentions, CandidateGenerator};
+use bootleg_corpus::{generate_corpus, CorpusConfig};
+use bootleg_kb::{generate as gen_kb, KbConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn gamma_invariants(seed in 0u64..300, k in 2usize..10) {
+        let kb = gen_kb(&KbConfig { n_entities: 300, seed, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 60, seed: seed ^ 3, ..CorpusConfig::default() });
+        let g = CandidateGenerator::mine_from_corpus(&kb, &c.train, k);
+
+        prop_assert_eq!(g.len(), kb.aliases.len());
+        for a in &kb.aliases {
+            let cands = g.candidates(a.id);
+            // Truncation cap respected.
+            prop_assert!(cands.len() <= k);
+            // Candidates are a subset of the KB's alias candidates.
+            for cand in cands {
+                prop_assert!(a.candidates.contains(cand));
+            }
+            // No duplicates.
+            let mut sorted: Vec<_> = cands.to_vec();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), cands.len());
+            // Prior equals the head of the list.
+            prop_assert_eq!(g.prior(a.id), cands.first().copied());
+        }
+    }
+
+    #[test]
+    fn extraction_invariants(seed in 0u64..300) {
+        let kb = gen_kb(&KbConfig { n_entities: 300, seed, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 40, seed: seed ^ 5, ..CorpusConfig::default() });
+        let g = CandidateGenerator::from_kb(&kb, 8);
+        for s in c.train.iter().take(40) {
+            let found = extract_mentions(&s.tokens, &c.vocab, &kb, &g);
+            // Sorted, non-overlapping, in bounds, and every matched alias
+            // really has that surface at that position.
+            for w in found.windows(2) {
+                prop_assert!(w[0].last < w[1].start);
+            }
+            for m in &found {
+                prop_assert!(m.last < s.tokens.len());
+                let surface: Vec<&str> =
+                    (m.start..=m.last).map(|i| c.vocab.word(s.tokens[i])).collect();
+                prop_assert_eq!(surface.join(" "), kb.alias(m.alias).surface.clone());
+            }
+        }
+    }
+}

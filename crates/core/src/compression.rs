@@ -1,0 +1,112 @@
+//! Entity-embedding compression (§4.4 / Figure 3).
+//!
+//! "For the top k% of entities ranked by the number of occurrences in
+//! training data, we keep the learned entity embedding intact. For the
+//! remaining entities, we choose a random entity embedding for an unseen
+//! entity to use instead."
+
+use crate::model::BootlegModel;
+
+/// Returns a copy of `model` whose entity table keeps only the top
+/// `keep_frac` (0–1] of rows by training occurrence count; every other row
+/// (including the padding row) is replaced by the embedding of one unseen
+/// entity. Also returns the number of rows kept.
+pub fn compress_entity_embeddings(model: &BootlegModel, keep_frac: f64) -> (BootlegModel, usize) {
+    assert!((0.0..=1.0).contains(&keep_frac), "keep_frac must be in [0,1]");
+    let mut out = model.clone_model();
+    let n = model.n_entities;
+    let keep = ((n as f64) * keep_frac).round() as usize;
+
+    // Rank entities by training count, descending (stable by id).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(model.entity_counts[i]));
+    let kept: std::collections::HashSet<usize> = order.iter().copied().take(keep).collect();
+
+    // The replacement row: the embedding of an unseen entity (count 0), or
+    // of the least popular entity when everything was seen.
+    let donor = model
+        .entity_counts
+        .iter()
+        .position(|&c| c == 0)
+        .unwrap_or_else(|| *order.last().expect("nonempty"));
+    let donor_row: Vec<f32> = model.params.get(model.entity_emb).data.row(donor).to_vec();
+
+    let table = &mut out.params.get_mut(out.entity_emb).data;
+    for r in 0..table.shape()[0] {
+        if r >= n || !kept.contains(&r) {
+            table.row_mut(r).copy_from_slice(&donor_row);
+        }
+    }
+    (out, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BootlegConfig;
+    use crate::model::BootlegModel;
+    use bootleg_corpus::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn model() -> BootlegModel {
+        let kb = gen_kb(&KbConfig { n_entities: 100, seed: 61, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 30, seed: 61, ..CorpusConfig::default() });
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let mut m = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default());
+        // Make rows distinguishable (training would normally do this).
+        let table = &mut m.params.get_mut(m.entity_emb).data;
+        for r in 0..100 {
+            table.row_mut(r)[0] = r as f32;
+        }
+        m
+    }
+
+    #[test]
+    fn keeps_exactly_top_k() {
+        let m = model();
+        let (compressed, kept) = compress_entity_embeddings(&m, 0.10);
+        assert_eq!(kept, 10);
+        // The most popular entity keeps its row.
+        let top = (0..100).max_by_key(|&i| m.entity_counts[i]).expect("nonempty");
+        assert_eq!(
+            compressed.params.get(compressed.entity_emb).data.row(top),
+            m.params.get(m.entity_emb).data.row(top)
+        );
+    }
+
+    #[test]
+    fn dropped_rows_share_one_vector() {
+        let m = model();
+        let (compressed, _) = compress_entity_embeddings(&m, 0.05);
+        let table = &compressed.params.get(compressed.entity_emb).data;
+        // Collect distinct dropped-row vectors: all must equal the donor.
+        let mut order: Vec<usize> = (0..100).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(m.entity_counts[i]));
+        let dropped = &order[5..];
+        let first = table.row(dropped[0]).to_vec();
+        for &r in dropped {
+            assert_eq!(table.row(r), &first[..]);
+        }
+    }
+
+    #[test]
+    fn original_model_untouched() {
+        let m = model();
+        let before = m.params.get(m.entity_emb).data.clone();
+        let _ = compress_entity_embeddings(&m, 0.01);
+        assert_eq!(m.params.get(m.entity_emb).data, before);
+    }
+
+    #[test]
+    fn full_keep_changes_nothing_for_seen_rows() {
+        let m = model();
+        let (compressed, kept) = compress_entity_embeddings(&m, 1.0);
+        assert_eq!(kept, 100);
+        for r in 0..100 {
+            assert_eq!(
+                compressed.params.get(compressed.entity_emb).data.row(r),
+                m.params.get(m.entity_emb).data.row(r)
+            );
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Model configuration and the paper's ablation variants.
+
+use crate::regularization::RegScheme;
+use bootleg_nn::encoder::WordEncoderConfig;
+
+/// Which signal family a model uses — the paper's ablations (§4.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelVariant {
+    /// Entity + type + relation + KG (the full model).
+    Full,
+    /// Only learned entity embeddings (Ent-only).
+    EntOnly,
+    /// Only type embeddings (Type-only).
+    TypeOnly,
+    /// Only relation embeddings + KG connections (KG-only).
+    KgOnly,
+}
+
+impl ModelVariant {
+    /// Display name matching Table 2.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelVariant::Full => "Bootleg",
+            ModelVariant::EntOnly => "Bootleg (Ent-only)",
+            ModelVariant::TypeOnly => "Bootleg (Type-only)",
+            ModelVariant::KgOnly => "Bootleg (KG-only)",
+        }
+    }
+}
+
+/// Full Bootleg configuration.
+#[derive(Clone, Debug)]
+pub struct BootlegConfig {
+    /// Hidden width H.
+    pub hidden: usize,
+    /// Entity-embedding dimension (paper: 256 at H = 512).
+    pub entity_dim: usize,
+    /// Type-embedding dimension (paper: 128).
+    pub type_dim: usize,
+    /// Relation-embedding dimension (paper: 128).
+    pub rel_dim: usize,
+    /// Coarse-type embedding dimension for the Appendix-A prediction module.
+    pub coarse_dim: usize,
+    /// Number of Bootleg layers (stacked Phrase2Ent/Ent2Ent/KG2Ent).
+    pub n_layers: usize,
+    /// Attention heads (paper: 16; scaled down with H).
+    pub n_heads: usize,
+    /// Dropout in feed-forward layers (paper: 0.1).
+    pub dropout: f32,
+    /// Max types per entity (paper: T = 3).
+    pub max_types: usize,
+    /// Max relations per entity (paper: R = 50; scaled down).
+    pub max_relations: usize,
+    /// Which signal families are active.
+    pub variant: ModelVariant,
+    /// Enable the Appendix-A coarse mention-type prediction task.
+    pub type_prediction: bool,
+    /// Entity-embedding regularization scheme (§3.3.1).
+    pub regularization: RegScheme,
+    /// Word-encoder (BERT substitute) configuration.
+    pub word_encoder: WordEncoderConfig,
+    /// Benchmark extra: average-title-token-embedding entity feature
+    /// (Appendix B).
+    pub title_feature: bool,
+    /// Benchmark extra: sentence co-occurrence KG2Ent matrix (Appendix B).
+    pub cooccur_kg: bool,
+    /// Add the Appendix-A mention-span positional encoding to candidates.
+    pub position_encoding: bool,
+    /// Extension (paper §5 future work): add a two-hop KG adjacency as an
+    /// extra KG2Ent matrix, addressing the multi-hop error bucket.
+    pub kg_two_hop: bool,
+    /// Design-choice ablation: ensemble scoring `max(E_k vᵀ, E' vᵀ)` (§3.2).
+    /// When `false`, score only the final layer output.
+    pub ensemble_scoring: bool,
+    /// Design-choice ablation: the Ent2Ent co-occurrence module (§3.2).
+    pub use_ent2ent: bool,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for BootlegConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 48,
+            entity_dim: 48,
+            type_dim: 24,
+            rel_dim: 24,
+            coarse_dim: 12,
+            n_layers: 1,
+            n_heads: 4,
+            dropout: 0.1,
+            max_types: 3,
+            max_relations: 4,
+            variant: ModelVariant::Full,
+            type_prediction: true,
+            regularization: RegScheme::InvPopPow,
+            word_encoder: WordEncoderConfig {
+                vocab: 0, // filled in from the corpus vocabulary
+                d_model: 48,
+                n_layers: 1,
+                n_heads: 4,
+                max_len: 48,
+                dropout: 0.1,
+            },
+            title_feature: false,
+            cooccur_kg: false,
+            position_encoding: true,
+            kg_two_hop: false,
+            ensemble_scoring: true,
+            use_ent2ent: true,
+            seed: 42,
+        }
+    }
+}
+
+impl BootlegConfig {
+    /// The ablation variant with everything else unchanged.
+    pub fn with_variant(mut self, variant: ModelVariant) -> Self {
+        self.variant = variant;
+        // Type prediction is a type-signal feature; disable it when types
+        // are ablated away.
+        if matches!(variant, ModelVariant::EntOnly | ModelVariant::KgOnly) {
+            self.type_prediction = false;
+        }
+        self
+    }
+
+    /// The benchmark-flavoured model of §4.1/Appendix B: title feature,
+    /// sentence co-occurrence KG module, fixed 80% regularization.
+    pub fn benchmark(mut self) -> Self {
+        self.title_feature = true;
+        self.cooccur_kg = true;
+        self.regularization = RegScheme::Fixed(0.8);
+        self
+    }
+
+    /// Whether entity embeddings are used.
+    pub fn use_entity(&self) -> bool {
+        matches!(self.variant, ModelVariant::Full | ModelVariant::EntOnly)
+    }
+
+    /// Whether type embeddings are used.
+    pub fn use_types(&self) -> bool {
+        matches!(self.variant, ModelVariant::Full | ModelVariant::TypeOnly)
+    }
+
+    /// Whether relation embeddings and KG adjacency are used.
+    pub fn use_kg(&self) -> bool {
+        matches!(self.variant, ModelVariant::Full | ModelVariant::KgOnly)
+    }
+
+    /// Width of the candidate MLP input given the active signals.
+    pub fn mlp_input_dim(&self) -> usize {
+        let mut d = 0;
+        if self.use_entity() {
+            d += self.entity_dim;
+        }
+        if self.use_types() {
+            d += self.type_dim;
+            if self.type_prediction {
+                d += self.coarse_dim;
+            }
+        }
+        if self.use_kg() {
+            d += self.rel_dim;
+        }
+        if self.title_feature {
+            d += self.word_encoder.d_model;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_flags() {
+        let full = BootlegConfig::default();
+        assert!(full.use_entity() && full.use_types() && full.use_kg());
+        let ent = BootlegConfig::default().with_variant(ModelVariant::EntOnly);
+        assert!(ent.use_entity() && !ent.use_types() && !ent.use_kg());
+        assert!(!ent.type_prediction);
+        let ty = BootlegConfig::default().with_variant(ModelVariant::TypeOnly);
+        assert!(!ty.use_entity() && ty.use_types() && !ty.use_kg());
+        let kg = BootlegConfig::default().with_variant(ModelVariant::KgOnly);
+        assert!(!kg.use_entity() && !kg.use_types() && kg.use_kg());
+    }
+
+    #[test]
+    fn mlp_input_dim_sums_active_parts() {
+        let c = BootlegConfig::default();
+        assert_eq!(c.mlp_input_dim(), 48 + 24 + 12 + 24);
+        let ent = BootlegConfig::default().with_variant(ModelVariant::EntOnly);
+        assert_eq!(ent.mlp_input_dim(), 48);
+        let bench = BootlegConfig::default().benchmark();
+        assert_eq!(bench.mlp_input_dim(), 48 + 24 + 12 + 24 + 48);
+    }
+
+    #[test]
+    fn benchmark_sets_fixed_regularization() {
+        let b = BootlegConfig::default().benchmark();
+        assert_eq!(b.regularization, RegScheme::Fixed(0.8));
+        assert!(b.title_feature && b.cooccur_kg);
+    }
+}

@@ -1,0 +1,121 @@
+//! Sentence co-occurrence statistics (the benchmark model's second KG2Ent
+//! matrix, Appendix B): "a matrix containing the log of the number of times
+//! two entities occur in a sentence together", thresholded below.
+
+use bootleg_corpus::Sentence;
+use bootleg_kb::EntityId;
+use std::collections::HashMap;
+
+/// Symmetric entity co-occurrence counts mined from training sentences.
+#[derive(Clone, Debug)]
+pub struct CooccurrenceIndex {
+    counts: HashMap<(u32, u32), u32>,
+    /// Pairs co-occurring fewer than this many times get weight 0. The paper
+    /// uses 10 on full Wikipedia; the default here is scaled to our corpus.
+    pub threshold: u32,
+}
+
+impl CooccurrenceIndex {
+    /// Builds the index from labeled training mentions.
+    pub fn build(sentences: &[Sentence], threshold: u32) -> Self {
+        let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+        for s in sentences {
+            let golds: Vec<EntityId> = s.labeled_mentions().map(|m| m.gold).collect();
+            for i in 0..golds.len() {
+                for j in (i + 1)..golds.len() {
+                    if golds[i] == golds[j] {
+                        continue;
+                    }
+                    let key = Self::key(golds[i], golds[j]);
+                    *counts.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        Self { counts, threshold }
+    }
+
+    #[inline]
+    fn key(a: EntityId, b: EntityId) -> (u32, u32) {
+        if a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// The matrix weight for a pair: `ln(count)` if `count >= threshold`,
+    /// else 0.
+    pub fn weight(&self, a: EntityId, b: EntityId) -> f32 {
+        let c = *self.counts.get(&Self::key(a, b)).unwrap_or(&0);
+        if c >= self.threshold {
+            (c as f32).ln().max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of distinct co-occurring pairs recorded.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `true` if no pairs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{LabelKind, Mention, Pattern};
+
+    fn sentence(golds: &[u32]) -> Sentence {
+        Sentence {
+            tokens: vec![0; golds.len()],
+            mentions: golds
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| Mention {
+                    start: i,
+                    last: i,
+                    alias: None,
+                    gold: EntityId(g),
+                    candidates: vec![EntityId(g)],
+                    label: LabelKind::Anchor,
+                })
+                .collect(),
+            page: EntityId(0),
+            pattern: Pattern::Consistency,
+        }
+    }
+
+    #[test]
+    fn counts_pairs_symmetrically() {
+        let sentences: Vec<Sentence> = (0..4).map(|_| sentence(&[1, 2])).collect();
+        let idx = CooccurrenceIndex::build(&sentences, 3);
+        assert!((idx.weight(EntityId(1), EntityId(2)) - 4.0f32.ln()).abs() < 1e-6);
+        assert_eq!(idx.weight(EntityId(1), EntityId(2)), idx.weight(EntityId(2), EntityId(1)));
+    }
+
+    #[test]
+    fn below_threshold_is_zero() {
+        let sentences = vec![sentence(&[3, 4])];
+        let idx = CooccurrenceIndex::build(&sentences, 3);
+        assert_eq!(idx.weight(EntityId(3), EntityId(4)), 0.0);
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let sentences = vec![sentence(&[5, 5])];
+        let idx = CooccurrenceIndex::build(&sentences, 1);
+        assert_eq!(idx.weight(EntityId(5), EntityId(5)), 0.0);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn unknown_pairs_are_zero() {
+        let idx = CooccurrenceIndex::build(&[], 1);
+        assert_eq!(idx.weight(EntityId(1), EntityId(9)), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Model-facing view of a sentence: tokens plus mention/candidate structure.
+
+use bootleg_corpus::{LabelKind, Sentence};
+use bootleg_kb::EntityId;
+
+/// One mention to disambiguate.
+#[derive(Clone, Debug)]
+pub struct ExMention {
+    /// First token index of the span.
+    pub first: usize,
+    /// Last token index of the span (inclusive).
+    pub last: usize,
+    /// Candidate entities Γ(m), most popular first.
+    pub candidates: Vec<EntityId>,
+    /// Index of the gold entity within `candidates` (None at pure inference).
+    pub gold: Option<u32>,
+}
+
+/// One disambiguation example.
+#[derive(Clone, Debug)]
+pub struct Example {
+    /// Token ids.
+    pub tokens: Vec<u32>,
+    /// Mentions in textual order.
+    pub mentions: Vec<ExMention>,
+}
+
+impl Example {
+    /// Builds a *training* example: all labeled mentions (anchors + weak
+    /// labels) with known gold indexes. Returns `None` when nothing is
+    /// labeled.
+    pub fn training(s: &Sentence) -> Option<Example> {
+        let mentions: Vec<ExMention> = s
+            .mentions
+            .iter()
+            .filter(|m| m.label != LabelKind::Unlabeled)
+            .filter_map(|m| {
+                let gold = m.gold_index()? as u32;
+                Some(ExMention {
+                    first: m.start,
+                    last: m.last,
+                    candidates: m.candidates.clone(),
+                    gold: Some(gold),
+                })
+            })
+            .collect();
+        (!mentions.is_empty()).then_some(Example { tokens: s.tokens.clone(), mentions })
+    }
+
+    /// Builds an *evaluation* example: anchor mentions passing the §4.1
+    /// filters (gold in candidates, more than one candidate). All mentions
+    /// are still fed to the model (context), but only the filtered ones
+    /// carry gold indexes; callers evaluate those.
+    pub fn evaluation(s: &Sentence) -> Option<Example> {
+        let mentions: Vec<ExMention> = s
+            .mentions
+            .iter()
+            .filter(|m| m.label == LabelKind::Anchor && m.evaluable())
+            .map(|m| ExMention {
+                first: m.start,
+                last: m.last,
+                candidates: m.candidates.clone(),
+                gold: Some(m.gold_index().expect("evaluable implies gold present") as u32),
+            })
+            .collect();
+        (!mentions.is_empty()).then_some(Example { tokens: s.tokens.clone(), mentions })
+    }
+
+    /// Builds an inference example from extracted mentions (no gold).
+    pub fn inference(tokens: Vec<u32>, mentions: Vec<ExMention>) -> Example {
+        Example { tokens, mentions }
+    }
+
+    /// Total number of candidates across all mentions (the flattened S).
+    pub fn total_candidates(&self) -> usize {
+        self.mentions.iter().map(|m| m.candidates.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{Mention, Pattern};
+
+    fn sent() -> Sentence {
+        Sentence {
+            tokens: vec![1, 2, 3, 4],
+            mentions: vec![
+                Mention {
+                    start: 1,
+                    last: 1,
+                    alias: None,
+                    gold: EntityId(5),
+                    candidates: vec![EntityId(4), EntityId(5)],
+                    label: LabelKind::Anchor,
+                },
+                Mention {
+                    start: 2,
+                    last: 2,
+                    alias: None,
+                    gold: EntityId(7),
+                    candidates: vec![EntityId(7), EntityId(8)],
+                    label: LabelKind::Weak,
+                },
+                Mention {
+                    start: 3,
+                    last: 3,
+                    alias: None,
+                    gold: EntityId(9),
+                    candidates: vec![EntityId(9)],
+                    label: LabelKind::Anchor,
+                },
+            ],
+            page: EntityId(0),
+            pattern: Pattern::Affordance,
+        }
+    }
+
+    #[test]
+    fn training_includes_weak_labels() {
+        let e = Example::training(&sent()).expect("labeled mentions exist");
+        assert_eq!(e.mentions.len(), 3);
+        assert_eq!(e.mentions[0].gold, Some(1));
+        assert_eq!(e.mentions[1].gold, Some(0));
+    }
+
+    #[test]
+    fn evaluation_filters_single_candidate_and_weak() {
+        let e = Example::evaluation(&sent()).expect("evaluable mention exists");
+        // Only the first mention: anchor + 2 candidates. The weak mention and
+        // the single-candidate anchor are filtered.
+        assert_eq!(e.mentions.len(), 1);
+        assert_eq!(e.mentions[0].first, 1);
+    }
+
+    #[test]
+    fn none_when_nothing_usable() {
+        let mut s = sent();
+        for m in &mut s.mentions {
+            m.label = LabelKind::Unlabeled;
+        }
+        assert!(Example::training(&s).is_none());
+        assert!(Example::evaluation(&s).is_none());
+    }
+
+    #[test]
+    fn total_candidates_sums() {
+        let e = Example::training(&sent()).expect("example");
+        assert_eq!(e.total_candidates(), 5);
+    }
+}

@@ -1,0 +1,448 @@
+//! The Bootleg forward pass (§3.2, Appendix A) plus prediction and
+//! contextual-embedding extraction.
+
+use crate::example::Example;
+use crate::model::BootlegModel;
+use bootleg_kb::{EntityId, KnowledgeBase};
+use bootleg_nn::posenc;
+use bootleg_tensor::{Graph, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a forward pass.
+pub struct ForwardOutput {
+    /// The autograd tape (call `graph.backward(&loss, …)` to train).
+    pub graph: Graph,
+    /// Total loss (`L_dis + L_type`); only meaningful when mentions carry
+    /// gold indexes.
+    pub loss: Option<Var>,
+    /// Per-mention candidate scores.
+    pub scores: Vec<Vec<f32>>,
+    /// Per-mention argmax candidate index.
+    pub predictions: Vec<usize>,
+    /// Per-mention final-layer representation of the *predicted* candidate —
+    /// the "contextual Bootleg entity embedding" consumed by downstream
+    /// tasks (§4.3).
+    pub mention_reprs: Vec<Vec<f32>>,
+    /// Per-mention, per-candidate final-layer representations (used by the
+    /// Overton-style downstream system, which scores all candidates).
+    pub candidate_reprs: Vec<Vec<Vec<f32>>>,
+}
+
+impl BootlegModel {
+    /// Runs the model on one example. `training` enables dropout and the 2-D
+    /// entity-embedding masking; `seed` drives both.
+    pub fn forward(
+        &self,
+        kb: &KnowledgeBase,
+        ex: &Example,
+        training: bool,
+        seed: u64,
+    ) -> ForwardOutput {
+        assert!(!ex.mentions.is_empty(), "forward needs at least one mention");
+        let g = Graph::with_mode(training, seed);
+        let ps = &self.params;
+        let cfg = &self.config;
+        let mut mask_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        // W: contextual sentence matrix (N, H) from the word encoder.
+        let w = self.word_encoder.forward(&g, ps, &ex.tokens);
+
+        // Flatten all candidates: cand_entities[s], mention_of[s].
+        let mut cand_entities: Vec<u32> = Vec::with_capacity(ex.total_candidates());
+        let mut mention_of: Vec<usize> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::with_capacity(ex.mentions.len() + 1);
+        for (mi, m) in ex.mentions.iter().enumerate() {
+            offsets.push(cand_entities.len());
+            for &c in &m.candidates {
+                cand_entities.push(c.0);
+                mention_of.push(mi);
+            }
+        }
+        offsets.push(cand_entities.len());
+        let s_total = cand_entities.len();
+
+        // ---- Signal encoding (§3.1) ----
+        let mut parts: Vec<Var> = Vec::new();
+
+        if cfg.use_entity() {
+            let u = g.gather_rows(ps, self.entity_emb, &cand_entities);
+            let u = if training && !matches!(cfg.regularization, crate::RegScheme::None) {
+                // 2-D regularization: zero the whole embedding with p(e).
+                let mut mask = Vec::with_capacity(s_total * cfg.entity_dim);
+                for &e in &cand_entities {
+                    let keep = mask_rng.gen::<f32>() >= self.reg_p[e as usize];
+                    let v = if keep { 1.0 } else { 0.0 };
+                    mask.extend(std::iter::repeat_n(v, cfg.entity_dim));
+                }
+                let mv = g.leaf(Tensor::new(vec![s_total, cfg.entity_dim], mask));
+                u.mul(&mv)
+            } else {
+                u
+            };
+            parts.push(u);
+        }
+
+        // Type prediction (Appendix A): coarse mention type from the first +
+        // last contextual token embeddings.
+        let mut type_loss: Option<Var> = None;
+        let mut mention_type_vecs: Vec<Var> = Vec::new();
+        if let Some(tp) = &self.type_pred {
+            let mut logits_rows: Vec<Var> = Vec::new();
+            for m in &ex.mentions {
+                let first = w.select_rows(&[m.first as u32]);
+                let last = w.select_rows(&[m.last as u32]);
+                let mention_emb = first.add(&last);
+                let logits = tp.mlp.forward(&g, ps, &mention_emb); // (1, 6)
+                let probs = logits.softmax_last();
+                let coarse = g.dense_param(ps, tp.coarse_emb); // (6, coarse_dim)
+                mention_type_vecs.push(probs.matmul(&coarse)); // (1, coarse_dim)
+                logits_rows.push(logits);
+            }
+            // Supervise with the gold entity's coarse type where available.
+            let mut targets = Vec::new();
+            let mut supervised_rows: Vec<&Var> = Vec::new();
+            for (mi, m) in ex.mentions.iter().enumerate() {
+                if let Some(gi) = m.gold {
+                    let gold_entity = m.candidates[gi as usize];
+                    targets.push(self.entity_coarse[gold_entity.idx()]);
+                    supervised_rows.push(&logits_rows[mi]);
+                }
+            }
+            if !supervised_rows.is_empty() {
+                let all = g.concat_rows(&supervised_rows);
+                type_loss = Some(all.cross_entropy_rows(&targets));
+            }
+        }
+
+        if cfg.use_types() {
+            let type_rows: Vec<Var> = cand_entities
+                .iter()
+                .map(|&e| {
+                    let bag = g.gather_rows(ps, self.type_emb, &self.entity_types[e as usize]);
+                    self.type_attn.forward(&g, ps, &bag) // (1, type_dim)
+                })
+                .collect();
+            let refs: Vec<&Var> = type_rows.iter().collect();
+            parts.push(g.concat_rows(&refs)); // (S, type_dim)
+            if self.type_pred.is_some() {
+                // Concatenate the predicted coarse type of each mention to
+                // every one of its candidates.
+                let refs: Vec<&Var> = mention_of.iter().map(|&mi| &mention_type_vecs[mi]).collect();
+                parts.push(g.concat_rows(&refs)); // (S, coarse_dim)
+            }
+        }
+
+        if cfg.use_kg() {
+            let rel_rows: Vec<Var> = cand_entities
+                .iter()
+                .map(|&e| {
+                    let bag = g.gather_rows(ps, self.rel_emb, &self.entity_rels[e as usize]);
+                    self.rel_attn.forward(&g, ps, &bag)
+                })
+                .collect();
+            let refs: Vec<&Var> = rel_rows.iter().collect();
+            parts.push(g.concat_rows(&refs)); // (S, rel_dim)
+        }
+
+        if cfg.title_feature {
+            // Average word embedding of the entity's title tokens (App. B).
+            let title_rows: Vec<Var> = cand_entities
+                .iter()
+                .map(|&e| {
+                    let ids = &self.entity_titles[e as usize];
+                    let rows = g.gather_rows(ps, self.word_encoder.emb, ids);
+                    rows.mean_rows().reshape(&[1, cfg.word_encoder.d_model])
+                })
+                .collect();
+            let refs: Vec<&Var> = title_rows.iter().collect();
+            parts.push(g.concat_rows(&refs));
+        }
+
+        let part_refs: Vec<&Var> = parts.iter().collect();
+        let concat = g.concat_last(&part_refs); // (S, mlp_input_dim)
+        let mut e_mat = self.mlp.forward(&g, ps, &concat); // (S, H)
+
+        if cfg.position_encoding {
+            // Appendix A: concat of first/last-token positional encodings,
+            // projected to H, added to each of the mention's candidates.
+            let table = self.word_encoder.pos_table();
+            let d = cfg.word_encoder.d_model;
+            let mut enc = Vec::with_capacity(s_total * 2 * d);
+            for &mi in &mention_of {
+                let m = &ex.mentions[mi];
+                enc.extend(posenc::mention_span_encoding(table, m.first, m.last));
+            }
+            let enc_var = g.leaf(Tensor::new(vec![s_total, 2 * d], enc));
+            e_mat = e_mat.add(&self.pos_proj.forward(&g, ps, &enc_var));
+        }
+
+        // ---- KG adjacency matrices over the flattened candidates ----
+        // Cross-mention Wikidata connectivity (+ optional co-occurrence).
+        let mut kg_mats: Vec<Tensor> = Vec::new();
+        if cfg.use_kg() {
+            let mut k = vec![0.0f32; s_total * s_total];
+            for i in 0..s_total {
+                for j in 0..s_total {
+                    if mention_of[i] != mention_of[j]
+                        && kb
+                            .connected(EntityId(cand_entities[i]), EntityId(cand_entities[j]))
+                            .is_some()
+                    {
+                        k[i * s_total + j] = 1.0;
+                    }
+                }
+            }
+            kg_mats.push(Tensor::new(vec![s_total, s_total], k));
+            if cfg.cooccur_kg {
+                let mut k2 = vec![0.0f32; s_total * s_total];
+                if let Some(cx) = &self.cooccur {
+                    for i in 0..s_total {
+                        for j in 0..s_total {
+                            if mention_of[i] != mention_of[j] {
+                                k2[i * s_total + j] = cx
+                                    .weight(EntityId(cand_entities[i]), EntityId(cand_entities[j]));
+                            }
+                        }
+                    }
+                }
+                kg_mats.push(Tensor::new(vec![s_total, s_total], k2));
+            }
+            if cfg.kg_two_hop {
+                // Extension (§5 future work): candidates that share a common
+                // KG neighbor without being directly linked — the paper's
+                // multi-hop error bucket — get a (weaker) connection.
+                let mut k3 = vec![0.0f32; s_total * s_total];
+                for i in 0..s_total {
+                    for j in 0..s_total {
+                        if mention_of[i] != mention_of[j]
+                            && kb.two_hop_connected(
+                                EntityId(cand_entities[i]),
+                                EntityId(cand_entities[j]),
+                            )
+                        {
+                            k3[i * s_total + j] = 0.5;
+                        }
+                    }
+                }
+                kg_mats.push(Tensor::new(vec![s_total, s_total], k3));
+            }
+        }
+
+        // ---- Stacked layers (§3.2 end-to-end) ----
+        let mut e_prime = e_mat.clone();
+        let mut last_e_ks: Vec<Var> = Vec::new();
+        for l in 0..cfg.n_layers {
+            let p2e = self.phrase2ent[l].forward(&g, ps, &e_mat, Some(&w));
+            e_prime = if cfg.use_ent2ent {
+                let e2e = self.ent2ent[l].forward(&g, ps, &e_mat, None);
+                p2e.add(&e2e)
+            } else {
+                p2e
+            };
+            last_e_ks.clear();
+            for (j, kmat) in kg_mats.iter().enumerate() {
+                let kv = g.leaf(kmat.clone());
+                let wv = g.dense_param(ps, self.kg_w[l][j]);
+                let attn = kv.add_scaled_identity(&wv).softmax_last();
+                last_e_ks.push(attn.matmul(&e_prime).add(&e_prime));
+            }
+            // Next layer input: average of KG outputs (or E' when no KG).
+            e_mat = match last_e_ks.len() {
+                0 => e_prime.clone(),
+                1 => last_e_ks[0].clone(),
+                n => {
+                    let mut acc = last_e_ks[0].clone();
+                    for ek in &last_e_ks[1..] {
+                        acc = acc.add(ek);
+                    }
+                    acc.scale(1.0 / n as f32)
+                }
+            };
+        }
+
+        // ---- Ensemble scoring: S = max(E_k vᵀ, E′ vᵀ) ----
+        let v = g.dense_param(ps, self.score_v); // (H, 1)
+        let s_var = if cfg.ensemble_scoring {
+            let mut s = e_prime.matmul(&v); // (S, 1)
+            for ek in &last_e_ks {
+                s = s.maximum(&ek.matmul(&v));
+            }
+            s
+        } else {
+            // Ablation: score only the final layer output (no ensemble).
+            e_mat.matmul(&v)
+        };
+
+        // ---- Per-mention loss and predictions ----
+        let mut dis_loss: Option<Var> = None;
+        let mut n_supervised = 0usize;
+        let mut scores = Vec::with_capacity(ex.mentions.len());
+        let mut predictions = Vec::with_capacity(ex.mentions.len());
+        for (mi, m) in ex.mentions.iter().enumerate() {
+            let k = m.candidates.len();
+            let rows: Vec<u32> = (offsets[mi]..offsets[mi + 1]).map(|r| r as u32).collect();
+            let mention_scores = s_var.select_rows(&rows).reshape(&[1, k]);
+            let values = mention_scores.value();
+            scores.push(values.data().to_vec());
+            predictions.push(values.argmax());
+            if let Some(gi) = m.gold {
+                let ce = mention_scores.cross_entropy_rows(&[gi]);
+                n_supervised += 1;
+                dis_loss = Some(match dis_loss {
+                    Some(acc) => acc.add(&ce),
+                    None => ce,
+                });
+            }
+        }
+        let loss = match (dis_loss, n_supervised) {
+            (Some(l), n) if n > 0 => {
+                let l = l.scale(1.0 / n as f32);
+                Some(match type_loss {
+                    Some(tl) => l.add(&tl),
+                    None => l,
+                })
+            }
+            _ => None,
+        };
+
+        // ---- Contextual entity representations for downstream tasks ----
+        let final_e = e_mat.value();
+        let mention_reprs = predictions
+            .iter()
+            .enumerate()
+            .map(|(mi, &p)| final_e.row(offsets[mi] + p).to_vec())
+            .collect();
+        let candidate_reprs = ex
+            .mentions
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| {
+                (0..m.candidates.len()).map(|j| final_e.row(offsets[mi] + j).to_vec()).collect()
+            })
+            .collect();
+
+        ForwardOutput { graph: g, loss, scores, predictions, mention_reprs, candidate_reprs }
+    }
+
+    /// Predicts the entity for each mention of `ex`.
+    pub fn predict(&self, kb: &KnowledgeBase, ex: &Example) -> Vec<EntityId> {
+        let out = self.forward(kb, ex, false, 0);
+        out.predictions
+            .iter()
+            .zip(&ex.mentions)
+            .map(|(&p, m)| m.candidates[p])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BootlegConfig, ModelVariant};
+    use bootleg_corpus::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn setup() -> (KnowledgeBase, bootleg_corpus::Corpus, BootlegModel) {
+        let kb = gen_kb(&KbConfig { n_entities: 300, seed: 41, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 60, seed: 41, ..CorpusConfig::default() });
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let m = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default());
+        (kb, c, m)
+    }
+
+    fn first_example(c: &bootleg_corpus::Corpus) -> Example {
+        c.train.iter().find_map(Example::training).expect("some training example")
+    }
+
+    #[test]
+    fn forward_produces_scores_and_loss() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let out = m.forward(&kb, &ex, true, 1);
+        assert_eq!(out.scores.len(), ex.mentions.len());
+        assert!(out.loss.is_some());
+        let lv = out.loss.as_ref().expect("loss").value().item();
+        assert!(lv.is_finite() && lv > 0.0, "loss {lv}");
+        for (s, m) in out.scores.iter().zip(&ex.mentions) {
+            assert_eq!(s.len(), m.candidates.len());
+            assert!(s.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn backward_touches_used_embeddings() {
+        let (kb, c, mut m) = setup();
+        let ex = first_example(&c);
+        let out = m.forward(&kb, &ex, true, 2);
+        let loss = out.loss.expect("loss");
+        out.graph.backward(&loss, &mut m.params);
+        // Entity table grads are sparse; the candidate rows must be touched
+        // (unless every row got masked, which seed 2 should not do for all).
+        let p = m.params.get(m.entity_emb);
+        assert!(!p.touched_rows.is_empty(), "entity rows should be touched");
+    }
+
+    #[test]
+    fn all_variants_run_forward() {
+        let (kb, c, _) = setup();
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let ex = first_example(&c);
+        for v in [ModelVariant::Full, ModelVariant::EntOnly, ModelVariant::TypeOnly, ModelVariant::KgOnly] {
+            let m = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default().with_variant(v));
+            let out = m.forward(&kb, &ex, false, 0);
+            assert_eq!(out.predictions.len(), ex.mentions.len());
+        }
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let a = m.forward(&kb, &ex, false, 0);
+        let b = m.forward(&kb, &ex, false, 99);
+        assert_eq!(a.scores, b.scores, "inference must not depend on seed");
+    }
+
+    #[test]
+    fn training_mode_masking_changes_scores() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let a = m.forward(&kb, &ex, true, 1);
+        let b = m.forward(&kb, &ex, true, 2);
+        // With dropout + entity masking, different seeds almost surely give
+        // different scores.
+        assert_ne!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn predict_returns_candidates() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let preds = m.predict(&kb, &ex);
+        for (p, men) in preds.iter().zip(&ex.mentions) {
+            assert!(men.candidates.contains(p));
+        }
+    }
+
+    #[test]
+    fn mention_reprs_have_hidden_width() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let out = m.forward(&kb, &ex, false, 0);
+        for r in &out.mention_reprs {
+            assert_eq!(r.len(), m.config.hidden);
+        }
+    }
+
+    #[test]
+    fn benchmark_model_with_cooccurrence_runs() {
+        let (kb, c, _) = setup();
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let mut m = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default().benchmark());
+        m.set_cooccurrence(crate::cooccur::CooccurrenceIndex::build(&c.train, 2));
+        let ex = first_example(&c);
+        let out = m.forward(&kb, &ex, true, 3);
+        assert!(out.loss.expect("loss").value().item().is_finite());
+    }
+}

@@ -1,0 +1,142 @@
+//! The 2-D entity-embedding regularization schemes (§3.3.1, Appendix B).
+//!
+//! With probability `p(e)` the *entire* entity embedding is zeroed before the
+//! candidate MLP, forcing the model to disambiguate from type and relation
+//! patterns alone. The Appendix-B functions are reproduced verbatim:
+//!
+//! * power:       `f(x) = 0.95 · x^{-0.32}`
+//! * logarithmic: `f(x) = −0.097 · ln(x) + 0.96`
+//! * linear:      `f(x) = −0.00009 · x + 0.9501`
+//!
+//! each clamped to `[0.05, 0.95]`, so an entity seen once is masked 95% of
+//! the time and an entity seen 10 000 times is masked 5% of the time.
+//! `PopPow` is the mirrored control (more popular ⇒ *more* regularized) used
+//! in the Table 6 ablation.
+
+/// Entity-embedding masking scheme.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RegScheme {
+    /// No masking (p = 0), the "standard regularization" baseline.
+    None,
+    /// Fixed masking probability for every entity.
+    Fixed(f32),
+    /// Inverse popularity, power law (the paper's best: InvPopPow).
+    InvPopPow,
+    /// Inverse popularity, logarithmic.
+    InvPopLog,
+    /// Inverse popularity, linear.
+    InvPopLin,
+    /// Proportional to popularity (ablation control).
+    PopPow,
+}
+
+const P_MIN: f32 = 0.05;
+const P_MAX: f32 = 0.95;
+
+impl RegScheme {
+    /// Masking probability for an entity seen `count` times in training.
+    /// Unseen entities (`count == 0`) are treated as count 1 (maximum
+    /// regularization for the inverse schemes).
+    pub fn p(self, count: u32) -> f32 {
+        let x = count.max(1) as f32;
+        let raw = match self {
+            RegScheme::None => return 0.0,
+            RegScheme::Fixed(p) => return p.clamp(0.0, 1.0),
+            RegScheme::InvPopPow => 0.95 * x.powf(-0.32),
+            RegScheme::InvPopLog => -0.097 * x.ln() + 0.96,
+            RegScheme::InvPopLin => -0.000_09 * x + 0.9501,
+            RegScheme::PopPow => 0.05 * x.powf(0.32),
+        };
+        raw.clamp(P_MIN, P_MAX)
+    }
+
+    /// Precomputes the per-entity masking table from occurrence counts.
+    pub fn table(self, counts: &[u32]) -> Vec<f32> {
+        counts.iter().map(|&c| self.p(c)).collect()
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> String {
+        match self {
+            RegScheme::None => "0%".into(),
+            RegScheme::Fixed(p) => format!("{:.0}%", p * 100.0),
+            RegScheme::InvPopPow => "InvPopPow".into(),
+            RegScheme::InvPopLog => "InvPopLog".into(),
+            RegScheme::InvPopLin => "InvPopLin".into(),
+            RegScheme::PopPow => "PopPow".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_appendix_b() {
+        // Frequency 1 → 0.95, frequency 10 000 → 0.05 for all inverse curves.
+        for s in [RegScheme::InvPopPow, RegScheme::InvPopLog, RegScheme::InvPopLin] {
+            assert!((s.p(1) - 0.95).abs() < 0.02, "{s:?} at 1: {}", s.p(1));
+            assert!((s.p(10_000) - 0.05).abs() < 0.06, "{s:?} at 10k: {}", s.p(10_000));
+        }
+    }
+
+    #[test]
+    fn inverse_schemes_are_monotone_decreasing() {
+        for s in [RegScheme::InvPopPow, RegScheme::InvPopLog, RegScheme::InvPopLin] {
+            let mut prev = s.p(1);
+            for c in [2u32, 5, 10, 100, 1000, 10_000, 100_000] {
+                let p = s.p(c);
+                assert!(p <= prev + 1e-6, "{s:?} not decreasing at {c}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn pop_scheme_is_monotone_increasing() {
+        let s = RegScheme::PopPow;
+        assert!(s.p(1) < s.p(100));
+        assert!(s.p(100) < s.p(10_000));
+        assert!((s.p(1) - 0.05).abs() < 0.01);
+        assert!((s.p(10_000) - 0.95).abs() < 0.06);
+    }
+
+    #[test]
+    fn unseen_treated_as_once() {
+        assert_eq!(RegScheme::InvPopPow.p(0), RegScheme::InvPopPow.p(1));
+    }
+
+    #[test]
+    fn fixed_and_none() {
+        assert_eq!(RegScheme::None.p(5), 0.0);
+        assert_eq!(RegScheme::Fixed(0.8).p(5), 0.8);
+        assert_eq!(RegScheme::Fixed(0.8).p(100_000), 0.8);
+    }
+
+    #[test]
+    fn all_probabilities_valid() {
+        for s in [
+            RegScheme::None,
+            RegScheme::Fixed(0.5),
+            RegScheme::InvPopPow,
+            RegScheme::InvPopLog,
+            RegScheme::InvPopLin,
+            RegScheme::PopPow,
+        ] {
+            for c in 0..2000u32 {
+                let p = s.p(c);
+                assert!((0.0..=1.0).contains(&p), "{s:?}({c}) = {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_pointwise() {
+        let counts = [0, 1, 50, 10_000];
+        let t = RegScheme::InvPopPow.table(&counts);
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(t[i], RegScheme::InvPopPow.p(c));
+        }
+    }
+}

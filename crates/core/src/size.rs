@@ -1,0 +1,94 @@
+//! Model size accounting (Table 10): embedding vs network parameters.
+//!
+//! The paper reports embedding and network sizes separately and excludes the
+//! (frozen) BERT encoder; we report our word encoder separately for the same
+//! reason.
+
+use crate::model::BootlegModel;
+
+/// Size breakdown of a model, in bytes of f32 parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeReport {
+    /// Entity/type/relation/coarse-type embedding tables.
+    pub embedding_bytes: usize,
+    /// Attention modules, MLPs, scoring vector, KG scalars.
+    pub network_bytes: usize,
+    /// The word encoder (the BERT substitute; excluded from the paper's
+    /// totals because BERT is frozen and shared).
+    pub word_encoder_bytes: usize,
+}
+
+impl SizeReport {
+    /// Builds the report from a model's parameter names.
+    pub fn of(model: &BootlegModel) -> Self {
+        let ps = &model.params;
+        Self {
+            embedding_bytes: ps.bytes_where(|n| n.starts_with("embedding.")),
+            network_bytes: ps.bytes_where(|n| n.starts_with("net.")),
+            word_encoder_bytes: ps.bytes_where(|n| n.starts_with("wordenc.")),
+        }
+    }
+
+    /// Embedding megabytes.
+    pub fn embedding_mb(&self) -> f64 {
+        self.embedding_bytes as f64 / 1_048_576.0
+    }
+
+    /// Network megabytes.
+    pub fn network_mb(&self) -> f64 {
+        self.network_bytes as f64 / 1_048_576.0
+    }
+
+    /// Total (paper-comparable: embeddings + network, no word encoder).
+    pub fn total_mb(&self) -> f64 {
+        (self.embedding_bytes + self.network_bytes) as f64 / 1_048_576.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BootlegConfig, ModelVariant};
+    use crate::model::BootlegModel;
+    use bootleg_corpus::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn sizes(variant: ModelVariant) -> SizeReport {
+        let kb = gen_kb(&KbConfig { n_entities: 2000, seed: 71, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 20, seed: 71, ..CorpusConfig::default() });
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let m = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default().with_variant(variant));
+        SizeReport::of(&m)
+    }
+
+    #[test]
+    fn full_model_accounts_every_param() {
+        let s = sizes(ModelVariant::Full);
+        assert!(s.embedding_bytes > 0);
+        assert!(s.network_bytes > 0);
+        assert!(s.word_encoder_bytes > 0);
+    }
+
+    #[test]
+    fn entity_table_dominates_embeddings_like_paper() {
+        // Table 10: the entity table dwarfs type/relation tables; the
+        // Type-only and KG-only models are tiny.
+        let full = sizes(ModelVariant::Full);
+        let type_only = sizes(ModelVariant::TypeOnly);
+        let kg_only = sizes(ModelVariant::KgOnly);
+        assert!(
+            full.embedding_bytes > 10 * type_only.embedding_bytes,
+            "full {} vs type-only {}",
+            full.embedding_bytes,
+            type_only.embedding_bytes
+        );
+        assert!(full.embedding_bytes > 10 * kg_only.embedding_bytes);
+    }
+
+    #[test]
+    fn mb_conversions() {
+        let r = SizeReport { embedding_bytes: 1_048_576, network_bytes: 524_288, word_encoder_bytes: 0 };
+        assert!((r.embedding_mb() - 1.0).abs() < 1e-9);
+        assert!((r.total_mb() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,150 @@
+//! Benchmark-set analogs (Appendix B): KORE50-like (hard, anti-popularity),
+//! RSS500-like (mixed news-style), and AIDA-like (documents evaluated as
+//! title ⧺ SEP ⧺ sentence).
+
+use crate::sentence::{Document, Pattern, Sentence};
+use crate::templates::{generate_sentence, TemplateCtx};
+use crate::vocab::Vocab;
+use bootleg_kb::{EntityId, KnowledgeBase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// KORE50-like: hard-to-disambiguate sentences. Every primary gold is a
+/// *non-head* candidate of its alias (never the most popular candidate), so
+/// popularity priors fail and reasoning is required — the property that makes
+/// KORE50 hard.
+pub fn kore50_like(kb: &KnowledgeBase, vocab: &Vocab, n: usize, seed: u64) -> Vec<Sentence> {
+    let ctx = TemplateCtx::new(kb, vocab);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut tries = 0;
+    while out.len() < n && tries < n * 200 {
+        tries += 1;
+        let gold = EntityId(rng.gen_range(0..kb.num_entities() as u32));
+        let pattern = if rng.gen_bool(0.5) { Pattern::KgRelation } else { Pattern::Affordance };
+        let s = generate_sentence(&ctx, &mut rng, pattern, gold, &|_| true, gold);
+        // Keep only sentences whose primary mention is evaluable and whose
+        // gold is NOT the alias's most popular candidate.
+        let Some(primary) = s.mentions.iter().find(|m| m.gold == gold) else { continue };
+        if primary.evaluable() && primary.candidates.first() != Some(&gold) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// RSS500-like: a mixed bag of news-style sentences with natural (Zipfian)
+/// gold popularity across all four patterns.
+pub fn rss500_like(kb: &KnowledgeBase, vocab: &Vocab, n: usize, seed: u64) -> Vec<Sentence> {
+    let ctx = TemplateCtx::new(kb, vocab);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut tries = 0;
+    while out.len() < n && tries < n * 100 {
+        tries += 1;
+        // Popularity-weighted gold (softened so the tail shows up too).
+        let r: f64 = rng.gen::<f64>();
+        let idx = ((r * r) * kb.num_entities() as f64) as usize;
+        let gold = EntityId(idx.min(kb.num_entities() - 1) as u32);
+        let pattern = Pattern::ALL[rng.gen_range(0..4)];
+        let s = generate_sentence(&ctx, &mut rng, pattern, gold, &|_| true, gold);
+        if s.mentions.iter().any(|m| m.evaluable()) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// AIDA-like: documents (title + several sentences about related entities).
+/// Evaluate after [`Document::flatten`], which prepends title ⧺ SEP — the
+/// document-context encoding of §4.2.
+pub fn aida_like(kb: &KnowledgeBase, vocab: &Vocab, n_docs: usize, seed: u64) -> Vec<Document> {
+    let ctx = TemplateCtx::new(kb, vocab);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::with_capacity(n_docs);
+    for _ in 0..n_docs {
+        let topic = EntityId(rng.gen_range(0..kb.num_entities() as u32 / 4));
+        let title: Vec<u32> =
+            kb.entity(topic).title_tokens.iter().map(|t| vocab.id(t)).collect();
+        let n_sent = rng.gen_range(3..=6);
+        let mut sentences = Vec::with_capacity(n_sent);
+        for _ in 0..n_sent {
+            // Half the sentences are about the topic, half about neighbors
+            // or random entities — documents have topical coherence.
+            let gold = if rng.gen_bool(0.5) {
+                topic
+            } else if let Some(&(nbr, _)) = ctx.neighbors(topic).first() {
+                nbr
+            } else {
+                EntityId(rng.gen_range(0..kb.num_entities() as u32))
+            };
+            let pattern = Pattern::ALL[rng.gen_range(0..4)];
+            sentences.push(generate_sentence(&ctx, &mut rng, pattern, gold, &|_| true, topic));
+        }
+        docs.push(Document { title, sentences });
+    }
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn setup() -> (bootleg_kb::KnowledgeBase, Vocab) {
+        let kb = gen_kb(&KbConfig { n_entities: 1000, seed: 13, ..KbConfig::default() });
+        let vocab = Vocab::build(&kb);
+        (kb, vocab)
+    }
+
+    #[test]
+    fn kore50_is_anti_popularity() {
+        let (kb, vocab) = setup();
+        let bench = kore50_like(&kb, &vocab, 50, 1);
+        assert_eq!(bench.len(), 50);
+        for s in &bench {
+            let primary = s.mentions.iter().find(|m| m.evaluable()).expect("evaluable mention");
+            assert_ne!(
+                primary.candidates[0], primary.gold,
+                "KORE50-like golds must not be the popularity-top candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn rss500_has_requested_size_and_mixed_patterns() {
+        let (kb, vocab) = setup();
+        let bench = rss500_like(&kb, &vocab, 200, 2);
+        assert_eq!(bench.len(), 200);
+        let kinds: std::collections::HashSet<_> = bench.iter().map(|s| s.pattern).collect();
+        assert!(kinds.len() >= 3, "pattern variety expected, got {kinds:?}");
+    }
+
+    #[test]
+    fn aida_docs_flatten_with_title_context() {
+        let (kb, vocab) = setup();
+        let docs = aida_like(&kb, &vocab, 10, 3);
+        assert_eq!(docs.len(), 10);
+        let sep = vocab.id(crate::vocab::SEP);
+        for d in &docs {
+            let flat = d.flatten(sep);
+            assert_eq!(flat.len(), d.sentences.len());
+            for s in &flat {
+                assert!(s.tokens.contains(&sep));
+                for m in &s.mentions {
+                    assert!(m.last < s.tokens.len());
+                    assert!(m.gold_index().is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        let (kb, vocab) = setup();
+        let a = kore50_like(&kb, &vocab, 20, 7);
+        let b = kore50_like(&kb, &vocab, 20, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].tokens, b[0].tokens);
+    }
+}

@@ -1,0 +1,430 @@
+//! Page-structured corpus generation with train/dev/test splits, held-out
+//! (unseen) entities, and deliberately-unlabeled mentions.
+
+use crate::sentence::{LabelKind, Pattern, Sentence};
+use crate::templates::{generate_sentence, TemplateCtx};
+use crate::vocab::Vocab;
+use bootleg_kb::{CoarseType, EntityId, KnowledgeBase};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters of corpus generation.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Number of pages (a page bundles sentences about one entity).
+    pub n_pages: usize,
+    /// Sentences per page, inclusive range.
+    pub sentences_per_page: (usize, usize),
+    /// Probability a sentence's primary mention is the page entity.
+    pub frac_page_primary: f64,
+    /// Probability a page-entity mention is left unlabeled (the paper
+    /// estimates 68% of Wikipedia named entities are unlabeled).
+    pub unlabeled_frac: f64,
+    /// Among unlabeled person page-mentions, the probability of rendering as
+    /// a pronoun rather than an alternative alias.
+    pub frac_pronoun: f64,
+    /// Candidate-list size for pronoun mentions.
+    pub pronoun_candidates: usize,
+    /// Among unlabeled page-mentions, the probability the mention actually
+    /// refers to a *different* candidate of a shared alias — the noise the
+    /// alternative-name weak-labeling heuristic will mislabel (§3.3.2 /
+    /// Table 11 discussion).
+    pub trap_frac: f64,
+    /// Pattern mix `[memorization, consistency, kg-relation, affordance]`.
+    /// The default mirrors the paper's §2 coverage ordering
+    /// (affordance ≫ KG > consistency > pure memorization).
+    pub pattern_mix: [f64; 4],
+    /// Fraction of entities held out of training entirely ("unseen").
+    pub heldout_frac: f64,
+    /// Probability an eval-split sentence draws its primary from the
+    /// held-out pool.
+    pub heldout_boost: f64,
+    /// Train/dev/test page split (must sum to 1).
+    pub split: [f64; 3],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_pages: 4_000,
+            sentences_per_page: (3, 7),
+            frac_page_primary: 0.5,
+            unlabeled_frac: 0.68,
+            frac_pronoun: 0.5,
+            pronoun_candidates: 6,
+            trap_frac: 0.10,
+            pattern_mix: [0.15, 0.10, 0.20, 0.55],
+            heldout_frac: 0.05,
+            heldout_boost: 0.10,
+            split: [0.8, 0.1, 0.1],
+            seed: 23,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Small configuration for tests and micro ablations.
+    pub fn micro(seed: u64) -> Self {
+        Self { n_pages: 600, seed, ..Self::default() }
+    }
+}
+
+/// A generated corpus with its vocabulary and held-out entity set.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// Training sentences (80% of pages).
+    pub train: Vec<Sentence>,
+    /// Development sentences.
+    pub dev: Vec<Sentence>,
+    /// Test sentences.
+    pub test: Vec<Sentence>,
+    /// Entities excluded from all training golds ("unseen").
+    pub heldout: HashSet<EntityId>,
+    /// The shared vocabulary.
+    pub vocab: Vocab,
+}
+
+/// Weighted sampling over entity popularity.
+struct PopularitySampler {
+    cumulative: Vec<f64>,
+}
+
+impl PopularitySampler {
+    fn new(kb: &KnowledgeBase) -> Self {
+        let mut cumulative = Vec::with_capacity(kb.num_entities());
+        let mut total = 0.0;
+        for e in &kb.entities {
+            total += e.popularity as f64;
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> EntityId {
+        let total = *self.cumulative.last().expect("nonempty KB");
+        let u = rng.gen_range(0.0..total);
+        let i = match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        };
+        EntityId(i as u32)
+    }
+
+    fn sample_where(
+        &self,
+        rng: &mut StdRng,
+        pred: impl Fn(EntityId) -> bool,
+        fallback: EntityId,
+    ) -> EntityId {
+        for _ in 0..64 {
+            let e = self.sample(rng);
+            if pred(e) {
+                return e;
+            }
+        }
+        fallback
+    }
+}
+
+fn sample_pattern(rng: &mut StdRng, mix: &[f64; 4]) -> Pattern {
+    let total: f64 = mix.iter().sum();
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in mix.iter().enumerate() {
+        if u < w {
+            return Pattern::ALL[i];
+        }
+        u -= w;
+    }
+    Pattern::Affordance
+}
+
+/// Generates the full corpus for a knowledge base.
+pub fn generate_corpus(kb: &KnowledgeBase, config: &CorpusConfig) -> Corpus {
+    let vocab = Vocab::build(kb);
+    let ctx = TemplateCtx::new(kb, &vocab);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sampler = PopularitySampler::new(kb);
+
+    // Held-out ("unseen") entities: drawn from the lower 80% of popularity
+    // ranks so the head stays intact.
+    let n = kb.num_entities();
+    let n_heldout = ((n as f64) * config.heldout_frac) as usize;
+    let mut lower: Vec<u32> = ((n / 5) as u32..n as u32).collect();
+    lower.shuffle(&mut rng);
+    let heldout: HashSet<EntityId> = lower.into_iter().take(n_heldout).map(EntityId).collect();
+    // Deterministic sampling order (HashSet iteration order is not stable).
+    let mut heldout_vec: Vec<EntityId> = heldout.iter().copied().collect();
+    heldout_vec.sort_unstable();
+
+    let mut train = Vec::new();
+    let mut dev = Vec::new();
+    let mut test = Vec::new();
+
+    for _page in 0..config.n_pages {
+        let split = {
+            let u: f64 = rng.gen();
+            if u < config.split[0] {
+                0
+            } else if u < config.split[0] + config.split[1] {
+                1
+            } else {
+                2
+            }
+        };
+        let is_train = split == 0;
+        let allowed = |e: EntityId| !is_train || !heldout.contains(&e);
+
+        // Half the pages are popularity-weighted (popular entities have more
+        // page text); half are uniform — in Wikipedia *every* entity has a
+        // page, which is what lets weak labeling reach the tail (§3.3.2).
+        let page = if rng.gen_bool(0.5) {
+            sampler.sample_where(&mut rng, |e| !heldout.contains(&e), EntityId(0))
+        } else {
+            let mut p = EntityId(rng.gen_range(0..n as u32));
+            for _ in 0..64 {
+                if !heldout.contains(&p) {
+                    break;
+                }
+                p = EntityId(rng.gen_range(0..n as u32));
+            }
+            p
+        };
+        let n_sent = rng.gen_range(config.sentences_per_page.0..=config.sentences_per_page.1);
+
+        for _ in 0..n_sent {
+            let primary_is_page = rng.gen_bool(config.frac_page_primary);
+            let primary = if !is_train
+                && rng.gen_bool(config.heldout_boost)
+                && !heldout_vec.is_empty()
+            {
+                // Boost unseen-entity coverage in eval splits.
+                heldout_vec[rng.gen_range(0..heldout_vec.len())]
+            } else if primary_is_page {
+                page
+            } else {
+                sampler.sample_where(&mut rng, allowed, page)
+            };
+            let pattern = sample_pattern(&mut rng, &config.pattern_mix);
+
+            // Page-entity mentions are often unlabeled (pronouns / alt
+            // names), mirroring Wikipedia's label sparsity. A small fraction
+            // are traps: the shared alias actually refers to a different
+            // entity, which the alt-name weak labeler will mislabel.
+            let s = if primary_is_page && primary == page && rng.gen_bool(config.unlabeled_frac) {
+                if rng.gen_bool(config.trap_frac) {
+                    trap_sentence(kb, &vocab, &ctx, &mut rng, page, &allowed).unwrap_or_else(|| {
+                        let mut s =
+                            generate_sentence(&ctx, &mut rng, pattern, primary, &allowed, page);
+                        render_unlabeled(kb, &vocab, config, &mut rng, &mut s, page);
+                        s
+                    })
+                } else {
+                    let mut s = generate_sentence(&ctx, &mut rng, pattern, primary, &allowed, page);
+                    render_unlabeled(kb, &vocab, config, &mut rng, &mut s, page);
+                    s
+                }
+            } else {
+                generate_sentence(&ctx, &mut rng, pattern, primary, &allowed, page)
+            };
+            match split {
+                0 => train.push(s),
+                1 => dev.push(s),
+                _ => test.push(s),
+            }
+        }
+    }
+
+    Corpus { train, dev, test, heldout, vocab }
+}
+
+/// A trap sentence: the context supports a *different* candidate (`other`)
+/// of an alias shared with the page entity, and the mention is unlabeled.
+/// The alternative-name weak labeler will label it as the page entity —
+/// genuine label noise, the kind Table 11 shows hurting the torso.
+fn trap_sentence(
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+    ctx: &TemplateCtx,
+    rng: &mut StdRng,
+    page: EntityId,
+    allowed: &dyn Fn(EntityId) -> bool,
+) -> Option<Sentence> {
+    let shared: Vec<_> =
+        kb.entity(page).aliases.iter().filter(|&&a| kb.alias(a).ambiguous()).copied().collect();
+    let &alias = shared.choose(rng)?;
+    let others: Vec<EntityId> =
+        kb.alias(alias).candidates.iter().copied().filter(|&c| c != page).collect();
+    let &other = others.choose(rng)?;
+    // Context is generated *for the true entity*, so the weak label will
+    // conflict with it.
+    let mut s = generate_sentence(ctx, rng, Pattern::Memorization, other, allowed, page);
+    let m = s.mentions.iter_mut().find(|m| m.gold == other)?;
+    m.alias = Some(alias);
+    m.candidates = kb.alias(alias).candidates.clone();
+    m.label = LabelKind::Unlabeled;
+    s.tokens[m.start] = vocab.id(&kb.alias(alias).surface);
+    Some(s)
+}
+
+/// Turns the page-entity mention of `s` into an unlabeled mention: a gendered
+/// pronoun (persons) or an unlabeled alternative name.
+fn render_unlabeled(
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+    config: &CorpusConfig,
+    rng: &mut StdRng,
+    s: &mut Sentence,
+    page: EntityId,
+) {
+    let Some(mi) = s.mentions.iter().position(|m| m.gold == page) else { return };
+
+    let entity = kb.entity(page);
+    let is_person = entity.coarse == CoarseType::Person;
+    if is_person && rng.gen_bool(config.frac_pronoun) {
+        // Pronoun rendering: "he"/"she" replaces the alias token.
+        let gender = entity.gender.expect("persons have gender");
+        let m = &mut s.mentions[mi];
+        s.tokens[m.start] = vocab.id(gender.pronoun());
+        m.alias = None;
+        m.label = LabelKind::Unlabeled;
+        // Candidate list: the page entity plus same-gender persons.
+        let mut cands = vec![page];
+        let mut tries = 0;
+        while cands.len() < config.pronoun_candidates && tries < 200 {
+            tries += 1;
+            let e = EntityId(rng.gen_range(0..kb.num_entities() as u32));
+            let ee = kb.entity(e);
+            if ee.gender == Some(gender) && !cands.contains(&e) {
+                cands.push(e);
+            }
+        }
+        m.candidates = cands;
+    } else {
+        // Alternative-name rendering: swap to another alias of the page
+        // entity (if any) and drop the label.
+        let m = &mut s.mentions[mi];
+        let alts: Vec<_> = entity.aliases.iter().copied().filter(|&a| Some(a) != m.alias).collect();
+        if let Some(&alias) = alts.choose(rng) {
+            m.alias = Some(alias);
+            m.candidates = kb.alias(alias).candidates.clone();
+            s.tokens[m.start] = vocab.id(&kb.alias(alias).surface);
+        }
+        m.label = LabelKind::Unlabeled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn small_corpus() -> (bootleg_kb::KnowledgeBase, Corpus) {
+        let kb = gen_kb(&KbConfig { n_entities: 1000, seed: 7, ..KbConfig::default() });
+        let corpus = generate_corpus(&kb, &CorpusConfig { n_pages: 300, seed: 7, ..CorpusConfig::default() });
+        (kb, corpus)
+    }
+
+    #[test]
+    fn splits_roughly_follow_config() {
+        let (_, c) = small_corpus();
+        let total = c.train.len() + c.dev.len() + c.test.len();
+        assert!(total > 500);
+        let train_frac = c.train.len() as f64 / total as f64;
+        assert!(train_frac > 0.7 && train_frac < 0.9, "train frac {train_frac}");
+    }
+
+    #[test]
+    fn heldout_entities_never_train_golds() {
+        let (_, c) = small_corpus();
+        for s in &c.train {
+            for m in s.labeled_mentions() {
+                assert!(!c.heldout.contains(&m.gold), "held-out entity used as train gold");
+            }
+        }
+    }
+
+    #[test]
+    fn heldout_entities_appear_in_eval() {
+        let (_, c) = small_corpus();
+        let count = c
+            .dev
+            .iter()
+            .chain(&c.test)
+            .flat_map(|s| s.mentions.iter())
+            .filter(|m| c.heldout.contains(&m.gold))
+            .count();
+        assert!(count > 10, "need unseen eval mentions, got {count}");
+    }
+
+    #[test]
+    fn unlabeled_mentions_exist_in_train() {
+        let (_, c) = small_corpus();
+        let unlabeled = c
+            .train
+            .iter()
+            .flat_map(|s| s.mentions.iter())
+            .filter(|m| m.label == LabelKind::Unlabeled)
+            .count();
+        let total = c.train.iter().map(|s| s.mentions.len()).sum::<usize>();
+        let frac = unlabeled as f64 / total as f64;
+        assert!(frac > 0.1 && frac < 0.6, "unlabeled fraction {frac}");
+    }
+
+    #[test]
+    fn pronoun_mentions_have_page_in_candidates() {
+        let (kb, c) = small_corpus();
+        let mut found = 0;
+        for s in &c.train {
+            for m in &s.mentions {
+                if m.alias.is_none() {
+                    found += 1;
+                    assert!(m.candidates.contains(&s.page));
+                    let tok = c.vocab.word(s.tokens[m.start]);
+                    assert!(tok == "he" || tok == "she", "pronoun token, got {tok}");
+                    // All candidates share the pronoun's gender.
+                    let g = kb.entity(m.candidates[0]).gender;
+                    for &cand in &m.candidates {
+                        assert_eq!(kb.entity(cand).gender, g);
+                    }
+                }
+            }
+        }
+        assert!(found > 5, "expect some pronoun mentions, got {found}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let kb = gen_kb(&KbConfig { n_entities: 300, seed: 2, ..KbConfig::default() });
+        let cfg = CorpusConfig { n_pages: 50, seed: 3, ..CorpusConfig::default() };
+        let a = generate_corpus(&kb, &cfg);
+        let b = generate_corpus(&kb, &cfg);
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.train[0].tokens, b.train[0].tokens);
+        assert_eq!(a.heldout, b.heldout);
+    }
+
+    #[test]
+    fn all_pattern_kinds_appear() {
+        let (_, c) = small_corpus();
+        for p in Pattern::ALL {
+            let n = c.train.iter().filter(|s| s.pattern == p).count();
+            assert!(n > 0, "pattern {} missing", p.name());
+        }
+    }
+
+    #[test]
+    fn mention_spans_in_bounds_and_gold_in_candidates() {
+        let (_, c) = small_corpus();
+        for s in c.train.iter().chain(&c.dev).chain(&c.test) {
+            for m in &s.mentions {
+                assert!(m.last < s.tokens.len());
+                assert!(m.start <= m.last);
+                assert!(m.gold_index().is_some());
+            }
+        }
+    }
+}

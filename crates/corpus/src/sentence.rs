@@ -1,0 +1,199 @@
+//! Sentence, mention, and document records.
+
+use bootleg_kb::{AliasId, EntityId};
+
+/// How a mention is labeled in the training data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LabelKind {
+    /// A Wikipedia-anchor-style gold label (§4.1). Used for training and for
+    /// all evaluation metrics.
+    Anchor,
+    /// A label recovered by weak labeling (§3.3.2). Used for training and
+    /// occurrence counting, never for evaluation.
+    Weak,
+    /// Present in the text but unlabeled (the paper estimates 68% of entities
+    /// in Wikipedia are unlabeled). Skipped by training until weak labeling
+    /// recovers it.
+    Unlabeled,
+}
+
+/// Which reasoning pattern generated a sentence (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Entity memorization: entity-specific textual cues.
+    Memorization,
+    /// Type consistency: lists of same-type entities.
+    Consistency,
+    /// KG relation: two mentions connected in the knowledge graph plus a
+    /// relation cue word.
+    KgRelation,
+    /// Type affordance: type-specific keywords in context.
+    Affordance,
+}
+
+impl Pattern {
+    /// All patterns, in a stable order.
+    pub const ALL: [Pattern; 4] =
+        [Pattern::Memorization, Pattern::Consistency, Pattern::KgRelation, Pattern::Affordance];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern::Memorization => "memorization",
+            Pattern::Consistency => "consistency",
+            Pattern::KgRelation => "kg-relation",
+            Pattern::Affordance => "affordance",
+        }
+    }
+}
+
+/// One mention span inside a sentence.
+#[derive(Clone, Debug)]
+pub struct Mention {
+    /// First token index of the span.
+    pub start: usize,
+    /// Last token index of the span (inclusive; single-token mentions have
+    /// `start == last`).
+    pub last: usize,
+    /// The alias this mention surfaced as, if it is an alias mention
+    /// (`None` for pronouns).
+    pub alias: Option<AliasId>,
+    /// The true entity (always known to the generator; whether the *model*
+    /// sees it depends on `label`).
+    pub gold: EntityId,
+    /// Candidate list Γ(m), most popular first. Gold is guaranteed present
+    /// for alias mentions by construction.
+    pub candidates: Vec<EntityId>,
+    /// Label status.
+    pub label: LabelKind,
+}
+
+impl Mention {
+    /// Index of the gold entity within the candidate list, if present.
+    pub fn gold_index(&self) -> Option<usize> {
+        self.candidates.iter().position(|&c| c == self.gold)
+    }
+
+    /// `true` if this mention passes the paper's evaluation filters
+    /// (§4.1): gold in candidate set and more than one candidate.
+    pub fn evaluable(&self) -> bool {
+        self.candidates.len() > 1 && self.gold_index().is_some()
+    }
+}
+
+/// One training/evaluation sentence.
+#[derive(Clone, Debug)]
+pub struct Sentence {
+    /// Token ids.
+    pub tokens: Vec<u32>,
+    /// Mentions, in textual order.
+    pub mentions: Vec<Mention>,
+    /// The Wikipedia-style page this sentence came from (pages define the
+    /// train/dev/test split and drive weak labeling).
+    pub page: EntityId,
+    /// The reasoning pattern that generated it.
+    pub pattern: Pattern,
+}
+
+impl Sentence {
+    /// Mentions visible to training (anchors and weak labels).
+    pub fn labeled_mentions(&self) -> impl Iterator<Item = &Mention> {
+        self.mentions.iter().filter(|m| m.label != LabelKind::Unlabeled)
+    }
+
+    /// Anchor mentions only (the evaluation population).
+    pub fn anchor_mentions(&self) -> impl Iterator<Item = &Mention> {
+        self.mentions.iter().filter(|m| m.label == LabelKind::Anchor)
+    }
+}
+
+/// A document (for the AIDA-style benchmark): a titled bundle of sentences.
+#[derive(Clone, Debug)]
+pub struct Document {
+    /// Title token ids.
+    pub title: Vec<u32>,
+    /// The document's sentences.
+    pub sentences: Vec<Sentence>,
+}
+
+impl Document {
+    /// Flattens into per-sentence inputs of the form
+    /// `title ⧺ SEP ⧺ sentence`, shifting mention spans accordingly — the
+    /// document-context encoding the paper uses for AIDA (§4.2).
+    pub fn flatten(&self, sep_token: u32) -> Vec<Sentence> {
+        let offset = self.title.len() + 1;
+        self.sentences
+            .iter()
+            .map(|s| {
+                let mut tokens = self.title.clone();
+                tokens.push(sep_token);
+                tokens.extend_from_slice(&s.tokens);
+                let mentions = s
+                    .mentions
+                    .iter()
+                    .map(|m| Mention { start: m.start + offset, last: m.last + offset, ..m.clone() })
+                    .collect();
+                Sentence { tokens, mentions, page: s.page, pattern: s.pattern }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mention(gold: u32, cands: &[u32], label: LabelKind) -> Mention {
+        Mention {
+            start: 0,
+            last: 0,
+            alias: None,
+            gold: EntityId(gold),
+            candidates: cands.iter().map(|&c| EntityId(c)).collect(),
+            label,
+        }
+    }
+
+    #[test]
+    fn gold_index_and_evaluable() {
+        let m = mention(2, &[1, 2, 3], LabelKind::Anchor);
+        assert_eq!(m.gold_index(), Some(1));
+        assert!(m.evaluable());
+        let single = mention(1, &[1], LabelKind::Anchor);
+        assert!(!single.evaluable(), "single-candidate mentions are filtered");
+        let missing = mention(9, &[1, 2], LabelKind::Anchor);
+        assert!(!missing.evaluable(), "gold must be in candidates");
+    }
+
+    #[test]
+    fn labeled_vs_anchor_iterators() {
+        let s = Sentence {
+            tokens: vec![0, 1, 2],
+            mentions: vec![
+                mention(1, &[1, 2], LabelKind::Anchor),
+                mention(2, &[1, 2], LabelKind::Weak),
+                mention(3, &[3, 4], LabelKind::Unlabeled),
+            ],
+            page: EntityId(0),
+            pattern: Pattern::Affordance,
+        };
+        assert_eq!(s.labeled_mentions().count(), 2);
+        assert_eq!(s.anchor_mentions().count(), 1);
+    }
+
+    #[test]
+    fn document_flatten_shifts_spans() {
+        let inner = Sentence {
+            tokens: vec![10, 11, 12],
+            mentions: vec![Mention { start: 1, last: 2, ..mention(1, &[1, 2], LabelKind::Anchor) }],
+            page: EntityId(0),
+            pattern: Pattern::KgRelation,
+        };
+        let doc = Document { title: vec![5, 6], sentences: vec![inner] };
+        let flat = doc.flatten(99);
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].tokens, vec![5, 6, 99, 10, 11, 12]);
+        assert_eq!(flat[0].mentions[0].start, 4);
+        assert_eq!(flat[0].mentions[0].last, 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Corpus statistics: occurrence counting, pattern coverage, label sparsity.
+
+use crate::sentence::{LabelKind, Pattern, Sentence};
+use bootleg_kb::EntityId;
+use std::collections::HashMap;
+
+/// Counts how many times each entity is a gold label across `sentences`.
+///
+/// The paper measures torso/tail/unseen "based on the number of times that an
+/// entity is the gold entity across Wikipedia anchors and weak labels, as
+/// this represents the number of times an entity is seen by Bootleg" (§4.1).
+/// Pass `include_weak = false` for the pre-weak-labeling counts used by
+/// Table 11.
+pub fn entity_counts(sentences: &[Sentence], include_weak: bool) -> HashMap<EntityId, u32> {
+    let mut counts = HashMap::new();
+    for s in sentences {
+        for m in &s.mentions {
+            let counted = match m.label {
+                LabelKind::Anchor => true,
+                LabelKind::Weak => include_weak,
+                LabelKind::Unlabeled => false,
+            };
+            if counted {
+                *counts.entry(m.gold).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Coverage of each reasoning pattern over evaluable anchor mentions,
+/// mirroring the paper's §2 coverage report.
+pub fn pattern_coverage(sentences: &[Sentence]) -> HashMap<Pattern, f64> {
+    let mut per: HashMap<Pattern, usize> = HashMap::new();
+    let mut total = 0usize;
+    for s in sentences {
+        for m in s.anchor_mentions() {
+            if m.evaluable() {
+                total += 1;
+                *per.entry(s.pattern).or_insert(0) += 1;
+            }
+        }
+    }
+    per.into_iter().map(|(p, n)| (p, n as f64 / total.max(1) as f64)).collect()
+}
+
+/// Fraction of mentions that are unlabeled (paper estimate for Wikipedia: 68%
+/// of entities; our generator applies it to page-entity mentions).
+pub fn unlabeled_fraction(sentences: &[Sentence]) -> f64 {
+    let mut unlabeled = 0usize;
+    let mut total = 0usize;
+    for s in sentences {
+        for m in &s.mentions {
+            total += 1;
+            if m.label == LabelKind::Unlabeled {
+                unlabeled += 1;
+            }
+        }
+    }
+    unlabeled as f64 / total.max(1) as f64
+}
+
+/// Number of mentions usable for evaluation (anchor + evaluable filters).
+pub fn evaluable_mentions(sentences: &[Sentence]) -> usize {
+    sentences.iter().flat_map(|s| s.anchor_mentions()).filter(|m| m.evaluable()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    #[test]
+    fn counts_respect_label_kinds() {
+        let kb = gen_kb(&KbConfig { n_entities: 500, seed: 4, ..KbConfig::default() });
+        let mut c = generate_corpus(&kb, &CorpusConfig { n_pages: 150, seed: 4, ..CorpusConfig::default() });
+        let before = entity_counts(&c.train, true);
+        let vocab = c.vocab.clone();
+        crate::weaklabel::apply(&kb, &vocab, &mut c.train);
+        let after_no_weak = entity_counts(&c.train, false);
+        let after_with_weak = entity_counts(&c.train, true);
+        // Weak labels only ever add counts.
+        let sum = |m: &HashMap<EntityId, u32>| m.values().map(|&v| v as u64).sum::<u64>();
+        assert_eq!(sum(&before), sum(&after_no_weak), "anchors unchanged by weak labeling");
+        assert!(sum(&after_with_weak) > sum(&after_no_weak));
+    }
+
+    #[test]
+    fn pattern_coverage_sums_to_one() {
+        let kb = gen_kb(&KbConfig { n_entities: 500, seed: 4, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 150, seed: 4, ..CorpusConfig::default() });
+        let cov = pattern_coverage(&c.train);
+        let total: f64 = cov.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Affordance dominates the mix, as in the paper.
+        let aff = cov.get(&Pattern::Affordance).copied().unwrap_or(0.0);
+        for (p, v) in &cov {
+            if *p != Pattern::Affordance {
+                assert!(aff >= *v * 0.8, "affordance should be the dominant pattern, {p:?}={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unlabeled_fraction_positive_before_weak_labeling() {
+        let kb = gen_kb(&KbConfig { n_entities: 500, seed: 4, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 150, seed: 4, ..CorpusConfig::default() });
+        assert!(unlabeled_fraction(&c.train) > 0.05);
+        assert!(evaluable_mentions(&c.dev) > 20);
+    }
+}

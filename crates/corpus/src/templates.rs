@@ -1,0 +1,482 @@
+//! Sentence templates for the four reasoning patterns (§2.1).
+//!
+//! Each template produces a sentence in which the *pattern signal* — entity
+//! cues, type affordance keywords, relation cue words plus KG connectivity,
+//! or type-consistent lists — is what identifies the gold entity among its
+//! alias's candidates, exactly mirroring the paper's motivating examples
+//! ("Where is Lincoln in Logan County?", "He ordered a Manhattan.", …).
+
+use crate::sentence::{LabelKind, Mention, Pattern, Sentence};
+use crate::vocab::{Vocab, NOISE_TOKENS};
+use bootleg_kb::{AliasId, EntityId, KnowledgeBase, RelationId, TypeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Precomputed indexes used by the templates.
+pub struct TemplateCtx<'a> {
+    /// The knowledge base.
+    pub kb: &'a KnowledgeBase,
+    /// The shared vocabulary (already containing every KB token).
+    pub vocab: &'a Vocab,
+    ambiguous_aliases: Vec<Vec<AliasId>>,
+    canonical_alias: Vec<AliasId>,
+    entities_by_type: Vec<Vec<EntityId>>,
+    neighbors: Vec<Vec<(EntityId, RelationId)>>,
+}
+
+impl<'a> TemplateCtx<'a> {
+    /// Builds the indexes.
+    pub fn new(kb: &'a KnowledgeBase, vocab: &'a Vocab) -> Self {
+        let n = kb.num_entities();
+        let mut ambiguous_aliases = vec![Vec::new(); n];
+        let mut canonical_alias = vec![AliasId(0); n];
+        for a in &kb.aliases {
+            for &c in &a.candidates {
+                if a.ambiguous() {
+                    ambiguous_aliases[c.idx()].push(a.id);
+                } else {
+                    canonical_alias[c.idx()] = a.id;
+                }
+            }
+        }
+        let mut entities_by_type = vec![Vec::new(); kb.types.len()];
+        for e in &kb.entities {
+            for &t in &e.types {
+                entities_by_type[t.idx()].push(e.id);
+            }
+        }
+        let mut neighbors = vec![Vec::new(); n];
+        for &(a, b, r) in &kb.edges {
+            neighbors[a.idx()].push((b, r));
+            neighbors[b.idx()].push((a, r));
+        }
+        Self { kb, vocab, ambiguous_aliases, canonical_alias, entities_by_type, neighbors }
+    }
+
+    /// The entity's unambiguous canonical alias.
+    pub fn canonical(&self, e: EntityId) -> AliasId {
+        self.canonical_alias[e.idx()]
+    }
+
+    /// The entity's ambiguous aliases.
+    pub fn ambiguous(&self, e: EntityId) -> &[AliasId] {
+        &self.ambiguous_aliases[e.idx()]
+    }
+
+    /// KG neighbors of an entity.
+    pub fn neighbors(&self, e: EntityId) -> &[(EntityId, RelationId)] {
+        &self.neighbors[e.idx()]
+    }
+
+    /// Entities carrying a given type.
+    pub fn with_type(&self, t: TypeId) -> &[EntityId] {
+        &self.entities_by_type[t.idx()]
+    }
+
+    /// A type of `gold` that no other candidate of `alias` carries.
+    pub fn distinctive_type(&self, gold: EntityId, alias: AliasId) -> Option<TypeId> {
+        let others: Vec<EntityId> = self
+            .kb
+            .alias(alias)
+            .candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != gold)
+            .collect();
+        self.kb
+            .entity(gold)
+            .types
+            .iter()
+            .copied()
+            .find(|t| !others.iter().any(|&o| self.kb.entity(o).types.contains(t)))
+    }
+
+    /// An ambiguous alias of `gold` under which one of `gold`'s types is
+    /// distinctive, together with that type.
+    pub fn alias_with_distinctive_type(
+        &self,
+        gold: EntityId,
+        rng: &mut StdRng,
+    ) -> Option<(AliasId, TypeId)> {
+        let mut aliases = self.ambiguous(gold).to_vec();
+        aliases.shuffle(rng);
+        for a in aliases {
+            if let Some(t) = self.distinctive_type(gold, a) {
+                return Some((a, t));
+            }
+        }
+        None
+    }
+
+    /// An ambiguous alias of `gold` under which `gold` is the *only*
+    /// candidate connected to `other` in the KG.
+    pub fn alias_with_distinctive_edge(
+        &self,
+        gold: EntityId,
+        other: EntityId,
+        rng: &mut StdRng,
+    ) -> Option<AliasId> {
+        let mut aliases = self.ambiguous(gold).to_vec();
+        aliases.shuffle(rng);
+        for a in aliases {
+            let unique = self
+                .kb
+                .alias(a)
+                .candidates
+                .iter()
+                .all(|&c| c == gold || self.kb.connected(c, other).is_none());
+            if unique {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+/// Pushes a single-token alias mention and returns its record.
+fn alias_mention(
+    ctx: &TemplateCtx,
+    tokens: &mut Vec<u32>,
+    alias: AliasId,
+    gold: EntityId,
+    label: LabelKind,
+) -> Mention {
+    let pos = tokens.len();
+    tokens.push(ctx.vocab.id(&ctx.kb.alias(alias).surface));
+    Mention {
+        start: pos,
+        last: pos,
+        alias: Some(alias),
+        gold,
+        candidates: ctx.kb.alias(alias).candidates.clone(),
+        label,
+    }
+}
+
+fn noise_token(ctx: &TemplateCtx, rng: &mut StdRng) -> u32 {
+    ctx.vocab.id(&format!("w{}", rng.gen_range(0..NOISE_TOKENS)))
+}
+
+fn fw(ctx: &TemplateCtx, w: &str) -> u32 {
+    ctx.vocab.id(w)
+}
+
+/// Generates one sentence of the requested pattern whose primary mention's
+/// gold entity is `primary`. Falls back to the memorization template when the
+/// primary lacks the structure the pattern needs (no types, no edges, …);
+/// the returned [`Sentence::pattern`] reports what was actually generated.
+pub fn generate_sentence(
+    ctx: &TemplateCtx,
+    rng: &mut StdRng,
+    pattern: Pattern,
+    primary: EntityId,
+    allowed: &dyn Fn(EntityId) -> bool,
+    page: EntityId,
+) -> Sentence {
+    let mut s = match pattern {
+        Pattern::Memorization => memorization(ctx, rng, primary, page),
+        Pattern::Affordance => {
+            affordance(ctx, rng, primary, page).unwrap_or_else(|| memorization(ctx, rng, primary, page))
+        }
+        Pattern::KgRelation => kg_relation(ctx, rng, primary, allowed, page)
+            .unwrap_or_else(|| memorization(ctx, rng, primary, page)),
+        Pattern::Consistency => consistency(ctx, rng, primary, allowed, page)
+            .unwrap_or_else(|| memorization(ctx, rng, primary, page)),
+    };
+    augment(ctx, rng, &mut s, primary, allowed);
+    s
+}
+
+/// Adds secondary signals to a sentence, mirroring real text where entity
+/// cues, affordance keywords, and related entities co-occur redundantly.
+/// Each augmentation fires independently with a modest probability so single
+/// patterns still dominate, but ablated models are never fully blind.
+fn augment(
+    ctx: &TemplateCtx,
+    rng: &mut StdRng,
+    s: &mut Sentence,
+    primary: EntityId,
+    allowed: &dyn Fn(EntityId) -> bool,
+) {
+    // Entity cue token (sampled, not fixed — see `memorization`).
+    if rng.gen_bool(0.30) {
+        if let Some(cue) = ctx.kb.entity(primary).cue_tokens.choose(rng) {
+            s.tokens.push(ctx.vocab.id(cue));
+        }
+    }
+    // Affordance keyword of one of the primary's types.
+    if rng.gen_bool(0.30) {
+        if let Some(&t) = {
+            let ts = &ctx.kb.entity(primary).types;
+            ts.first()
+        } {
+            if let Some(a) = ctx.kb.type_info(t).affordance_tokens.first() {
+                s.tokens.push(ctx.vocab.id(a));
+            }
+        }
+    }
+    // A KG neighbor mention plus the relation's cue word.
+    if rng.gen_bool(0.30) {
+        let nbrs = ctx.neighbors(primary);
+        if !nbrs.is_empty() {
+            let (other, rel) = nbrs[rng.gen_range(0..nbrs.len())];
+            if allowed(other) {
+                let cues = &ctx.kb.relation_info(rel).cue_tokens;
+                s.tokens.push(ctx.vocab.id(cues.choose(rng).expect("relation has cues")));
+                let m = alias_mention(ctx, &mut s.tokens, ctx.canonical(other), other, LabelKind::Anchor);
+                s.mentions.push(m);
+            }
+        }
+    }
+}
+
+/// "the ALIAS cue₁ cue₂ …" — disambiguation requires having memorized the
+/// gold entity's own textual cues.
+fn memorization(ctx: &TemplateCtx, rng: &mut StdRng, gold: EntityId, page: EntityId) -> Sentence {
+    let alias = ctx
+        .ambiguous(gold)
+        .choose(rng)
+        .copied()
+        .unwrap_or_else(|| ctx.canonical(gold));
+    let mut tokens = vec![fw(ctx, "the")];
+    let mentions = vec![alias_mention(ctx, &mut tokens, alias, gold, LabelKind::Anchor)];
+    // Sample a subset of the entity's cues — real text varies its wording,
+    // so a tail entity seen a handful of times shows each cue rarely and
+    // pure memorization stays hard (the paper's Figure 1 premise).
+    let cues = &ctx.kb.entity(gold).cue_tokens;
+    let n_cues = rng.gen_range(1..=2.min(cues.len().max(1)));
+    for cue in cues.choose_multiple(rng, n_cues) {
+        tokens.push(ctx.vocab.id(cue));
+    }
+    // Event entities also surface their year (numerical signal).
+    if let Some(y) = ctx.kb.entity(gold).year {
+        tokens.push(ctx.vocab.id(&format!("y{y}")));
+    }
+    tokens.push(noise_token(ctx, rng));
+    Sentence { tokens, mentions, page, pattern: Pattern::Memorization }
+}
+
+/// "affₜ affₜ the ALIAS …" — keywords afforded by a type only the gold
+/// candidate carries ("He ordered a Manhattan").
+fn affordance(ctx: &TemplateCtx, rng: &mut StdRng, gold: EntityId, page: EntityId) -> Option<Sentence> {
+    let (alias, t) = ctx.alias_with_distinctive_type(gold, rng)?;
+    let info = ctx.kb.type_info(t);
+    let mut tokens = Vec::with_capacity(8);
+    let n_aff = rng.gen_range(1..=2.min(info.affordance_tokens.len()));
+    for a in info.affordance_tokens.choose_multiple(rng, n_aff) {
+        tokens.push(ctx.vocab.id(a));
+    }
+    tokens.push(fw(ctx, "the"));
+    let mentions = vec![alias_mention(ctx, &mut tokens, alias, gold, LabelKind::Anchor)];
+    tokens.push(noise_token(ctx, rng));
+    Some(Sentence { tokens, mentions, page, pattern: Pattern::Affordance })
+}
+
+/// "the ALIAS_a rc ALIAS_b" — the gold candidates are connected in the KG and
+/// the relation's cue word appears ("Where is Lincoln in Logan County?").
+fn kg_relation(
+    ctx: &TemplateCtx,
+    rng: &mut StdRng,
+    gold: EntityId,
+    allowed: &dyn Fn(EntityId) -> bool,
+    page: EntityId,
+) -> Option<Sentence> {
+    let nbrs = ctx.neighbors(gold);
+    if nbrs.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..nbrs.len()).collect();
+    order.shuffle(rng);
+    for i in order {
+        let (other, rel) = nbrs[i];
+        if !allowed(other) {
+            continue;
+        }
+        let Some(alias_a) = ctx.alias_with_distinctive_edge(gold, other, rng) else { continue };
+        // 30% of the time the partner is ambiguous too (collective
+        // resolution); otherwise it is an unambiguous anchor.
+        let alias_b = if rng.gen_bool(0.3) {
+            ctx.alias_with_distinctive_edge(other, gold, rng).unwrap_or_else(|| ctx.canonical(other))
+        } else {
+            ctx.canonical(other)
+        };
+        let mut tokens = vec![fw(ctx, "the")];
+        let mut mentions = Vec::new();
+        mentions.push(alias_mention(ctx, &mut tokens, alias_a, gold, LabelKind::Anchor));
+        let cues = &ctx.kb.relation_info(rel).cue_tokens;
+        tokens.push(ctx.vocab.id(cues.choose(rng).expect("relation has cues")));
+        mentions.push(alias_mention(ctx, &mut tokens, alias_b, other, LabelKind::Anchor));
+        tokens.push(noise_token(ctx, rng));
+        return Some(Sentence { tokens, mentions, page, pattern: Pattern::KgRelation });
+    }
+    None
+}
+
+/// "ANCHOR and ALIAS₂ and ALIAS₃" — a list of same-type entities; the anchor
+/// is unambiguous and the rest are resolvable through type consistency
+/// ("Is a Lincoln or Ford more expensive?").
+fn consistency(
+    ctx: &TemplateCtx,
+    rng: &mut StdRng,
+    gold: EntityId,
+    allowed: &dyn Fn(EntityId) -> bool,
+    page: EntityId,
+) -> Option<Sentence> {
+    let types = &ctx.kb.entity(gold).types;
+    if types.is_empty() {
+        return None;
+    }
+    let t = *types.choose(rng).expect("nonempty");
+    // Pick two other same-type entities that are type-distinctive under one
+    // of their ambiguous aliases.
+    let pool = ctx.with_type(t);
+    if pool.len() < 3 {
+        return None;
+    }
+    let mut others: Vec<(EntityId, AliasId)> = Vec::new();
+    let mut tries = 0;
+    while others.len() < 2 && tries < 30 {
+        tries += 1;
+        let cand = pool[rng.gen_range(0..pool.len())];
+        if cand == gold || !allowed(cand) || others.iter().any(|&(e, _)| e == cand) {
+            continue;
+        }
+        let Some((alias, dt)) = ctx.alias_with_distinctive_type(cand, rng) else { continue };
+        if dt == t {
+            others.push((cand, alias));
+        }
+    }
+    if others.len() < 2 {
+        return None;
+    }
+    let conj = if rng.gen_bool(0.5) { "and" } else { "or" };
+    let mut tokens = Vec::with_capacity(8);
+    let mut mentions = Vec::new();
+    // The primary is the list's unambiguous anchor.
+    mentions.push(alias_mention(ctx, &mut tokens, ctx.canonical(gold), gold, LabelKind::Anchor));
+    for (e, alias) in others {
+        tokens.push(fw(ctx, conj));
+        mentions.push(alias_mention(ctx, &mut tokens, alias, e, LabelKind::Anchor));
+    }
+    Some(Sentence { tokens, mentions, page, pattern: Pattern::Consistency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+    use rand::SeedableRng;
+
+    fn setup() -> (bootleg_kb::KnowledgeBase, Vocab) {
+        let kb = gen_kb(&KbConfig { n_entities: 800, seed: 11, ..KbConfig::default() });
+        let vocab = Vocab::build(&kb);
+        (kb, vocab)
+    }
+
+    #[test]
+    fn memorization_contains_gold_cues() {
+        let (kb, vocab) = setup();
+        let ctx = TemplateCtx::new(&kb, &vocab);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = memorization(&ctx, &mut rng, EntityId(5), EntityId(5));
+        assert_eq!(s.pattern, Pattern::Memorization);
+        let gold = kb.entity(EntityId(5));
+        let n_present = gold
+            .cue_tokens
+            .iter()
+            .filter(|cue| s.tokens.contains(&vocab.id(cue)))
+            .count();
+        assert!(n_present >= 1, "at least one sampled cue must appear");
+        assert_eq!(s.mentions[0].gold, EntityId(5));
+    }
+
+    #[test]
+    fn affordance_signal_is_distinctive() {
+        let (kb, vocab) = setup();
+        let ctx = TemplateCtx::new(&kb, &vocab);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut found = 0;
+        for i in 0..200u32 {
+            if let Some(s) = affordance(&ctx, &mut rng, EntityId(i), EntityId(i)) {
+                found += 1;
+                let m = &s.mentions[0];
+                assert!(m.evaluable(), "affordance mentions must be ambiguous");
+                // The distinctive type's affordance token appears and no
+                // other candidate carries that type.
+                let alias = m.alias.expect("alias mention");
+                let t = ctx.distinctive_type(m.gold, alias);
+                assert!(t.is_some());
+            }
+        }
+        assert!(found > 50, "affordance should usually be generatable, got {found}");
+    }
+
+    #[test]
+    fn kg_relation_golds_are_connected() {
+        let (kb, vocab) = setup();
+        let ctx = TemplateCtx::new(&kb, &vocab);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut found = 0;
+        for i in 0..400u32 {
+            if let Some(s) = kg_relation(&ctx, &mut rng, EntityId(i), &|_| true, EntityId(i)) {
+                found += 1;
+                assert_eq!(s.mentions.len(), 2);
+                assert!(kb.connected(s.mentions[0].gold, s.mentions[1].gold).is_some());
+            }
+        }
+        assert!(found > 30, "kg pattern should be generatable, got {found}");
+    }
+
+    #[test]
+    fn consistency_members_share_type() {
+        let (kb, vocab) = setup();
+        let ctx = TemplateCtx::new(&kb, &vocab);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut found = 0;
+        for i in 0..400u32 {
+            if let Some(s) = consistency(&ctx, &mut rng, EntityId(i), &|_| true, EntityId(i)) {
+                found += 1;
+                assert_eq!(s.mentions.len(), 3);
+                for w in s.mentions.windows(2) {
+                    assert!(
+                        kb.share_type(w[0].gold, w[1].gold),
+                        "list members must share a type"
+                    );
+                }
+            }
+        }
+        assert!(found > 30, "consistency should be generatable, got {found}");
+    }
+
+    #[test]
+    fn generate_sentence_always_returns() {
+        let (kb, vocab) = setup();
+        let ctx = TemplateCtx::new(&kb, &vocab);
+        let mut rng = StdRng::seed_from_u64(4);
+        for pattern in Pattern::ALL {
+            for i in (0..800u32).step_by(97) {
+                let s = generate_sentence(&ctx, &mut rng, pattern, EntityId(i), &|_| true, EntityId(i));
+                assert!(!s.tokens.is_empty());
+                assert!(!s.mentions.is_empty());
+                for m in &s.mentions {
+                    assert!(m.gold_index().is_some(), "gold always in candidates");
+                    assert!(m.last < s.tokens.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mentions_token_matches_alias_surface() {
+        let (kb, vocab) = setup();
+        let ctx = TemplateCtx::new(&kb, &vocab);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = generate_sentence(&ctx, &mut rng, Pattern::Affordance, EntityId(3), &|_| true, EntityId(3));
+        for m in &s.mentions {
+            if let Some(a) = m.alias {
+                assert_eq!(s.tokens[m.start], vocab.id(&kb.alias(a).surface));
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Token vocabulary shared by the corpus, the models, and candidate
+//! generation.
+
+use bootleg_kb::KnowledgeBase;
+use std::collections::HashMap;
+
+/// Function words available to sentence templates.
+pub const FUNCTION_WORDS: [&str; 22] = [
+    "the", "a", "is", "was", "in", "of", "and", "or", "he", "she", "with", "at", "for", "near",
+    "famous", "new", "old", "today", "first", "last", "its", "their",
+];
+
+/// Number of generic noise tokens (`w0`, `w1`, …).
+pub const NOISE_TOKENS: usize = 200;
+
+/// Special separator token used when flattening documents (AIDA-style
+/// title ⧺ SEP ⧺ sentence, §4.2).
+pub const SEP: &str = "[sep]";
+
+/// Unknown-token fallback.
+pub const UNK: &str = "[unk]";
+
+/// A bidirectional string ↔ id token map.
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    map: HashMap<String, u32>,
+    words: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds the full vocabulary for a knowledge base: special tokens,
+    /// function words, noise tokens, and every KB-derived token (alias
+    /// surfaces, entity cues and titles, type affordances, relation cues).
+    pub fn build(kb: &KnowledgeBase) -> Self {
+        let mut v = Vocab { map: HashMap::new(), words: Vec::new() };
+        v.intern(UNK);
+        v.intern(SEP);
+        for w in FUNCTION_WORDS {
+            v.intern(w);
+        }
+        for i in 0..NOISE_TOKENS {
+            v.intern(&format!("w{i}"));
+        }
+        for t in &kb.types {
+            for a in &t.affordance_tokens {
+                v.intern(a);
+            }
+        }
+        for r in &kb.relations {
+            for c in &r.cue_tokens {
+                v.intern(c);
+            }
+        }
+        for a in &kb.aliases {
+            v.intern(&a.surface);
+        }
+        for e in &kb.entities {
+            for c in &e.cue_tokens {
+                v.intern(c);
+            }
+            for t in &e.title_tokens {
+                v.intern(t);
+            }
+        }
+        v
+    }
+
+    /// Interns a token, returning its id.
+    pub fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.map.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.map.insert(word.to_string(), id);
+        self.words.push(word.to_string());
+        id
+    }
+
+    /// The id of a token, or the UNK id if absent.
+    pub fn id(&self, word: &str) -> u32 {
+        self.map.get(word).copied().unwrap_or(0)
+    }
+
+    /// `true` if the exact token is known.
+    pub fn contains(&self, word: &str) -> bool {
+        self.map.contains_key(word)
+    }
+
+    /// The surface string of a token id.
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` if empty (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Encodes a whitespace-free token sequence.
+    pub fn encode(&self, words: &[&str]) -> Vec<u32> {
+        words.iter().map(|w| self.id(w)).collect()
+    }
+
+    /// Decodes ids back to a readable string (diagnostics).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        ids.iter().map(|&i| self.word(i)).collect::<Vec<_>>().join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_kb::{generate, KbConfig};
+
+    #[test]
+    fn build_covers_kb_tokens() {
+        let kb = generate(&KbConfig { n_entities: 100, seed: 2, ..KbConfig::default() });
+        let v = Vocab::build(&kb);
+        assert!(v.contains("the"));
+        assert!(v.contains("w0"));
+        assert!(v.contains("ent0"));
+        for a in &kb.aliases {
+            assert!(v.contains(&a.surface), "alias {} missing", a.surface);
+        }
+        for e in &kb.entities {
+            for c in &e.cue_tokens {
+                assert!(v.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn unk_is_zero_and_returned_for_unknown() {
+        let kb = generate(&KbConfig { n_entities: 10, seed: 2, ..KbConfig::default() });
+        let v = Vocab::build(&kb);
+        assert_eq!(v.id(UNK), 0);
+        assert_eq!(v.id("definitely-not-a-token"), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let kb = generate(&KbConfig { n_entities: 10, seed: 2, ..KbConfig::default() });
+        let v = Vocab::build(&kb);
+        let ids = v.encode(&["the", "ent3", "and"]);
+        assert_eq!(v.decode(&ids), "the ent3 and");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let kb = generate(&KbConfig { n_entities: 10, seed: 2, ..KbConfig::default() });
+        let mut v = Vocab::build(&kb);
+        let before = v.len();
+        let a = v.intern("the");
+        assert_eq!(v.len(), before);
+        assert_eq!(a, v.id("the"));
+    }
+}

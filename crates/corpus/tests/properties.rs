@@ -1,0 +1,98 @@
+//! Property-based tests over corpus generation and weak labeling.
+
+use bootleg_corpus::{generate_corpus, weaklabel, CorpusConfig, LabelKind};
+use bootleg_kb::{generate as gen_kb, KbConfig};
+use proptest::prelude::*;
+
+fn configs() -> impl Strategy<Value = (KbConfig, CorpusConfig)> {
+    (150usize..500, 30usize..120, 0u64..500).prop_map(|(n_entities, n_pages, seed)| {
+        (
+            KbConfig { n_entities, seed, ..KbConfig::default() },
+            CorpusConfig { n_pages, seed: seed ^ 7, ..CorpusConfig::default() },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn corpus_invariants((kb_cfg, corpus_cfg) in configs()) {
+        let kb = gen_kb(&kb_cfg);
+        let c = generate_corpus(&kb, &corpus_cfg);
+
+        for split in [&c.train, &c.dev, &c.test] {
+            for s in split.iter() {
+                prop_assert!(!s.tokens.is_empty());
+                prop_assert!(!s.mentions.is_empty());
+                for m in &s.mentions {
+                    // Spans are in bounds and ordered.
+                    prop_assert!(m.start <= m.last);
+                    prop_assert!(m.last < s.tokens.len());
+                    // Gold is always among the candidates.
+                    prop_assert!(m.gold_index().is_some());
+                    // Alias mentions surface the alias token.
+                    if let Some(a) = m.alias {
+                        prop_assert_eq!(
+                            s.tokens[m.start],
+                            c.vocab.id(&kb.alias(a).surface)
+                        );
+                    }
+                    // Candidate ids are valid.
+                    for &cand in &m.candidates {
+                        prop_assert!(cand.idx() < kb.num_entities());
+                    }
+                }
+            }
+        }
+
+        // Held-out entities never appear as labeled train golds.
+        for s in &c.train {
+            for m in s.mentions.iter().filter(|m| m.label != LabelKind::Unlabeled) {
+                prop_assert!(!c.heldout.contains(&m.gold));
+            }
+        }
+    }
+
+    #[test]
+    fn weak_labeling_invariants((kb_cfg, corpus_cfg) in configs()) {
+        let kb = gen_kb(&kb_cfg);
+        let mut c = generate_corpus(&kb, &corpus_cfg);
+        let anchors_before: usize = c
+            .train
+            .iter()
+            .flat_map(|s| s.mentions.iter())
+            .filter(|m| m.label == LabelKind::Anchor)
+            .count();
+        let vocab = c.vocab.clone();
+        let stats = weaklabel::apply(&kb, &vocab, &mut c.train);
+
+        // Anchors are never touched.
+        let anchors_after: usize = c
+            .train
+            .iter()
+            .flat_map(|s| s.mentions.iter())
+            .filter(|m| m.label == LabelKind::Anchor)
+            .count();
+        prop_assert_eq!(anchors_before, anchors_after);
+        prop_assert_eq!(stats.anchors, anchors_after);
+
+        // Every weak label points at its page entity, and remains within
+        // its candidate list.
+        for s in &c.train {
+            for m in s.mentions.iter().filter(|m| m.label == LabelKind::Weak) {
+                prop_assert_eq!(m.gold, s.page, "weak labels assign the page entity");
+                prop_assert!(m.candidates.contains(&m.gold));
+            }
+        }
+
+        // Accounting adds up.
+        let weak_count: usize = c
+            .train
+            .iter()
+            .flat_map(|s| s.mentions.iter())
+            .filter(|m| m.label == LabelKind::Weak)
+            .count();
+        prop_assert_eq!(weak_count, stats.total_weak());
+    }
+}

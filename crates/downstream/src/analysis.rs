@@ -1,0 +1,158 @@
+//! Signal-slice analysis of the downstream task (Tables 12–13) and the
+//! Table 4 qualitative wins.
+
+use crate::dataset::ReExample;
+use bootleg_kb::KnowledgeBase;
+
+/// Per-example Bootleg-signal proportions (Table 12's three rankings).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SignalProportions {
+    /// Proportion of words Bootleg disambiguates as an entity.
+    pub entity: f64,
+    /// Proportion of words whose embedding leverages Wikidata relations.
+    pub relation: f64,
+    /// Proportion of words whose embedding leverages Wikidata types.
+    pub types: f64,
+}
+
+/// Computes the signal proportions for one example, given the entities
+/// Bootleg predicted for the subject and object mentions.
+pub fn signal_proportions(
+    kb: &KnowledgeBase,
+    ex: &ReExample,
+    predicted: (bootleg_kb::EntityId, bootleg_kb::EntityId),
+) -> SignalProportions {
+    let n = ex.tokens.len().max(1) as f64;
+    let ents = [predicted.0, predicted.1];
+    let entity = ents.len() as f64 / n;
+    let relation =
+        ents.iter().filter(|&&e| !kb.entity(e).relations.is_empty()).count() as f64 / n;
+    let types = ents.iter().filter(|&&e| !kb.entity(e).types.is_empty()).count() as f64 / n;
+    SignalProportions { entity, relation, types }
+}
+
+/// One example's outcome under the baseline and the Bootleg model.
+#[derive(Clone, Copy, Debug)]
+pub struct PairedOutcome {
+    /// Signal proportions.
+    pub signals: SignalProportions,
+    /// Baseline (SpanBERT-analog) got it wrong.
+    pub base_err: bool,
+    /// Bootleg model got it wrong.
+    pub boot_err: bool,
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    if values.is_empty() {
+        return 0.0;
+    }
+    values[values.len() / 2]
+}
+
+fn err_rate(outcomes: &[&PairedOutcome], f: impl Fn(&PairedOutcome) -> bool) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|o| f(o)).count() as f64 / outcomes.len() as f64
+}
+
+/// Table 12: for one signal ranking, the gap between baseline and Bootleg
+/// error rates above vs below the median proportion. Returns
+/// `(n_examples_with_signal, gap_above_over_below)`.
+pub fn table12_gap(
+    outcomes: &[PairedOutcome],
+    select: impl Fn(&SignalProportions) -> f64,
+) -> (usize, f64) {
+    let with_signal: Vec<&PairedOutcome> =
+        outcomes.iter().filter(|o| select(&o.signals) > 0.0).collect();
+    let med = median(with_signal.iter().map(|o| select(&o.signals)).collect());
+    let above: Vec<&PairedOutcome> =
+        with_signal.iter().copied().filter(|o| select(&o.signals) >= med).collect();
+    let below: Vec<&PairedOutcome> =
+        with_signal.iter().copied().filter(|o| select(&o.signals) < med).collect();
+    if above.is_empty() || below.is_empty() {
+        return (with_signal.len(), 1.0);
+    }
+    let ratio = |set: &[&PairedOutcome]| {
+        let base = err_rate(set, |o| o.base_err);
+        let boot = err_rate(set, |o| o.boot_err).max(1e-6);
+        base / boot
+    };
+    let above_ratio = ratio(&above);
+    let below_ratio = ratio(&below).max(1e-6);
+    (with_signal.len(), above_ratio / below_ratio)
+}
+
+/// Table 13: error-rate ratio (baseline / Bootleg) on the slice where the
+/// subject/object carry the signal. Returns `(n_examples, ratio)`.
+pub fn table13_ratio(
+    outcomes: &[PairedOutcome],
+    has_signal: impl Fn(&SignalProportions) -> bool,
+) -> (usize, f64) {
+    let slice: Vec<&PairedOutcome> = outcomes.iter().filter(|o| has_signal(&o.signals)).collect();
+    let base = err_rate(&slice, |o| o.base_err);
+    let boot = err_rate(&slice, |o| o.boot_err).max(1e-6);
+    (slice.len(), base / boot)
+}
+
+/// Indexes of Table-4-style qualitative wins: Bootleg correct, baseline
+/// wrong.
+pub fn qualitative_wins(outcomes: &[PairedOutcome]) -> Vec<usize> {
+    outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.base_err && !o.boot_err)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(sig: f64, base_err: bool, boot_err: bool) -> PairedOutcome {
+        PairedOutcome {
+            signals: SignalProportions { entity: sig, relation: sig, types: sig },
+            base_err,
+            boot_err,
+        }
+    }
+
+    #[test]
+    fn gap_larger_when_bootleg_wins_on_high_signal() {
+        // High-signal examples: baseline errs, bootleg does not.
+        // Low-signal: both err equally.
+        let mut outcomes = Vec::new();
+        for _ in 0..20 {
+            outcomes.push(outcome(0.9, true, false));
+            outcomes.push(outcome(0.1, true, true));
+        }
+        let (n, gap) = table12_gap(&outcomes, |s| s.entity);
+        assert_eq!(n, 40);
+        assert!(gap > 1.0, "gap {gap}");
+    }
+
+    #[test]
+    fn table13_ratio_reflects_error_rates() {
+        let outcomes: Vec<PairedOutcome> =
+            (0..10).map(|i| outcome(1.0, true, i % 2 == 0)).collect();
+        let (n, ratio) = table13_ratio(&outcomes, |s| s.entity > 0.0);
+        assert_eq!(n, 10);
+        // base err 100%, boot err 50% → ratio 2.
+        assert!((ratio - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qualitative_wins_selects_strict_wins() {
+        let outcomes =
+            vec![outcome(1.0, true, false), outcome(1.0, false, false), outcome(1.0, true, true)];
+        assert_eq!(qualitative_wins(&outcomes), vec![0]);
+    }
+
+    #[test]
+    fn median_of_empty_is_zero() {
+        let (n, _) = table12_gap(&[], |s| s.entity);
+        assert_eq!(n, 0);
+    }
+}

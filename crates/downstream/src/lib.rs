@@ -1,0 +1,26 @@
+//! # bootleg-downstream
+//!
+//! The downstream-transfer evaluations of §4.3:
+//!
+//! * **TACRED-analog relation extraction** ([`dataset`], [`re_model`]) — a
+//!   synthetic RE task whose gold relation is the KG edge between the gold
+//!   entities of the subject and object mentions, deliberately built so that
+//!   the *text alone* is ambiguous on half the examples (a generic connector
+//!   replaces the relation cue). Three model configurations mirror Table 3:
+//!   SpanBERT-analog (text only), KnowBERT-analog (text + *static* entity
+//!   embeddings of the prior candidate), and the Bootleg model (text +
+//!   *contextual* Bootleg entity representations).
+//! * **Industry / Overton task** ([`industry`]) — a candidate-scoring system
+//!   (with and without frozen Bootleg representations) over four "language"
+//!   domains, reporting relative F1 as in Table 5.
+//! * **Signal-slice analysis** ([`analysis`]) — the Tables 12–13 error-rate
+//!   comparisons by the amount of Bootleg signal in each example, and the
+//!   Table 4 qualitative wins.
+
+pub mod analysis;
+pub mod dataset;
+pub mod industry;
+pub mod re_model;
+
+pub use dataset::{generate_re_dataset, ReConfig, ReDataset, ReExample};
+pub use re_model::{train_re, EntityFeatures, ReClassifier, ReTrainConfig};

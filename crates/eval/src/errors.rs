@@ -1,0 +1,169 @@
+//! Error analysis (§5 / Table 8): classify a model's mistakes into the four
+//! buckets the paper identifies — granularity, numerical, multi-hop, and
+//! missed exact matches.
+
+use bootleg_core::Example;
+use bootleg_corpus::{Sentence, Vocab};
+use bootleg_kb::{EntityId, KnowledgeBase};
+
+/// One misclassified mention with its diagnosis.
+#[derive(Clone, Debug)]
+pub struct ErrorCase {
+    /// The gold entity.
+    pub gold: EntityId,
+    /// The predicted entity.
+    pub predicted: EntityId,
+    /// The sentence tokens (for qualitative display).
+    pub tokens: Vec<u32>,
+    /// Bucket memberships (an error can be in several).
+    pub granularity: bool,
+    /// Gold title carries a year.
+    pub numerical: bool,
+    /// Golds only 2-hop connected.
+    pub multi_hop: bool,
+    /// The mention surface is an exact match of the gold title.
+    pub exact_match: bool,
+}
+
+/// Aggregated §5 error-bucket counts.
+#[derive(Clone, Debug, Default)]
+pub struct ErrorBuckets {
+    /// All errors observed.
+    pub total_errors: usize,
+    /// All evaluated mentions.
+    pub total_mentions: usize,
+    /// Errors where predicted is a KG parent/child of gold (too
+    /// general/specific).
+    pub granularity: usize,
+    /// Errors whose gold entity title contains a year.
+    pub numerical: usize,
+    /// Errors where the sentence's golds are only two-hop connected.
+    pub multi_hop: usize,
+    /// Errors where the mention surface exactly matches the gold title.
+    pub exact_match: usize,
+    /// A few concrete cases for qualitative display (Table 8).
+    pub samples: Vec<ErrorCase>,
+}
+
+impl ErrorBuckets {
+    /// Fraction of errors in a bucket.
+    pub fn frac(&self, bucket: usize) -> f64 {
+        bucket as f64 / self.total_errors.max(1) as f64
+    }
+}
+
+/// Runs a predictor over `sentences` and buckets its errors.
+pub fn error_analysis(
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+    sentences: &[Sentence],
+    mut predict: impl FnMut(&Example) -> Vec<usize>,
+    max_samples: usize,
+) -> ErrorBuckets {
+    let mut out = ErrorBuckets::default();
+    for s in sentences {
+        let Some(ex) = Example::evaluation(s) else { continue };
+        let preds = predict(&ex);
+        let golds: Vec<EntityId> =
+            ex.mentions.iter().map(|m| m.candidates[m.gold.expect("gold") as usize]).collect();
+        for (mi, (m, &p)) in ex.mentions.iter().zip(&preds).enumerate() {
+            out.total_mentions += 1;
+            let gi = m.gold.expect("gold") as usize;
+            if p == gi {
+                continue;
+            }
+            out.total_errors += 1;
+            let gold = m.candidates[gi];
+            let predicted = m.candidates[p];
+
+            let granularity = kb.is_granularity_pair(predicted, gold);
+            let numerical = kb.entity(gold).year.is_some();
+            // Multi-hop: this gold is not directly connected to any other
+            // gold in the sentence, but is two-hop connected to one.
+            let others: Vec<EntityId> = golds
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != mi)
+                .map(|(_, &g)| g)
+                .collect();
+            let direct = others.iter().any(|&o| kb.connected(gold, o).is_some());
+            let multi_hop = !direct && others.iter().any(|&o| kb.two_hop_connected(gold, o));
+            // Exact match: the mention's surface token equals the gold's
+            // canonical title token.
+            let surface = vocab.word(ex.tokens[m.first]);
+            let exact_match = kb.entity(gold).title_tokens.iter().any(|t| t == surface);
+
+            out.granularity += usize::from(granularity);
+            out.numerical += usize::from(numerical);
+            out.multi_hop += usize::from(multi_hop);
+            out.exact_match += usize::from(exact_match);
+            if out.samples.len() < max_samples
+                && (granularity || numerical || multi_hop || exact_match)
+            {
+                out.samples.push(ErrorCase {
+                    gold,
+                    predicted,
+                    tokens: ex.tokens.clone(),
+                    granularity,
+                    numerical,
+                    multi_hop,
+                    exact_match,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    #[test]
+    fn buckets_populate_under_a_bad_predictor() {
+        let kb = gen_kb(&KbConfig { n_entities: 800, seed: 95, ..KbConfig::default() });
+        let c = generate_corpus(
+            &kb,
+            &CorpusConfig { n_pages: 250, seed: 95, ..CorpusConfig::default() },
+        );
+        // Worst-case predictor: always pick the last candidate.
+        let buckets = error_analysis(
+            &kb,
+            &c.vocab,
+            &c.dev,
+            |ex| ex.mentions.iter().map(|m| m.candidates.len() - 1).collect(),
+            5,
+        );
+        assert!(buckets.total_errors > 20);
+        assert!(buckets.total_mentions >= buckets.total_errors);
+        // Numerical errors must exist (event entities carry years).
+        assert!(buckets.numerical > 0, "no numerical-bucket errors found");
+        assert!(buckets.samples.len() <= 5);
+    }
+
+    #[test]
+    fn perfect_predictor_has_no_errors() {
+        let kb = gen_kb(&KbConfig { n_entities: 300, seed: 96, ..KbConfig::default() });
+        let c = generate_corpus(
+            &kb,
+            &CorpusConfig { n_pages: 60, seed: 96, ..CorpusConfig::default() },
+        );
+        let buckets = error_analysis(
+            &kb,
+            &c.vocab,
+            &c.dev,
+            |ex| ex.mentions.iter().map(|m| m.gold.expect("gold") as usize).collect(),
+            5,
+        );
+        assert_eq!(buckets.total_errors, 0);
+        assert!(buckets.total_mentions > 0);
+    }
+
+    #[test]
+    fn fractions_bounded() {
+        let b = ErrorBuckets { total_errors: 10, granularity: 3, ..Default::default() };
+        assert!((b.frac(b.granularity) - 0.3).abs() < 1e-9);
+    }
+}

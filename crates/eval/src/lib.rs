@@ -1,0 +1,21 @@
+//! # bootleg-eval
+//!
+//! The evaluation harness of §4.1 and §5: micro-average precision / recall /
+//! F1 over true anchor mentions, the head/torso/tail/unseen popularity
+//! slices, the four reasoning-pattern slices, rare-proportion analysis
+//! (Figure 4), and the four error buckets of the §5 error analysis
+//! (granularity, numerical, multi-hop, exact match).
+//!
+//! All evaluators are closure-driven (`FnMut(&Example) -> Vec<usize>`), so
+//! Bootleg, NED-Base, priors, ablations, and compressed models all evaluate
+//! through one code path.
+
+pub mod errors;
+pub mod metrics;
+pub mod patterns;
+pub mod slices;
+
+pub use errors::{error_analysis, ErrorBuckets};
+pub use metrics::Prf;
+pub use patterns::{pattern_slices, PatternSliceReport};
+pub use slices::{evaluate_slices, SliceReport};

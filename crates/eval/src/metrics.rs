@@ -1,0 +1,92 @@
+//! Micro-average precision / recall / F1 (§4.1 metrics).
+
+/// Micro-averaged precision/recall/F1 counts.
+///
+/// "We report precision and recall using the number of mentions extracted by
+/// Bootleg and the number of mentions defined in the data as denominators,
+/// respectively. The numerator is the number of correctly disambiguated
+/// mentions." With gold mention boundaries the two denominators coincide and
+/// P = R = F1 (accuracy); they differ on the benchmark path where mentions
+/// are extracted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Prf {
+    /// Correctly disambiguated mentions.
+    pub correct: usize,
+    /// Mentions the system extracted/attempted (precision denominator).
+    pub extracted: usize,
+    /// Gold mentions defined in the data (recall denominator).
+    pub gold: usize,
+}
+
+impl Prf {
+    /// A PRF where the system attempted exactly the gold mentions.
+    pub fn closed(correct: usize, total: usize) -> Self {
+        Self { correct, extracted: total, gold: total }
+    }
+
+    /// Merges two counts.
+    pub fn merge(&mut self, other: Prf) {
+        self.correct += other.correct;
+        self.extracted += other.extracted;
+        self.gold += other.gold;
+    }
+
+    /// Micro precision (in percent).
+    pub fn precision(&self) -> f64 {
+        100.0 * self.correct as f64 / self.extracted.max(1) as f64
+    }
+
+    /// Micro recall (in percent).
+    pub fn recall(&self) -> f64 {
+        100.0 * self.correct as f64 / self.gold.max(1) as f64
+    }
+
+    /// Micro F1 (in percent).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_world_p_equals_r_equals_f1() {
+        let m = Prf::closed(80, 100);
+        assert!((m.precision() - 80.0).abs() < 1e-9);
+        assert!((m.recall() - 80.0).abs() < 1e-9);
+        assert!((m.f1() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_world_differs() {
+        // Extracted 50, gold 100, correct 40.
+        let m = Prf { correct: 40, extracted: 50, gold: 100 };
+        assert!((m.precision() - 80.0).abs() < 1e-9);
+        assert!((m.recall() - 40.0).abs() < 1e-9);
+        let f1 = m.f1();
+        assert!(f1 > 40.0 && f1 < 80.0);
+        assert!((f1 - 2.0 * 80.0 * 40.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_zero_not_nan() {
+        let m = Prf::default();
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Prf::closed(1, 2);
+        a.merge(Prf::closed(3, 4));
+        assert_eq!(a, Prf { correct: 4, extracted: 6, gold: 6 });
+    }
+}

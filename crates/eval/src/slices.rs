@@ -1,0 +1,183 @@
+//! Popularity-slice evaluation: All / Head / Torso / Tail / Unseen (§4.1),
+//! plus the Figure-1 F1-vs-occurrence-count curve.
+
+use crate::metrics::Prf;
+use bootleg_core::Example;
+use bootleg_corpus::Sentence;
+use bootleg_kb::stats::PopularitySlice;
+use bootleg_kb::EntityId;
+use std::collections::HashMap;
+
+/// Per-slice evaluation results.
+#[derive(Clone, Debug, Default)]
+pub struct SliceReport {
+    /// All evaluable mentions.
+    pub all: Prf,
+    /// Head (> 1000 occurrences).
+    pub head: Prf,
+    /// Torso (11–1000).
+    pub torso: Prf,
+    /// Tail (1–10).
+    pub tail: Prf,
+    /// Unseen (0).
+    pub unseen: Prf,
+}
+
+impl SliceReport {
+    /// The PRF of a named slice.
+    pub fn of(&self, s: PopularitySlice) -> Prf {
+        match s {
+            PopularitySlice::Head => self.head,
+            PopularitySlice::Torso => self.torso,
+            PopularitySlice::Tail => self.tail,
+            PopularitySlice::Unseen => self.unseen,
+        }
+    }
+
+    fn of_mut(&mut self, s: PopularitySlice) -> &mut Prf {
+        match s {
+            PopularitySlice::Head => &mut self.head,
+            PopularitySlice::Torso => &mut self.torso,
+            PopularitySlice::Tail => &mut self.tail,
+            PopularitySlice::Unseen => &mut self.unseen,
+        }
+    }
+}
+
+/// Evaluates a predictor over `sentences`, slicing by the gold entity's
+/// training occurrence count (`counts` must include weak labels, §4.1).
+/// Only anchor mentions passing the §4.1 filters are scored.
+pub fn evaluate_slices(
+    sentences: &[Sentence],
+    counts: &HashMap<EntityId, u32>,
+    mut predict: impl FnMut(&Example) -> Vec<usize>,
+) -> SliceReport {
+    let mut report = SliceReport::default();
+    for s in sentences {
+        let Some(ex) = Example::evaluation(s) else { continue };
+        let preds = predict(&ex);
+        assert_eq!(preds.len(), ex.mentions.len(), "one prediction per mention");
+        for (m, &p) in ex.mentions.iter().zip(&preds) {
+            let gi = m.gold.expect("evaluation mentions carry gold") as usize;
+            let gold_entity = m.candidates[gi];
+            let slice = PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0));
+            let hit = usize::from(p == gi);
+            report.all.merge(Prf::closed(hit, 1));
+            report.of_mut(slice).merge(Prf::closed(hit, 1));
+        }
+    }
+    report
+}
+
+/// One point of the Figure-1 curve: an occurrence-count bucket and its F1.
+#[derive(Clone, Copy, Debug)]
+pub struct CurvePoint {
+    /// Inclusive lower bound of the occurrence-count bucket.
+    pub lo: u32,
+    /// Inclusive upper bound.
+    pub hi: u32,
+    /// Evaluation counts in the bucket.
+    pub prf: Prf,
+}
+
+/// Default Figure-1 buckets (log-spaced occurrence counts).
+pub const FIG1_BUCKETS: [(u32, u32); 7] =
+    [(0, 0), (1, 3), (4, 10), (11, 30), (31, 100), (101, 1000), (1001, u32::MAX)];
+
+/// Computes the F1-vs-occurrences curve of Figure 1 (right).
+pub fn f1_by_count_bucket(
+    sentences: &[Sentence],
+    counts: &HashMap<EntityId, u32>,
+    mut predict: impl FnMut(&Example) -> Vec<usize>,
+) -> Vec<CurvePoint> {
+    let mut points: Vec<CurvePoint> =
+        FIG1_BUCKETS.iter().map(|&(lo, hi)| CurvePoint { lo, hi, prf: Prf::default() }).collect();
+    for s in sentences {
+        let Some(ex) = Example::evaluation(s) else { continue };
+        let preds = predict(&ex);
+        for (m, &p) in ex.mentions.iter().zip(&preds) {
+            let gi = m.gold.expect("gold") as usize;
+            let c = *counts.get(&m.candidates[gi]).unwrap_or(&0);
+            let hit = usize::from(p == gi);
+            for pt in &mut points {
+                if c >= pt.lo && c <= pt.hi {
+                    pt.prf.merge(Prf::closed(hit, 1));
+                    break;
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{LabelKind, Mention, Pattern};
+
+    fn sentence(gold: u32, cands: &[u32]) -> Sentence {
+        Sentence {
+            tokens: vec![0, 1],
+            mentions: vec![Mention {
+                start: 0,
+                last: 0,
+                alias: None,
+                gold: EntityId(gold),
+                candidates: cands.iter().map(|&c| EntityId(c)).collect(),
+                label: LabelKind::Anchor,
+            }],
+            page: EntityId(0),
+            pattern: Pattern::Affordance,
+        }
+    }
+
+    #[test]
+    fn slicing_by_counts() {
+        let sentences = vec![sentence(1, &[1, 2]), sentence(3, &[3, 4]), sentence(5, &[5, 6])];
+        let counts: HashMap<EntityId, u32> =
+            [(EntityId(1), 2000), (EntityId(3), 5), (EntityId(5), 0)].into_iter().collect();
+        // Predictor: always candidate 0 (correct everywhere here).
+        let report = evaluate_slices(&sentences, &counts, |ex| vec![0; ex.mentions.len()]);
+        assert_eq!(report.all.gold, 3);
+        assert_eq!(report.head.gold, 1);
+        assert_eq!(report.tail.gold, 1);
+        assert_eq!(report.unseen.gold, 1);
+        assert_eq!(report.torso.gold, 0);
+        assert!((report.all.f1() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_predictions_score_zero() {
+        let sentences = vec![sentence(2, &[1, 2])];
+        let counts = HashMap::new();
+        let report = evaluate_slices(&sentences, &counts, |ex| vec![0; ex.mentions.len()]);
+        assert_eq!(report.all.correct, 0);
+        assert_eq!(report.unseen.gold, 1);
+    }
+
+    #[test]
+    fn single_candidate_mentions_excluded() {
+        let sentences = vec![sentence(1, &[1])];
+        let report = evaluate_slices(&sentences, &HashMap::new(), |ex| vec![0; ex.mentions.len()]);
+        assert_eq!(report.all.gold, 0, "filtered by the >1 candidate rule");
+    }
+
+    #[test]
+    fn curve_buckets_partition_counts() {
+        // Every count lands in exactly one bucket.
+        for c in [0u32, 1, 3, 4, 10, 11, 30, 31, 100, 101, 1000, 1001, 1_000_000] {
+            let n = FIG1_BUCKETS.iter().filter(|&&(lo, hi)| c >= lo && c <= hi).count();
+            assert_eq!(n, 1, "count {c} in {n} buckets");
+        }
+    }
+
+    #[test]
+    fn curve_totals_match_slice_totals() {
+        let sentences = vec![sentence(1, &[1, 2]), sentence(3, &[3, 4])];
+        let counts: HashMap<EntityId, u32> =
+            [(EntityId(1), 2), (EntityId(3), 50)].into_iter().collect();
+        let curve = f1_by_count_bucket(&sentences, &counts, |ex| vec![0; ex.mentions.len()]);
+        let total: usize = curve.iter().map(|p| p.prf.gold).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-checks between the evaluation views: slice totals must partition,
+//! curve totals must match, and metrics must be bounded.
+
+use bootleg_core::Example;
+use bootleg_corpus::{generate_corpus, CorpusConfig};
+use bootleg_eval::slices::{evaluate_slices, f1_by_count_bucket};
+use bootleg_eval::{error_analysis, pattern_slices};
+use bootleg_kb::{generate as gen_kb, KbConfig};
+
+fn setup() -> (bootleg_kb::KnowledgeBase, bootleg_corpus::Corpus, std::collections::HashMap<bootleg_kb::EntityId, u32>) {
+    let kb = gen_kb(&KbConfig { n_entities: 600, seed: 211, ..KbConfig::default() });
+    let c = generate_corpus(&kb, &CorpusConfig { n_pages: 200, seed: 211, ..CorpusConfig::default() });
+    let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+    (kb, c, counts)
+}
+
+#[test]
+fn slices_partition_all_mentions() {
+    let (_, c, counts) = setup();
+    let r = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    assert_eq!(
+        r.all.gold,
+        r.head.gold + r.torso.gold + r.tail.gold + r.unseen.gold,
+        "popularity slices must partition the evaluable mentions"
+    );
+    assert_eq!(
+        r.all.correct,
+        r.head.correct + r.torso.correct + r.tail.correct + r.unseen.correct
+    );
+}
+
+#[test]
+fn curve_partitions_match_slices() {
+    let (_, c, counts) = setup();
+    let slices = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let curve = f1_by_count_bucket(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let curve_total: usize = curve.iter().map(|p| p.prf.gold).sum();
+    assert_eq!(curve_total, slices.all.gold);
+    // The 0-occurrence bucket equals the unseen slice exactly.
+    assert_eq!(curve[0].prf.gold, slices.unseen.gold);
+    assert_eq!(curve[0].prf.correct, slices.unseen.correct);
+}
+
+#[test]
+fn prior_predictor_beats_random_on_all() {
+    let (_, c, counts) = setup();
+    let prior = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    // Predict the LAST candidate (anti-prior) — must be no better than prior
+    // overall, since candidates are popularity-ranked and popularity-sampled.
+    let anti = evaluate_slices(&c.dev, &counts, |ex| {
+        ex.mentions.iter().map(|m| m.candidates.len() - 1).collect()
+    });
+    assert!(prior.all.f1() > anti.all.f1());
+}
+
+#[test]
+fn error_analysis_counts_complement_accuracy() {
+    let (kb, c, counts) = setup();
+    let slices = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let buckets = error_analysis(&kb, &c.vocab, &c.dev, |ex| vec![0; ex.mentions.len()], 0);
+    assert_eq!(buckets.total_mentions, slices.all.gold);
+    assert_eq!(buckets.total_errors, slices.all.gold - slices.all.correct);
+}
+
+#[test]
+fn pattern_slices_bounded_by_population() {
+    let (kb, c, counts) = setup();
+    let report =
+        pattern_slices(&kb, &c.vocab, &c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let all = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    for (p, (overall, tail)) in &report.per_pattern {
+        assert!(
+            overall.gold <= all.all.gold,
+            "pattern {p:?} slice cannot exceed the population"
+        );
+        assert!(tail.gold <= overall.gold, "tail sub-slice within the slice");
+        assert!(overall.f1() <= 100.0 + 1e-9);
+    }
+}
+
+#[test]
+fn perfect_predictor_scores_100_everywhere() {
+    let (_, c, counts) = setup();
+    let r = evaluate_slices(&c.dev, &counts, |ex: &Example| {
+        ex.mentions.iter().map(|m| m.gold.expect("gold") as usize).collect()
+    });
+    assert!((r.all.f1() - 100.0).abs() < 1e-9);
+    for prf in [r.head, r.torso, r.tail, r.unseen] {
+        if prf.gold > 0 {
+            assert!((prf.f1() - 100.0).abs() < 1e-9);
+        }
+    }
+}

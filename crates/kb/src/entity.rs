@@ -1,0 +1,125 @@
+//! Knowledge-base record types.
+
+use crate::ids::{AliasId, CoarseType, EntityId, Gender, RelationId, TypeId};
+
+/// One entity in the knowledge base.
+#[derive(Clone, Debug)]
+pub struct Entity {
+    /// This entity's id (equal to its index in [`crate::KnowledgeBase`]).
+    pub id: EntityId,
+    /// Canonical title tokens (e.g. `["ent123", "y1976"]`). Used for the
+    /// title-embedding benchmark feature and the exact-match error bucket.
+    pub title_tokens: Vec<String>,
+    /// Fine-grained types, at most `T` per entity (paper uses T = 3).
+    pub types: Vec<TypeId>,
+    /// Relations this entity participates in (paper caps R = 50).
+    pub relations: Vec<RelationId>,
+    /// Coarse NER-style type (used as the type-prediction gold label).
+    pub coarse: CoarseType,
+    /// Gender, for persons (pronoun weak labeling).
+    pub gender: Option<Gender>,
+    /// Aliases under which this entity can be mentioned.
+    pub aliases: Vec<AliasId>,
+    /// Entity-specific context cue tokens (the "factual knowledge" textual
+    /// signal that the entity-memorization pattern memorizes).
+    pub cue_tokens: Vec<String>,
+    /// Zipfian sampling weight used when generating the corpus.
+    pub popularity: f32,
+    /// Year in the title, for event-like entities (numerical error bucket).
+    pub year: Option<u16>,
+    /// A more general entity this one is a subclass of, sharing an alias
+    /// (granularity error bucket).
+    pub parent: Option<EntityId>,
+}
+
+impl Entity {
+    /// `true` if the entity has neither type nor relation structure — the
+    /// population the paper's "Entity" reasoning slice isolates (§5).
+    pub fn structureless(&self) -> bool {
+        self.types.is_empty() && self.relations.is_empty()
+    }
+}
+
+/// A fine-grained type with its affordance vocabulary.
+#[derive(Clone, Debug)]
+pub struct TypeInfo {
+    /// This type's id.
+    pub id: TypeId,
+    /// Human-readable name token.
+    pub name: String,
+    /// Coarse bucket this type belongs to.
+    pub coarse: CoarseType,
+    /// Tokens afforded by this type in text ("ordered" for drinks, "height"
+    /// for people, …). The affordance reasoning pattern keys off these.
+    pub affordance_tokens: Vec<String>,
+    /// Zipfian weight with which entities adopt this type.
+    pub adoption_weight: f32,
+}
+
+/// A relation predicate with its textual cue vocabulary.
+#[derive(Clone, Debug)]
+pub struct RelationInfo {
+    /// This relation's id.
+    pub id: RelationId,
+    /// Human-readable name token.
+    pub name: String,
+    /// Tokens signalling this relation in text ("in" for capital-of, …).
+    pub cue_tokens: Vec<String>,
+    /// Zipfian weight with which entities adopt this relation.
+    pub adoption_weight: f32,
+}
+
+/// A surface form shared by one or more candidate entities.
+#[derive(Clone, Debug)]
+pub struct AliasInfo {
+    /// This alias's id.
+    pub id: AliasId,
+    /// The surface token as it appears in sentences.
+    pub surface: String,
+    /// Candidate entities, most popular first (the candidate list Γ).
+    pub candidates: Vec<EntityId>,
+}
+
+impl AliasInfo {
+    /// `true` if more than one entity shares this surface form.
+    pub fn ambiguous(&self) -> bool {
+        self.candidates.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structureless_detection() {
+        let mut e = Entity {
+            id: EntityId(0),
+            title_tokens: vec![],
+            types: vec![],
+            relations: vec![],
+            coarse: CoarseType::Misc,
+            gender: None,
+            aliases: vec![],
+            cue_tokens: vec![],
+            popularity: 1.0,
+            year: None,
+            parent: None,
+        };
+        assert!(e.structureless());
+        e.types.push(TypeId(0));
+        assert!(!e.structureless());
+    }
+
+    #[test]
+    fn alias_ambiguity() {
+        let a = AliasInfo { id: AliasId(0), surface: "x".into(), candidates: vec![EntityId(1)] };
+        assert!(!a.ambiguous());
+        let b = AliasInfo {
+            id: AliasId(1),
+            surface: "y".into(),
+            candidates: vec![EntityId(1), EntityId(2)],
+        };
+        assert!(b.ambiguous());
+    }
+}

@@ -1,0 +1,498 @@
+//! Synthetic knowledge-base generator.
+//!
+//! The generator is the substitute for Wikidata/YAGO (see DESIGN.md). It
+//! controls exactly the statistics the paper's tail analysis relies on:
+//! Zipfian entity popularity, separately-Zipfian type/relation adoption
+//! (giving tail entities mostly non-tail categories), shared ambiguous
+//! aliases, gendered persons, year-stamped event families, and
+//! subclass-parent pairs.
+
+use crate::entity::{AliasInfo, Entity, RelationInfo, TypeInfo};
+use crate::ids::{AliasId, CoarseType, EntityId, Gender, RelationId, TypeId};
+use crate::kb::KnowledgeBase;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic knowledge base.
+#[derive(Clone, Debug)]
+pub struct KbConfig {
+    /// Total number of entities.
+    pub n_entities: usize,
+    /// Number of fine-grained types (partitioned across coarse buckets).
+    pub n_types: usize,
+    /// Number of relation predicates.
+    pub n_relations: usize,
+    /// Max fine types per entity (paper: T = 3).
+    pub types_per_entity_max: usize,
+    /// Max relations per entity (paper caps R = 50; scaled down here).
+    pub relations_per_entity_max: usize,
+    /// Affordance keywords per type.
+    pub affordance_tokens_per_type: usize,
+    /// Textual cue keywords per relation.
+    pub cue_tokens_per_relation: usize,
+    /// Entity-specific cue tokens (memorization signal).
+    pub cue_tokens_per_entity: usize,
+    /// Maximum candidates sharing one ambiguous alias (our K).
+    pub alias_group_size_max: usize,
+    /// Zipf exponent for entity popularity.
+    pub zipf_entity: f64,
+    /// Zipf exponent for type adoption.
+    pub zipf_type: f64,
+    /// Zipf exponent for relation adoption.
+    pub zipf_relation: f64,
+    /// Fraction of entities that are persons.
+    pub frac_person: f64,
+    /// Fraction of entities that are events (year-stamped families).
+    pub frac_event: f64,
+    /// Fraction of entities with no type/relation structure at all
+    /// (the §5 "Entity" reasoning slice).
+    pub frac_structureless: f64,
+    /// Fraction of entities given a subclass parent sharing an alias.
+    pub frac_with_parent: f64,
+    /// KG edges ≈ this factor × n_entities.
+    pub edge_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KbConfig {
+    fn default() -> Self {
+        Self {
+            n_entities: 10_000,
+            n_types: 120,
+            n_relations: 60,
+            types_per_entity_max: 3,
+            relations_per_entity_max: 4,
+            affordance_tokens_per_type: 4,
+            cue_tokens_per_relation: 3,
+            cue_tokens_per_entity: 4,
+            alias_group_size_max: 8,
+            zipf_entity: 1.05,
+            zipf_type: 1.1,
+            zipf_relation: 1.1,
+            frac_person: 0.25,
+            frac_event: 0.10,
+            frac_structureless: 0.03,
+            frac_with_parent: 0.04,
+            edge_factor: 2.0,
+            seed: 17,
+        }
+    }
+}
+
+impl KbConfig {
+    /// A small configuration for fast tests and the paper's "micro"
+    /// (Wikipedia-subset) ablation experiments.
+    pub fn micro(seed: u64) -> Self {
+        Self { n_entities: 2_000, n_types: 60, n_relations: 30, seed, ..Self::default() }
+    }
+}
+
+/// Generates a knowledge base from `config`.
+pub fn generate(config: &KbConfig) -> KnowledgeBase {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut kb = KnowledgeBase::default();
+
+    build_types(config, &mut kb);
+    build_relations(config, &mut kb);
+    build_entities(config, &mut kb, &mut rng);
+    build_aliases(config, &mut kb, &mut rng);
+    build_edges(config, &mut kb, &mut rng);
+
+    kb.finalize();
+    kb
+}
+
+fn build_types(config: &KbConfig, kb: &mut KnowledgeBase) {
+    // Partition types evenly across the six coarse buckets; each bucket's
+    // types carry their own Zipfian adoption rank.
+    let per_bucket = (config.n_types / CoarseType::ALL.len()).max(1);
+    let mut id = 0u32;
+    for &coarse in &CoarseType::ALL {
+        let z = Zipf::new(per_bucket, config.zipf_type);
+        for rank in 0..per_bucket {
+            if id as usize >= config.n_types {
+                break;
+            }
+            let affordance_tokens = (0..config.affordance_tokens_per_type)
+                .map(|k| format!("aff{id}x{k}"))
+                .collect();
+            kb.types.push(TypeInfo {
+                id: TypeId(id),
+                name: format!("type{id}"),
+                coarse,
+                affordance_tokens,
+                adoption_weight: z.weight(rank) as f32,
+            });
+            id += 1;
+        }
+    }
+}
+
+fn build_relations(config: &KbConfig, kb: &mut KnowledgeBase) {
+    let z = Zipf::new(config.n_relations, config.zipf_relation);
+    for i in 0..config.n_relations {
+        let cue_tokens =
+            (0..config.cue_tokens_per_relation).map(|k| format!("rc{i}x{k}")).collect();
+        kb.relations.push(RelationInfo {
+            id: RelationId(i as u32),
+            name: format!("rel{i}"),
+            cue_tokens,
+            adoption_weight: z.weight(i) as f32,
+        });
+    }
+}
+
+fn sample_distinct<R: Rng>(z: &Zipf, rng: &mut R, n: usize, cap: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    let mut tries = 0;
+    while out.len() < n && tries < 20 * n.max(1) {
+        let s = z.sample(rng).min(cap.saturating_sub(1));
+        if !out.contains(&s) {
+            out.push(s);
+        }
+        tries += 1;
+    }
+    out
+}
+
+fn build_entities(config: &KbConfig, kb: &mut KnowledgeBase, rng: &mut StdRng) {
+    let zipf = Zipf::new(config.n_entities, config.zipf_entity);
+    // Index types by coarse bucket for coherent assignment.
+    let mut types_by_coarse: Vec<Vec<TypeId>> = vec![Vec::new(); CoarseType::ALL.len()];
+    for t in &kb.types {
+        types_by_coarse[t.coarse.index()].push(t.id);
+    }
+    let rel_zipf = Zipf::new(config.n_relations, config.zipf_relation);
+
+    const YEARS: [u16; 8] = [1960, 1964, 1972, 1976, 1988, 1996, 2004, 2016];
+
+    for i in 0..config.n_entities {
+        let u: f64 = rng.gen();
+        let coarse = if u < config.frac_person {
+            CoarseType::Person
+        } else if u < config.frac_person + config.frac_event {
+            CoarseType::Event
+        } else {
+            *[CoarseType::Location, CoarseType::Organization, CoarseType::Artifact, CoarseType::Misc]
+                .choose(rng)
+                .expect("nonempty")
+        };
+
+        let structureless = rng.gen_bool(config.frac_structureless);
+        let bucket = &types_by_coarse[coarse.index()];
+        let (types, relations) = if structureless || bucket.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            // Sample 1..=T types from this coarse bucket, Zipf-weighted by
+            // in-bucket rank — independent of the entity's own popularity,
+            // which is what puts tail entities into head categories.
+            let n_types = rng.gen_range(1..=config.types_per_entity_max);
+            let bz = Zipf::new(bucket.len(), config.zipf_type);
+            let types: Vec<TypeId> = sample_distinct(&bz, rng, n_types, bucket.len())
+                .into_iter()
+                .map(|r| bucket[r])
+                .collect();
+            let n_rels = rng.gen_range(0..=config.relations_per_entity_max);
+            let relations: Vec<RelationId> =
+                sample_distinct(&rel_zipf, rng, n_rels, config.n_relations)
+                    .into_iter()
+                    .map(|r| RelationId(r as u32))
+                    .collect();
+            (types, relations)
+        };
+
+        let year = (coarse == CoarseType::Event).then(|| *YEARS.choose(rng).expect("years"));
+        let mut title_tokens = vec![format!("ent{i}")];
+        if let Some(y) = year {
+            title_tokens.push(format!("y{y}"));
+        }
+        let gender = (coarse == CoarseType::Person)
+            .then(|| if rng.gen_bool(0.5) { Gender::Male } else { Gender::Female });
+        let cue_tokens =
+            (0..config.cue_tokens_per_entity).map(|k| format!("cue{i}x{k}")).collect();
+
+        kb.entities.push(Entity {
+            id: EntityId(i as u32),
+            title_tokens,
+            types,
+            relations,
+            coarse,
+            gender,
+            aliases: Vec::new(),
+            cue_tokens,
+            popularity: zipf.weight(i) as f32,
+            year,
+            parent: None,
+        });
+    }
+
+    // Subclass parents: child i (less popular) points at a same-coarse parent
+    // j (more popular). They will share an alias (granularity confusion).
+    let n = config.n_entities;
+    for i in (n / 2)..n {
+        if rng.gen_bool(config.frac_with_parent) {
+            let j = rng.gen_range(0..n / 2);
+            if kb.entities[j].coarse == kb.entities[i].coarse {
+                kb.entities[i].parent = Some(EntityId(j as u32));
+            }
+        }
+    }
+}
+
+fn push_alias(kb: &mut KnowledgeBase, surface: String, mut candidates: Vec<EntityId>) -> AliasId {
+    // Most popular first, dedup.
+    candidates.sort_by(|a, b| {
+        kb.entities[b.idx()]
+            .popularity
+            .partial_cmp(&kb.entities[a.idx()].popularity)
+            .expect("finite popularity")
+    });
+    candidates.dedup();
+    let id = AliasId(kb.aliases.len() as u32);
+    for &c in &candidates {
+        kb.entities[c.idx()].aliases.push(id);
+    }
+    kb.aliases.push(AliasInfo { id, surface, candidates });
+    id
+}
+
+fn build_aliases(config: &KbConfig, kb: &mut KnowledgeBase, rng: &mut StdRng) {
+    let n = config.n_entities;
+
+    // 1. Canonical alias per entity (unambiguous).
+    for i in 0..n {
+        push_alias(kb, format!("ent{i}"), vec![EntityId(i as u32)]);
+    }
+
+    // 2. Ambiguity groups: shuffle all entities, slice into groups of 2..=K.
+    //    Shuffling mixes head and tail entities under the same surface form.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut pos = 0;
+    let mut group = 0usize;
+    while pos + 1 < n {
+        let size = rng.gen_range(2..=config.alias_group_size_max).min(n - pos);
+        let members: Vec<EntityId> = order[pos..pos + size].iter().map(|&e| EntityId(e)).collect();
+        push_alias(kb, format!("al{group}"), members);
+        pos += size;
+        group += 1;
+    }
+
+    // 3. Person first/last names drawn from small pools, so names collide.
+    let name_pool = (n / 20).max(4);
+    let mut by_fname: Vec<Vec<EntityId>> = vec![Vec::new(); name_pool];
+    let mut by_lname: Vec<Vec<EntityId>> = vec![Vec::new(); name_pool];
+    for e in &kb.entities {
+        if e.coarse == CoarseType::Person {
+            by_fname[rng.gen_range(0..name_pool)].push(e.id);
+            by_lname[rng.gen_range(0..name_pool)].push(e.id);
+        }
+    }
+    for (j, members) in by_fname.into_iter().enumerate() {
+        if !members.is_empty() {
+            let truncated: Vec<EntityId> =
+                members.into_iter().take(config.alias_group_size_max).collect();
+            push_alias(kb, format!("fname{j}"), truncated);
+        }
+    }
+    for (j, members) in by_lname.into_iter().enumerate() {
+        if !members.is_empty() {
+            let truncated: Vec<EntityId> =
+                members.into_iter().take(config.alias_group_size_max).collect();
+            push_alias(kb, format!("lname{j}"), truncated);
+        }
+    }
+
+    // 4. Event families: events with the same family share a year-free alias.
+    let mut families: std::collections::HashMap<usize, Vec<EntityId>> = Default::default();
+    for e in &kb.entities {
+        if e.coarse == CoarseType::Event {
+            families.entry(e.id.idx() % (n / 8).max(1)).or_default().push(e.id);
+        }
+    }
+    let mut family_keys: Vec<usize> = families.keys().copied().collect();
+    family_keys.sort_unstable();
+    for f in family_keys {
+        let members = &families[&f];
+        if members.len() >= 2 {
+            let truncated: Vec<EntityId> =
+                members.iter().copied().take(config.alias_group_size_max).collect();
+            push_alias(kb, format!("evfam{f}"), truncated);
+        }
+    }
+
+    // 5. Parent/child granularity aliases.
+    let pairs: Vec<(EntityId, EntityId)> = kb
+        .entities
+        .iter()
+        .filter_map(|e| e.parent.map(|p| (e.id, p)))
+        .collect();
+    for (g, (child, parent)) in pairs.into_iter().enumerate() {
+        push_alias(kb, format!("gran{g}"), vec![child, parent]);
+    }
+}
+
+fn build_edges(config: &KbConfig, kb: &mut KnowledgeBase, rng: &mut StdRng) {
+    // Per-relation participant lists; edges connect two participants of the
+    // same relation, sampled uniformly so tail entities receive edges too.
+    let mut participants: Vec<Vec<EntityId>> = vec![Vec::new(); config.n_relations];
+    for e in &kb.entities {
+        for &r in &e.relations {
+            participants[r.idx()].push(e.id);
+        }
+    }
+    let target = (config.edge_factor * config.n_entities as f64) as usize;
+    let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
+    let rel_zipf = Zipf::new(config.n_relations, config.zipf_relation);
+    let mut made = 0usize;
+    let mut tries = 0usize;
+    while made < target && tries < target * 20 {
+        tries += 1;
+        let r = rel_zipf.sample(rng);
+        let pool = &participants[r];
+        if pool.len() < 2 {
+            continue;
+        }
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        if a == b || seen.contains(&(a.0, b.0)) || seen.contains(&(b.0, a.0)) {
+            continue;
+        }
+        seen.insert((a.0, b.0));
+        kb.edges.push((a, b, RelationId(r as u32)));
+        made += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> KnowledgeBase {
+        generate(&KbConfig { n_entities: 500, n_types: 30, n_relations: 12, seed: 5, ..KbConfig::default() })
+    }
+
+    #[test]
+    fn generates_requested_counts() {
+        let kb = small();
+        assert_eq!(kb.num_entities(), 500);
+        assert_eq!(kb.types.len(), 30);
+        assert_eq!(kb.relations.len(), 12);
+        assert!(!kb.edges.is_empty());
+        assert!(kb.aliases.len() >= 500, "at least one alias per entity");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.num_entities(), b.num_entities());
+        assert_eq!(a.edges.len(), b.edges.len());
+        assert_eq!(a.aliases.len(), b.aliases.len());
+        assert_eq!(a.entities[7].types, b.entities[7].types);
+    }
+
+    #[test]
+    fn popularity_is_monotone_in_id() {
+        let kb = small();
+        assert!(kb.entities[0].popularity > kb.entities[100].popularity);
+        assert!(kb.entities[100].popularity > kb.entities[499].popularity);
+    }
+
+    #[test]
+    fn candidates_sorted_by_popularity() {
+        let kb = small();
+        for a in &kb.aliases {
+            for w in a.candidates.windows(2) {
+                assert!(
+                    kb.entity(w[0]).popularity >= kb.entity(w[1]).popularity,
+                    "candidates must be popularity-sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ambiguous_aliases_exist_and_respect_cap() {
+        let kb = small();
+        let cfg = KbConfig::default();
+        let ambiguous = kb.aliases.iter().filter(|a| a.ambiguous()).count();
+        assert!(ambiguous > 50, "need ambiguity, got {ambiguous}");
+        for a in &kb.aliases {
+            assert!(a.candidates.len() <= cfg.alias_group_size_max);
+        }
+    }
+
+    #[test]
+    fn persons_have_gender_events_have_years() {
+        let kb = small();
+        for e in &kb.entities {
+            match e.coarse {
+                CoarseType::Person => assert!(e.gender.is_some()),
+                CoarseType::Event => assert!(e.year.is_some()),
+                _ => {
+                    assert!(e.gender.is_none());
+                    assert!(e.year.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn types_match_coarse_bucket() {
+        let kb = small();
+        for e in &kb.entities {
+            for &t in &e.types {
+                assert_eq!(kb.type_info(t).coarse, e.coarse, "entity types stay in coarse bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn some_structureless_entities() {
+        let kb = small();
+        let count = kb.entities.iter().filter(|e| e.structureless()).count();
+        assert!(count > 0, "need the §5 Entity slice population");
+    }
+
+    #[test]
+    fn edges_connect_relation_participants() {
+        let kb = small();
+        for &(a, b, r) in &kb.edges {
+            assert!(kb.entity(a).relations.contains(&r));
+            assert!(kb.entity(b).relations.contains(&r));
+        }
+    }
+
+    #[test]
+    fn parent_pairs_share_an_alias() {
+        let kb = small();
+        let mut found = false;
+        for e in &kb.entities {
+            if let Some(p) = e.parent {
+                found = true;
+                let shared = e.aliases.iter().any(|a| kb.alias(*a).candidates.contains(&p));
+                assert!(shared, "child and parent must share an alias");
+            }
+        }
+        assert!(found, "generator should produce some parent pairs");
+    }
+
+    #[test]
+    fn entity_alias_backrefs_consistent() {
+        let kb = small();
+        for e in &kb.entities {
+            for &a in &e.aliases {
+                assert!(kb.alias(a).candidates.contains(&e.id));
+            }
+        }
+        for a in &kb.aliases {
+            for &c in &a.candidates {
+                assert!(kb.entity(c).aliases.contains(&a.id));
+            }
+        }
+    }
+}

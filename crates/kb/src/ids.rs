@@ -1,0 +1,132 @@
+//! Typed identifiers for knowledge-base objects.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw index.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v as $inner)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an entity in the knowledge base.
+    EntityId,
+    u32
+);
+id_type!(
+    /// Identifier of a fine-grained (Wikidata-style) type.
+    TypeId,
+    u32
+);
+id_type!(
+    /// Identifier of a relation predicate.
+    RelationId,
+    u32
+);
+id_type!(
+    /// Identifier of an alias (surface form shared by candidate entities).
+    AliasId,
+    u32
+);
+
+/// The five coarse HYENA-style types plus `Misc` (Appendix B uses person,
+/// location, organization, artifact, event, miscellaneous).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoarseType {
+    /// People (receive gender and name aliases).
+    Person,
+    /// Places.
+    Location,
+    /// Organizations and companies.
+    Organization,
+    /// Artifacts, products, works.
+    Artifact,
+    /// Events (receive years in titles).
+    Event,
+    /// Everything else.
+    Misc,
+}
+
+impl CoarseType {
+    /// All coarse types, in a stable order used for the type-prediction head.
+    pub const ALL: [CoarseType; 6] = [
+        CoarseType::Person,
+        CoarseType::Location,
+        CoarseType::Organization,
+        CoarseType::Artifact,
+        CoarseType::Event,
+        CoarseType::Misc,
+    ];
+
+    /// Stable index of this coarse type in [`CoarseType::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("coarse type in ALL")
+    }
+}
+
+/// Gender of a person entity, used by the pronoun weak-labeling heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gender {
+    /// Referred to by "he"/"him"/"his".
+    Male,
+    /// Referred to by "she"/"her".
+    Female,
+}
+
+impl Gender {
+    /// The pronoun token string associated with this gender.
+    pub fn pronoun(self) -> &'static str {
+        match self {
+            Gender::Male => "he",
+            Gender::Female => "she",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn id_roundtrip() {
+        let e = EntityId::from(42usize);
+        assert_eq!(e.idx(), 42);
+        assert_eq!(format!("{e:?}"), "EntityId(42)");
+    }
+
+    #[test]
+    fn coarse_indices_are_unique_and_dense() {
+        let idxs: HashSet<usize> = CoarseType::ALL.iter().map(|c| c.index()).collect();
+        assert_eq!(idxs.len(), 6);
+        assert!(idxs.iter().all(|&i| i < 6));
+    }
+
+    #[test]
+    fn pronouns() {
+        assert_eq!(Gender::Male.pronoun(), "he");
+        assert_eq!(Gender::Female.pronoun(), "she");
+    }
+}

@@ -1,0 +1,232 @@
+//! The assembled knowledge base and its query surface.
+//!
+//! Bootleg consumes structured knowledge through exactly four interfaces
+//! (§3.1–3.2): entity → types, entity → relations, alias → candidates, and a
+//! pairwise KG adjacency. This module provides all four.
+
+use crate::entity::{AliasInfo, Entity, RelationInfo, TypeInfo};
+use crate::ids::{AliasId, EntityId, RelationId, TypeId};
+use std::collections::{HashMap, HashSet};
+
+/// An in-memory knowledge base.
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeBase {
+    /// All entities, indexed by [`EntityId`].
+    pub entities: Vec<Entity>,
+    /// All fine-grained types, indexed by [`TypeId`].
+    pub types: Vec<TypeInfo>,
+    /// All relations, indexed by [`RelationId`].
+    pub relations: Vec<RelationInfo>,
+    /// All aliases, indexed by [`AliasId`].
+    pub aliases: Vec<AliasInfo>,
+    /// Directed KG triples `(subject, object, relation)`.
+    pub edges: Vec<(EntityId, EntityId, RelationId)>,
+    edge_set: HashMap<(u32, u32), RelationId>,
+    alias_by_surface: HashMap<String, AliasId>,
+    neighbor_sets: Vec<HashSet<u32>>,
+}
+
+impl KnowledgeBase {
+    /// Builds the lookup indexes after the record vectors are filled.
+    pub fn finalize(&mut self) {
+        self.edge_set = self
+            .edges
+            .iter()
+            .flat_map(|&(a, b, r)| [((a.0, b.0), r), ((b.0, a.0), r)])
+            .collect();
+        self.alias_by_surface =
+            self.aliases.iter().map(|a| (a.surface.clone(), a.id)).collect();
+        self.neighbor_sets = vec![HashSet::new(); self.entities.len()];
+        for &(a, b, _) in &self.edges {
+            self.neighbor_sets[a.idx()].insert(b.0);
+            self.neighbor_sets[b.idx()].insert(a.0);
+        }
+    }
+
+    /// The KG neighbors of an entity (undirected view).
+    pub fn neighbors(&self, e: EntityId) -> &HashSet<u32> {
+        &self.neighbor_sets[e.idx()]
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// The entity record for `id`.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.idx()]
+    }
+
+    /// The type record for `id`.
+    pub fn type_info(&self, id: TypeId) -> &TypeInfo {
+        &self.types[id.idx()]
+    }
+
+    /// The relation record for `id`.
+    pub fn relation_info(&self, id: RelationId) -> &RelationInfo {
+        &self.relations[id.idx()]
+    }
+
+    /// The alias record for `id`.
+    pub fn alias(&self, id: AliasId) -> &AliasInfo {
+        &self.aliases[id.idx()]
+    }
+
+    /// Looks up an alias by surface form.
+    pub fn alias_by_surface(&self, surface: &str) -> Option<AliasId> {
+        self.alias_by_surface.get(surface).copied()
+    }
+
+    /// The relation connecting two entities in the KG, if any (undirected).
+    pub fn connected(&self, a: EntityId, b: EntityId) -> Option<RelationId> {
+        self.edge_set.get(&(a.0, b.0)).copied()
+    }
+
+    /// Builds the candidate-pairwise adjacency matrix `K` (row-major,
+    /// `n × n`, 1.0 where connected) the KG2Ent module consumes.
+    pub fn adjacency(&self, candidates: &[EntityId]) -> Vec<f32> {
+        let n = candidates.len();
+        let mut k = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.connected(candidates[i], candidates[j]).is_some() {
+                    k[i * n + j] = 1.0;
+                }
+            }
+        }
+        k
+    }
+
+    /// `true` if either entity is a KG subclass (parent/child) of the other —
+    /// the paper's granularity-error relation.
+    pub fn is_granularity_pair(&self, a: EntityId, b: EntityId) -> bool {
+        self.entity(a).parent == Some(b) || self.entity(b).parent == Some(a)
+    }
+
+    /// All entities having the given type.
+    pub fn entities_with_type(&self, t: TypeId) -> Vec<EntityId> {
+        self.entities.iter().filter(|e| e.types.contains(&t)).map(|e| e.id).collect()
+    }
+
+    /// `true` if two entities share at least one fine-grained type.
+    pub fn share_type(&self, a: EntityId, b: EntityId) -> bool {
+        let ta: HashSet<TypeId> = self.entity(a).types.iter().copied().collect();
+        self.entity(b).types.iter().any(|t| ta.contains(t))
+    }
+
+    /// Two-hop connectivity: `a` and `b` are not directly linked but share a
+    /// common KG neighbor (the paper's multi-hop error analysis, §5).
+    pub fn two_hop_connected(&self, a: EntityId, b: EntityId) -> bool {
+        if self.connected(a, b).is_some() {
+            return false;
+        }
+        let (small, large) = if self.neighbor_sets[a.idx()].len() <= self.neighbor_sets[b.idx()].len()
+        {
+            (&self.neighbor_sets[a.idx()], &self.neighbor_sets[b.idx()])
+        } else {
+            (&self.neighbor_sets[b.idx()], &self.neighbor_sets[a.idx()])
+        };
+        small.iter().any(|n| large.contains(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CoarseType;
+
+    fn tiny_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::default();
+        for i in 0..4u32 {
+            kb.entities.push(Entity {
+                id: EntityId(i),
+                title_tokens: vec![format!("ent{i}")],
+                types: if i < 2 { vec![TypeId(0)] } else { vec![TypeId(1)] },
+                relations: vec![],
+                coarse: CoarseType::Misc,
+                gender: None,
+                aliases: vec![],
+                cue_tokens: vec![],
+                popularity: 1.0,
+                year: None,
+                parent: if i == 1 { Some(EntityId(0)) } else { None },
+            });
+        }
+        kb.types.push(TypeInfo {
+            id: TypeId(0),
+            name: "t0".into(),
+            coarse: CoarseType::Misc,
+            affordance_tokens: vec![],
+            adoption_weight: 1.0,
+        });
+        kb.types.push(TypeInfo {
+            id: TypeId(1),
+            name: "t1".into(),
+            coarse: CoarseType::Misc,
+            affordance_tokens: vec![],
+            adoption_weight: 1.0,
+        });
+        kb.aliases.push(AliasInfo {
+            id: AliasId(0),
+            surface: "lincoln".into(),
+            candidates: vec![EntityId(0), EntityId(1)],
+        });
+        kb.edges.push((EntityId(0), EntityId(2), RelationId(0)));
+        kb.edges.push((EntityId(2), EntityId(3), RelationId(0)));
+        kb.finalize();
+        kb
+    }
+
+    #[test]
+    fn connectivity_is_symmetric() {
+        let kb = tiny_kb();
+        assert!(kb.connected(EntityId(0), EntityId(2)).is_some());
+        assert!(kb.connected(EntityId(2), EntityId(0)).is_some());
+        assert!(kb.connected(EntityId(0), EntityId(3)).is_none());
+    }
+
+    #[test]
+    fn adjacency_matrix_marks_pairs() {
+        let kb = tiny_kb();
+        let k = kb.adjacency(&[EntityId(0), EntityId(2), EntityId(1)]);
+        assert_eq!(k[1], 1.0); // 0-2 connected
+        assert_eq!(k[3], 1.0);
+        assert_eq!(k[2], 0.0); // 0-1 not
+        assert_eq!(k[0], 0.0); // diagonal clear
+    }
+
+    #[test]
+    fn alias_lookup() {
+        let kb = tiny_kb();
+        let a = kb.alias_by_surface("lincoln").expect("alias");
+        assert!(kb.alias(a).ambiguous());
+        assert!(kb.alias_by_surface("nope").is_none());
+    }
+
+    #[test]
+    fn granularity_pair_via_parent() {
+        let kb = tiny_kb();
+        assert!(kb.is_granularity_pair(EntityId(0), EntityId(1)));
+        assert!(kb.is_granularity_pair(EntityId(1), EntityId(0)));
+        assert!(!kb.is_granularity_pair(EntityId(0), EntityId(2)));
+    }
+
+    #[test]
+    fn share_type_detection() {
+        let kb = tiny_kb();
+        assert!(kb.share_type(EntityId(0), EntityId(1)));
+        assert!(!kb.share_type(EntityId(0), EntityId(2)));
+    }
+
+    #[test]
+    fn two_hop_through_common_neighbor() {
+        let kb = tiny_kb();
+        // 0-2 and 2-3 edges exist, so 0 and 3 are two-hop connected.
+        assert!(kb.two_hop_connected(EntityId(0), EntityId(3)));
+        // Directly connected pairs are excluded.
+        assert!(!kb.two_hop_connected(EntityId(0), EntityId(2)));
+        // 1 has no edges at all.
+        assert!(!kb.two_hop_connected(EntityId(1), EntityId(3)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Tail statistics over the knowledge base and occurrence counts.
+//!
+//! These reproduce the paper's §2/Appendix D numbers: the fraction of
+//! tail-entities (by occurrence count) whose types/relations are *non-tail*
+//! categories — the structural fact that makes tail generalization possible.
+
+use crate::ids::{EntityId, RelationId, TypeId};
+use crate::kb::KnowledgeBase;
+use std::collections::HashMap;
+
+/// Occurrence-count slices used throughout the paper (§2): tail = 1–10,
+/// torso = 11–1000, head > 1000, unseen = 0 occurrences in training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PopularitySlice {
+    /// 0 training occurrences.
+    Unseen,
+    /// 1–10 training occurrences.
+    Tail,
+    /// 11–1000 training occurrences.
+    Torso,
+    /// More than 1000 training occurrences.
+    Head,
+}
+
+impl PopularitySlice {
+    /// Classifies an occurrence count.
+    pub fn of(count: u32) -> Self {
+        match count {
+            0 => PopularitySlice::Unseen,
+            1..=10 => PopularitySlice::Tail,
+            11..=1000 => PopularitySlice::Torso,
+            _ => PopularitySlice::Head,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PopularitySlice::Unseen => "unseen",
+            PopularitySlice::Tail => "tail",
+            PopularitySlice::Torso => "torso",
+            PopularitySlice::Head => "head",
+        }
+    }
+}
+
+/// Aggregated category-level (type/relation) occurrence counts derived from
+/// per-entity occurrence counts.
+#[derive(Debug, Default)]
+pub struct CategoryCounts {
+    /// Total occurrences of each type (sum over entities carrying it).
+    pub type_counts: HashMap<TypeId, u64>,
+    /// Total occurrences of each relation.
+    pub relation_counts: HashMap<RelationId, u64>,
+}
+
+/// Computes category occurrence counts from entity occurrence counts.
+pub fn category_counts(kb: &KnowledgeBase, entity_counts: &HashMap<EntityId, u32>) -> CategoryCounts {
+    let mut out = CategoryCounts::default();
+    for e in &kb.entities {
+        let c = *entity_counts.get(&e.id).unwrap_or(&0) as u64;
+        for &t in &e.types {
+            *out.type_counts.entry(t).or_insert(0) += c;
+        }
+        for &r in &e.relations {
+            *out.relation_counts.entry(r).or_insert(0) += c;
+        }
+    }
+    out
+}
+
+/// Statistics mirroring §2 footnote 2 / Appendix D.
+#[derive(Debug)]
+pub struct TailStructureStats {
+    /// Number of tail entities (1–10 occurrences).
+    pub n_tail_entities: usize,
+    /// Fraction of tail entities carrying at least one non-tail type
+    /// (paper: 88%).
+    pub frac_tail_with_nontail_type: f64,
+    /// Fraction of tail entities carrying at least one non-tail relation
+    /// (paper: 90%).
+    pub frac_tail_with_nontail_relation: f64,
+    /// Fraction of all entities with any type or KG signal (paper: 75% of
+    /// non-Wikipedia Wikidata entities).
+    pub frac_with_structure: f64,
+}
+
+/// Computes [`TailStructureStats`] for given per-entity occurrence counts.
+/// A category is "tail" if its own total occurrence count is 1–10
+/// (footnote 12 in the paper).
+pub fn tail_structure_stats(
+    kb: &KnowledgeBase,
+    entity_counts: &HashMap<EntityId, u32>,
+) -> TailStructureStats {
+    let cats = category_counts(kb, entity_counts);
+    let nontail_type = |t: &TypeId| *cats.type_counts.get(t).unwrap_or(&0) > 10;
+    let nontail_rel = |r: &RelationId| *cats.relation_counts.get(r).unwrap_or(&0) > 10;
+
+    let mut n_tail = 0usize;
+    let mut tail_nontail_type = 0usize;
+    let mut tail_nontail_rel = 0usize;
+    let mut with_structure = 0usize;
+    for e in &kb.entities {
+        if !e.structureless() {
+            with_structure += 1;
+        }
+        let c = *entity_counts.get(&e.id).unwrap_or(&0);
+        if PopularitySlice::of(c) == PopularitySlice::Tail {
+            n_tail += 1;
+            if e.types.iter().any(nontail_type) {
+                tail_nontail_type += 1;
+            }
+            if e.relations.iter().any(nontail_rel) {
+                tail_nontail_rel += 1;
+            }
+        }
+    }
+    let denom = n_tail.max(1) as f64;
+    TailStructureStats {
+        n_tail_entities: n_tail,
+        frac_tail_with_nontail_type: tail_nontail_type as f64 / denom,
+        frac_tail_with_nontail_relation: tail_nontail_rel as f64 / denom,
+        frac_with_structure: with_structure as f64 / kb.num_entities().max(1) as f64,
+    }
+}
+
+/// For Figure 4: fraction of a category's member entities that are rare
+/// (tail or unseen) under the given counts.
+pub fn rare_proportion_by_type(
+    kb: &KnowledgeBase,
+    entity_counts: &HashMap<EntityId, u32>,
+) -> HashMap<TypeId, f64> {
+    let mut members: HashMap<TypeId, (usize, usize)> = HashMap::new();
+    for e in &kb.entities {
+        let c = *entity_counts.get(&e.id).unwrap_or(&0);
+        let rare = matches!(PopularitySlice::of(c), PopularitySlice::Tail | PopularitySlice::Unseen);
+        for &t in &e.types {
+            let entry = members.entry(t).or_insert((0, 0));
+            entry.0 += 1;
+            if rare {
+                entry.1 += 1;
+            }
+        }
+    }
+    members.into_iter().map(|(t, (n, r))| (t, r as f64 / n.max(1) as f64)).collect()
+}
+
+/// For Figure 4: same, keyed by relation.
+pub fn rare_proportion_by_relation(
+    kb: &KnowledgeBase,
+    entity_counts: &HashMap<EntityId, u32>,
+) -> HashMap<RelationId, f64> {
+    let mut members: HashMap<RelationId, (usize, usize)> = HashMap::new();
+    for e in &kb.entities {
+        let c = *entity_counts.get(&e.id).unwrap_or(&0);
+        let rare = matches!(PopularitySlice::of(c), PopularitySlice::Tail | PopularitySlice::Unseen);
+        for &r in &e.relations {
+            let entry = members.entry(r).or_insert((0, 0));
+            entry.0 += 1;
+            if rare {
+                entry.1 += 1;
+            }
+        }
+    }
+    members.into_iter().map(|(r, (n, x))| (r, x as f64 / n.max(1) as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, KbConfig};
+
+    #[test]
+    fn slice_boundaries_match_paper() {
+        assert_eq!(PopularitySlice::of(0), PopularitySlice::Unseen);
+        assert_eq!(PopularitySlice::of(1), PopularitySlice::Tail);
+        assert_eq!(PopularitySlice::of(10), PopularitySlice::Tail);
+        assert_eq!(PopularitySlice::of(11), PopularitySlice::Torso);
+        assert_eq!(PopularitySlice::of(1000), PopularitySlice::Torso);
+        assert_eq!(PopularitySlice::of(1001), PopularitySlice::Head);
+    }
+
+    #[test]
+    fn tail_entities_mostly_have_nontail_categories() {
+        // Zipf-count a synthetic corpus: entity i gets floor(5000/(i+1)) hits.
+        let kb = generate(&KbConfig { n_entities: 2000, seed: 3, ..KbConfig::default() });
+        let counts: HashMap<EntityId, u32> = (0..2000)
+            .map(|i| (EntityId(i as u32), (5000 / (i + 1)) as u32))
+            .collect();
+        let stats = tail_structure_stats(&kb, &counts);
+        assert!(stats.n_tail_entities > 100, "tail population: {}", stats.n_tail_entities);
+        // The paper reports 88% / 90%; the generator should land well above
+        // half, typically ~0.9.
+        assert!(
+            stats.frac_tail_with_nontail_type > 0.7,
+            "nontail-type fraction {}",
+            stats.frac_tail_with_nontail_type
+        );
+        assert!(
+            stats.frac_tail_with_nontail_relation > 0.5,
+            "nontail-relation fraction {}",
+            stats.frac_tail_with_nontail_relation
+        );
+    }
+
+    #[test]
+    fn rare_proportion_bounds() {
+        let kb = generate(&KbConfig { n_entities: 500, seed: 9, ..KbConfig::default() });
+        let counts: HashMap<EntityId, u32> =
+            (0..500).map(|i| (EntityId(i as u32), (1000 / (i + 1)) as u32)).collect();
+        for (_, p) in rare_proportion_by_type(&kb, &counts) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        for (_, p) in rare_proportion_by_relation(&kb, &counts) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn category_counts_sum_entity_counts() {
+        let kb = generate(&KbConfig { n_entities: 100, seed: 1, ..KbConfig::default() });
+        let counts: HashMap<EntityId, u32> =
+            (0..100).map(|i| (EntityId(i as u32), 2)).collect();
+        let cats = category_counts(&kb, &counts);
+        // Every type's count must be an even number (each member adds 2).
+        for (_, c) in cats.type_counts {
+            assert_eq!(c % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipfian sampling over ranked items.
+
+use rand::Rng;
+
+/// A Zipf distribution over `n` ranks: `P(rank i) ∝ 1/(i+1)^s`.
+///
+/// Sampling is O(log n) via binary search over the cumulative weights.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` items with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            let w = 1.0 / ((i + 1) as f64).powf(s);
+            total += w;
+            weights.push(w);
+            cumulative.push(total);
+        }
+        Self { cumulative, weights }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if empty (never: construction requires n > 0).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("nonempty");
+        let u = rng.gen_range(0.0..total);
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// The unnormalized weight of rank `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// The probability of rank `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.weights[i] / self.cumulative.last().expect("nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[200]);
+        // Rank 0 should be about 1/H_1000 ≈ 13% of samples.
+        assert!(counts[0] > 1500, "rank0 count {}", counts[0]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let sum: f64 = (0..50).map(|i| z.prob(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let z = Zipf::new(3, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for i in 0..4 {
+            assert!((z.prob(i) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests over the knowledge-base generator: structural
+//! invariants must hold for arbitrary (sane) configurations.
+
+use bootleg_kb::{generate, CoarseType, EntityId, KbConfig};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = KbConfig> {
+    (100usize..600, 12usize..80, 6usize..40, 0u64..1000).prop_map(
+        |(n_entities, n_types, n_relations, seed)| KbConfig {
+            n_entities,
+            n_types,
+            n_relations,
+            seed,
+            ..KbConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generator_invariants(config in config_strategy()) {
+        let kb = generate(&config);
+
+        // Ids are dense and consistent.
+        prop_assert_eq!(kb.num_entities(), config.n_entities);
+        for (i, e) in kb.entities.iter().enumerate() {
+            prop_assert_eq!(e.id.idx(), i);
+        }
+
+        // Every entity has at least a canonical alias, and alias backrefs
+        // are consistent in both directions.
+        for e in &kb.entities {
+            prop_assert!(!e.aliases.is_empty());
+            for &a in &e.aliases {
+                prop_assert!(kb.alias(a).candidates.contains(&e.id));
+            }
+        }
+        for a in &kb.aliases {
+            prop_assert!(!a.candidates.is_empty());
+            prop_assert!(a.candidates.len() <= config.alias_group_size_max);
+            for &c in &a.candidates {
+                prop_assert!(c.idx() < kb.num_entities());
+            }
+        }
+
+        // Types/relations referenced by entities exist.
+        for e in &kb.entities {
+            for &t in &e.types {
+                prop_assert!(t.idx() < kb.types.len());
+                prop_assert_eq!(kb.type_info(t).coarse, e.coarse);
+            }
+            for &r in &e.relations {
+                prop_assert!(r.idx() < kb.relations.len());
+            }
+            prop_assert!(e.types.len() <= config.types_per_entity_max);
+        }
+
+        // Edges connect relation participants; connectivity is symmetric.
+        for &(a, b, r) in &kb.edges {
+            prop_assert!(kb.entity(a).relations.contains(&r));
+            prop_assert!(kb.entity(b).relations.contains(&r));
+            prop_assert!(kb.connected(a, b).is_some());
+            prop_assert!(kb.connected(b, a).is_some());
+        }
+
+        // Popularity is monotone non-increasing in id (Zipf rank order).
+        for w in kb.entities.windows(2) {
+            prop_assert!(w[0].popularity >= w[1].popularity);
+        }
+
+        // Coarse-specific attributes.
+        for e in &kb.entities {
+            match e.coarse {
+                CoarseType::Person => prop_assert!(e.gender.is_some()),
+                CoarseType::Event => prop_assert!(e.year.is_some()),
+                _ => prop_assert!(e.gender.is_none() && e.year.is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric_and_hollow(config in config_strategy()) {
+        let kb = generate(&config);
+        let n = 12.min(kb.num_entities());
+        let cands: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+        let k = kb.adjacency(&cands);
+        for i in 0..n {
+            prop_assert_eq!(k[i * n + i], 0.0, "diagonal must be zero");
+            for j in 0..n {
+                prop_assert_eq!(k[i * n + j], k[j * n + i], "adjacency must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_is_symmetric_and_excludes_direct(config in config_strategy()) {
+        let kb = generate(&config);
+        let n = 20.min(kb.num_entities());
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                let ij = kb.two_hop_connected(EntityId(i), EntityId(j));
+                prop_assert_eq!(ij, kb.two_hop_connected(EntityId(j), EntityId(i)));
+                if ij {
+                    prop_assert!(kb.connected(EntityId(i), EntityId(j)).is_none());
+                }
+            }
+        }
+    }
+}

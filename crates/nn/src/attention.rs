@@ -1,0 +1,205 @@
+//! Multi-head attention blocks and additive attention pooling.
+
+use crate::linear::Linear;
+use crate::norm::LayerNorm;
+use bootleg_tensor::{Graph, ParamStore, Var};
+use rand::Rng;
+
+/// The paper's "standard multi-headed attention with a feed-forward layer and
+/// skip connections" (§3.2). With `kv = None` it is self-attention (Ent2Ent);
+/// with `kv = Some(w)` it is cross-attention from entities to words
+/// (Phrase2Ent).
+#[derive(Debug, Clone, Copy)]
+pub struct MhaBlock {
+    n_heads: usize,
+    d_head: usize,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    ln1: LayerNorm,
+    ffn1: Linear,
+    ffn2: Linear,
+    ln2: LayerNorm,
+    dropout: f32,
+}
+
+impl MhaBlock {
+    /// Registers a block over hidden width `d` with `n_heads` heads and a
+    /// feed-forward expansion of `ffn_mult`.
+    pub fn new<R: Rng>(
+        ps: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        d: usize,
+        n_heads: usize,
+        ffn_mult: usize,
+        dropout: f32,
+    ) -> Self {
+        assert_eq!(d % n_heads, 0, "hidden dim {d} not divisible by heads {n_heads}");
+        Self {
+            n_heads,
+            d_head: d / n_heads,
+            wq: Linear::new(ps, rng, &format!("{name}.wq"), d, d, false),
+            wk: Linear::new(ps, rng, &format!("{name}.wk"), d, d, false),
+            wv: Linear::new(ps, rng, &format!("{name}.wv"), d, d, false),
+            wo: Linear::new(ps, rng, &format!("{name}.wo"), d, d, true),
+            ln1: LayerNorm::new(ps, &format!("{name}.ln1"), d),
+            ffn1: Linear::new(ps, rng, &format!("{name}.ffn1"), d, d * ffn_mult, true),
+            ffn2: Linear::new(ps, rng, &format!("{name}.ffn2"), d * ffn_mult, d, true),
+            ln2: LayerNorm::new(ps, &format!("{name}.ln2"), d),
+            dropout,
+        }
+    }
+
+    /// `x` is `(S, d)`; `kv` (if given) is `(N, d)`. Returns `(S, d)`.
+    pub fn forward(&self, g: &Graph, ps: &ParamStore, x: &Var, kv: Option<&Var>) -> Var {
+        let s = x.shape()[0];
+        let kv_var = kv.unwrap_or(x);
+        let n = kv_var.shape()[0];
+        let d = self.n_heads * self.d_head;
+
+        // (S,d) -> (S,nh,dh) -> (nh,S,dh)
+        let q = self
+            .wq
+            .forward(g, ps, x)
+            .reshape(&[s, self.n_heads, self.d_head])
+            .swap_axes01();
+        let k = self
+            .wk
+            .forward(g, ps, kv_var)
+            .reshape(&[n, self.n_heads, self.d_head])
+            .swap_axes01();
+        let v = self
+            .wv
+            .forward(g, ps, kv_var)
+            .reshape(&[n, self.n_heads, self.d_head])
+            .swap_axes01();
+
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let scores = q.batch_matmul(&k.transpose_last2()).scale(scale); // (nh,S,N)
+        let attn = scores.softmax_last().dropout(self.dropout);
+        let ctx = attn.batch_matmul(&v); // (nh,S,dh)
+        let merged = ctx.swap_axes01().reshape(&[s, d]);
+        let out = self.wo.forward(g, ps, &merged).dropout(self.dropout);
+
+        // Residual + LN, then FFN residual + LN.
+        let h = self.ln1.forward(g, ps, &x.add(&out));
+        let f = self.ffn2.forward(g, ps, &self.ffn1.forward(g, ps, &h).gelu()).dropout(self.dropout);
+        self.ln2.forward(g, ps, &h.add(&f))
+    }
+}
+
+/// Bahdanau additive attention pooling a bag `(T, d_in)` into `(1, d_in)`:
+/// `score_i = vᵀ tanh(W xᵢ)`, `out = Σ softmax(score)_i · xᵢ` (§3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct AddAttn {
+    proj: Linear,
+    score: Linear,
+}
+
+impl AddAttn {
+    /// Registers additive attention with an internal width `d_att`.
+    pub fn new<R: Rng>(
+        ps: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        d_in: usize,
+        d_att: usize,
+    ) -> Self {
+        Self {
+            proj: Linear::new(ps, rng, &format!("{name}.proj"), d_in, d_att, true),
+            score: Linear::new(ps, rng, &format!("{name}.score"), d_att, 1, false),
+        }
+    }
+
+    /// Pools `bag` of shape `(T, d_in)` into `(1, d_in)`.
+    pub fn forward(&self, g: &Graph, ps: &ParamStore, bag: &Var) -> Var {
+        let t = bag.shape()[0];
+        let scores = self.score.forward(g, ps, &self.proj.forward(g, ps, bag).tanh_()); // (T,1)
+        let weights = scores.reshape(&[1, t]).softmax_last(); // (1,T)
+        weights.matmul(bag) // (1, d_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_tensor::{init, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mha_self_attention_shape() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let blk = MhaBlock::new(&mut ps, &mut rng, "b", 8, 2, 2, 0.0);
+        let g = Graph::new();
+        let x = g.leaf(init::normal(&mut rng, &[5, 8], 1.0));
+        let y = blk.forward(&g, &ps, &x, None);
+        assert_eq!(y.shape(), vec![5, 8]);
+        assert!(!y.value().has_non_finite());
+    }
+
+    #[test]
+    fn mha_cross_attention_shape() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let blk = MhaBlock::new(&mut ps, &mut rng, "b", 8, 4, 2, 0.0);
+        let g = Graph::new();
+        let x = g.leaf(init::normal(&mut rng, &[3, 8], 1.0));
+        let kv = g.leaf(init::normal(&mut rng, &[7, 8], 1.0));
+        let y = blk.forward(&g, &ps, &x, Some(&kv));
+        assert_eq!(y.shape(), vec![3, 8]);
+    }
+
+    #[test]
+    fn mha_gradients_flow_to_all_params() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let blk = MhaBlock::new(&mut ps, &mut rng, "b", 8, 2, 2, 0.0);
+        let g = Graph::new();
+        let x = g.leaf(init::normal(&mut rng, &[4, 8], 1.0));
+        let loss = blk.forward(&g, &ps, &x, None).sum_all();
+        g.backward(&loss, &mut ps);
+        for (_, p) in ps.iter() {
+            assert!(p.dense_touched, "param {} got no gradient", p.name);
+        }
+    }
+
+    #[test]
+    fn add_attn_is_convex_combination() {
+        // With one bag item, output must equal the item.
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = AddAttn::new(&mut ps, &mut rng, "a", 4, 6);
+        let g = Graph::new();
+        let bag = g.leaf(Tensor::from_rows(&[vec![1.0, -2.0, 0.5, 3.0]]));
+        let out = attn.forward(&g, &ps, &bag).value();
+        for (o, e) in out.data().iter().zip(&[1.0, -2.0, 0.5, 3.0]) {
+            assert!((o - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn add_attn_output_within_bag_hull_bounds() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let attn = AddAttn::new(&mut ps, &mut rng, "a", 3, 5);
+        let g = Graph::new();
+        let bag = g.leaf(Tensor::from_rows(&[
+            vec![0.0, 1.0, -1.0],
+            vec![2.0, 3.0, 1.0],
+            vec![-1.0, 0.0, 0.0],
+        ]));
+        let out = attn.forward(&g, &ps, &bag).value();
+        // Each coordinate lies within the min/max of the bag coordinates.
+        for j in 0..3 {
+            let col: Vec<f32> = (0..3).map(|i| bag.value().at2(i, j)).collect();
+            let (mn, mx) = (col.iter().cloned().fold(f32::INFINITY, f32::min),
+                            col.iter().cloned().fold(f32::NEG_INFINITY, f32::max));
+            let v = out.data()[j];
+            assert!(v >= mn - 1e-4 && v <= mx + 1e-4, "coord {j}: {v} not in [{mn},{mx}]");
+        }
+    }
+}

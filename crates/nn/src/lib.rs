@@ -1,0 +1,32 @@
+//! # bootleg-nn
+//!
+//! Neural-network layers and optimizers built on [`bootleg_tensor`], providing
+//! every component the Bootleg architecture (CIDR 2021, §3) needs:
+//!
+//! * [`linear::Linear`] / [`linear::Mlp`] — projections and the candidate MLP.
+//! * [`norm::LayerNorm`] — per-row layer normalization with affine params.
+//! * [`attention::MhaBlock`] — the paper's "standard multi-headed attention
+//!   with a feed-forward layer and skip connections" used by Phrase2Ent
+//!   (cross-attention) and Ent2Ent (self-attention).
+//! * [`attention::AddAttn`] — Bahdanau additive attention used to pool an
+//!   entity's bag of type/relation embeddings into one vector (§3.1).
+//! * [`posenc`] — the sinusoidal positional encoding of Vaswani et al.,
+//!   including the first/last-mention-token candidate encoding (Appendix A).
+//! * [`encoder::WordEncoder`] — the laptop-scale substitute for the frozen
+//!   BERT encoder: learned word embeddings + positions + a small Transformer
+//!   stack producing the sentence matrix **W** ∈ ℝ^{N×H}.
+//! * [`optim::Adam`] — Adam with row-sparse ("lazy") updates for embedding
+//!   tables, driven by the touch-tracking in [`bootleg_tensor::ParamStore`].
+
+pub mod attention;
+pub mod encoder;
+pub mod linear;
+pub mod norm;
+pub mod optim;
+pub mod posenc;
+
+pub use attention::{AddAttn, MhaBlock};
+pub use encoder::WordEncoder;
+pub use linear::{Linear, Mlp};
+pub use norm::LayerNorm;
+pub use optim::Adam;

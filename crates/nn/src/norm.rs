@@ -1,0 +1,59 @@
+//! Layer normalization with learned affine parameters.
+
+use bootleg_tensor::{Graph, ParamId, ParamStore, Tensor, Var};
+
+/// Per-row layer norm over the last axis, `y = γ·x̂ + β`.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerNorm {
+    /// Scale γ, shape `(d,)`, initialized to ones.
+    pub gamma: ParamId,
+    /// Shift β, shape `(d,)`, initialized to zeros.
+    pub beta: ParamId,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers a layer norm over width `d`.
+    pub fn new(ps: &mut ParamStore, name: &str, d: usize) -> Self {
+        let gamma = ps.add(format!("{name}.gamma"), Tensor::full(&[d], 1.0));
+        let beta = ps.add(format!("{name}.beta"), Tensor::zeros(&[d]));
+        Self { gamma, beta, eps: 1e-5 }
+    }
+
+    /// Normalizes `x` of shape `(…, d)`.
+    pub fn forward(&self, g: &Graph, ps: &ParamStore, x: &Var) -> Var {
+        let gamma = g.dense_param(ps, self.gamma);
+        let beta = g.dense_param(ps, self.beta);
+        x.layer_norm(&gamma, &beta, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_rows() {
+        let mut ps = ParamStore::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 4);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]));
+        let y = ln.forward(&g, &ps, &x).value();
+        let mean: f32 = y.data().iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn identity_on_already_normalized_when_affine_default() {
+        let mut ps = ParamStore::new();
+        let ln = LayerNorm::new(&mut ps, "ln", 2);
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&[vec![-1.0, 1.0]]));
+        let y = ln.forward(&g, &ps, &x).value();
+        assert!((y.data()[0] + 1.0).abs() < 1e-2);
+        assert!((y.data()[1] - 1.0).abs() < 1e-2);
+    }
+}

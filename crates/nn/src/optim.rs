@@ -1,0 +1,210 @@
+//! Adam optimizer (Kingma & Ba 2015) with row-sparse updates for embeddings.
+//!
+//! The paper trains with Adam at lr 1e-4 (Appendix B). Our embedding tables
+//! only receive gradients on gathered rows, tracked by
+//! [`bootleg_tensor::ParamStore`]; for those parameters we apply a "lazy"
+//! Adam update touching only those rows, which keeps per-step cost
+//! proportional to batch size rather than vocabulary size.
+
+use bootleg_tensor::{ParamStore, Tensor};
+
+/// Adam state and hyperparameters.
+#[derive(Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an optimizer matching `store`'s current parameter set.
+    pub fn new(store: &ParamStore, lr: f32) -> Self {
+        let m = store.iter().map(|(_, p)| Tensor::zeros(p.data.shape())).collect();
+        let v = store.iter().map(|(_, p)| Tensor::zeros(p.data.shape())).collect();
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m, v }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update. Parameters with only sparse (row) touches get a
+    /// lazy row-sparse update; densely-touched parameters get a full update;
+    /// untouched or frozen parameters are skipped.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr_t = self.lr * bc2.sqrt() / bc1;
+
+        for (idx, (_, p)) in store.iter_mut().enumerate() {
+            if p.frozen {
+                continue;
+            }
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            if p.dense_touched {
+                let n = p.data.numel();
+                adam_update_range(
+                    p.data.data_mut(),
+                    p.grad.data(),
+                    m.data_mut(),
+                    v.data_mut(),
+                    0,
+                    n,
+                    self.beta1,
+                    self.beta2,
+                    self.eps,
+                    lr_t,
+                );
+            } else if !p.touched_rows.is_empty() {
+                let cols = p.data.shape().last().copied().unwrap_or(1);
+                let mut rows: Vec<u32> = p.touched_rows.clone();
+                rows.sort_unstable();
+                rows.dedup();
+                for r in rows {
+                    let start = r as usize * cols;
+                    adam_update_range(
+                        p.data.data_mut(),
+                        p.grad.data(),
+                        m.data_mut(),
+                        v.data_mut(),
+                        start,
+                        cols,
+                        self.beta1,
+                        self.beta2,
+                        self.eps,
+                        lr_t,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn adam_update_range(
+    data: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    start: usize,
+    len: usize,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    lr_t: f32,
+) {
+    // `grad` already contains the accumulated (summed) gradient.
+    // Bias correction is folded into lr_t by the caller.
+    for i in start..start + len {
+        let g = grad[i];
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+        data[i] -= lr_t * m[i] / (v[i].sqrt() + eps);
+    }
+}
+
+/// Clips the global gradient norm to `max_norm`; returns the pre-clip norm.
+pub fn clip_grad_norm(store: &mut ParamStore, max_norm: f32) -> f32 {
+    let norm = store.grad_norm();
+    if norm > max_norm && norm > 0.0 {
+        store.scale_grads(max_norm / norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_tensor::Graph;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // minimize (w - 3)^2 elementwise
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::zeros(&[4]));
+        let mut opt = Adam::new(&ps, 0.1);
+        for _ in 0..200 {
+            let g = Graph::new();
+            let wv = g.dense_param(&ps, w);
+            let target = g.leaf(Tensor::full(&[4], 3.0));
+            let d = wv.sub(&target);
+            let loss = d.mul(&d).mean_all();
+            g.backward(&loss, &mut ps);
+            opt.step(&mut ps);
+            ps.zero_grad();
+        }
+        for &x in ps.get(w).data.data() {
+            assert!((x - 3.0).abs() < 0.05, "w={x}");
+        }
+    }
+
+    #[test]
+    fn sparse_rows_update_only_touched() {
+        let mut ps = ParamStore::new();
+        let emb = ps.add("emb", Tensor::zeros(&[4, 2]));
+        let mut opt = Adam::new(&ps, 0.1);
+        let g = Graph::new();
+        let rows = g.gather_rows(&ps, emb, &[1, 3]);
+        let loss = rows.sum_all();
+        g.backward(&loss, &mut ps);
+        opt.step(&mut ps);
+        let data = ps.get(emb).data.clone();
+        assert_eq!(data.row(0), &[0.0, 0.0]);
+        assert_eq!(data.row(2), &[0.0, 0.0]);
+        assert!(data.row(1)[0] < 0.0, "touched row must move against grad");
+        assert!(data.row(3)[0] < 0.0);
+    }
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::full(&[2], 1.0));
+        ps.get_mut(w).frozen = true;
+        let mut opt = Adam::new(&ps, 0.5);
+        let g = Graph::new();
+        let wv = g.dense_param(&ps, w);
+        let loss = wv.mul(&wv).sum_all();
+        g.backward(&loss, &mut ps);
+        opt.step(&mut ps);
+        assert_eq!(ps.get(w).data.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn clip_reduces_norm() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", Tensor::zeros(&[2]));
+        ps.get_mut(w).grad = Tensor::from_slice(&[30.0, 40.0]);
+        let pre = clip_grad_norm(&mut ps, 5.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        assert!((ps.grad_norm() - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn duplicate_touched_rows_update_once() {
+        let mut ps = ParamStore::new();
+        let emb = ps.add("emb", Tensor::zeros(&[2, 1]));
+        let mut opt = Adam::new(&ps, 0.1);
+        let g = Graph::new();
+        // Gather row 0 twice: gradient doubles, but the row updates once.
+        let rows = g.gather_rows(&ps, emb, &[0, 0]);
+        let loss = rows.sum_all();
+        g.backward(&loss, &mut ps);
+        assert_eq!(ps.get(emb).grad.data()[0], 2.0);
+        opt.step(&mut ps);
+        let after = ps.get(emb).data.data()[0];
+        // One Adam step of magnitude ~lr regardless of gradient scale.
+        assert!((after + 0.1).abs() < 0.02, "after={after}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Optimizer-level integration tests: convergence on a real (if tiny)
+//! learning problem, and equivalence of the lazy row-sparse Adam path with
+//! the dense path when every row is touched.
+
+use bootleg_nn::optim::Adam;
+use bootleg_nn::{Linear, Mlp};
+use bootleg_tensor::{init, Graph, ParamStore, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn logistic_regression_separates_gaussians() {
+    // Two 2-D Gaussian blobs; a linear classifier must reach >90% accuracy.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut xs = Vec::new();
+    let mut ys: Vec<u32> = Vec::new();
+    for i in 0..200 {
+        let class = i % 2;
+        let cx = if class == 0 { -1.0 } else { 1.0 };
+        xs.push(vec![
+            cx + init::standard_normal(&mut rng) * 0.5,
+            -cx + init::standard_normal(&mut rng) * 0.5,
+        ]);
+        ys.push(class as u32);
+    }
+    let mut ps = ParamStore::new();
+    let lin = Linear::new(&mut ps, &mut rng, "w", 2, 2, true);
+    let mut opt = Adam::new(&ps, 0.05);
+    for _ in 0..60 {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&xs));
+        let logits = lin.forward(&g, &ps, &x);
+        let loss = logits.cross_entropy_rows(&ys);
+        g.backward(&loss, &mut ps);
+        opt.step(&mut ps);
+        ps.zero_grad();
+    }
+    // Accuracy check.
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_rows(&xs));
+    let out = lin.forward(&g, &ps, &x).value();
+    let mut correct = 0;
+    for (i, &y) in ys.iter().enumerate() {
+        let row = out.row(i);
+        let pred = if row[1] > row[0] { 1 } else { 0 };
+        if pred == y {
+            correct += 1;
+        }
+    }
+    assert!(correct >= 180, "accuracy {correct}/200");
+}
+
+#[test]
+fn lazy_adam_matches_dense_when_all_rows_touched() {
+    // Two identical embedding tables; one updated through the sparse path
+    // (gather of every row), one through the dense path (param node). After
+    // identical gradients, the tables must match.
+    let mut rng = StdRng::seed_from_u64(12);
+    let table = init::normal(&mut rng, &[6, 3], 1.0);
+    let target = init::normal(&mut rng, &[6, 3], 1.0);
+
+    let mut sparse_ps = ParamStore::new();
+    let sparse_emb = sparse_ps.add("emb", table.clone());
+    let mut dense_ps = ParamStore::new();
+    let dense_emb = dense_ps.add("emb", table.clone());
+
+    let mut sparse_opt = Adam::new(&sparse_ps, 0.01);
+    let mut dense_opt = Adam::new(&dense_ps, 0.01);
+
+    for _ in 0..5 {
+        // Sparse: gather all rows 0..6.
+        let g = Graph::new();
+        let rows = g.gather_rows(&sparse_ps, sparse_emb, &[0, 1, 2, 3, 4, 5]);
+        let t = g.leaf(target.clone());
+        let d = rows.sub(&t);
+        let loss = d.mul(&d).mean_all();
+        g.backward(&loss, &mut sparse_ps);
+        sparse_opt.step(&mut sparse_ps);
+        sparse_ps.zero_grad();
+
+        // Dense: whole parameter node.
+        let g = Graph::new();
+        let w = g.dense_param(&dense_ps, dense_emb);
+        let t = g.leaf(target.clone());
+        let d = w.sub(&t);
+        let loss = d.mul(&d).mean_all();
+        g.backward(&loss, &mut dense_ps);
+        dense_opt.step(&mut dense_ps);
+        dense_ps.zero_grad();
+    }
+
+    let a = &sparse_ps.get(sparse_emb).data;
+    let b = &dense_ps.get(dense_emb).data;
+    for (x, y) in a.data().iter().zip(b.data()) {
+        assert!((x - y).abs() < 1e-6, "sparse {x} vs dense {y}");
+    }
+}
+
+#[test]
+fn mlp_fits_xor() {
+    // The classic nonlinear sanity check: XOR is not linearly separable, so
+    // passing it proves the hidden layer + GELU + backprop all work.
+    let mut rng = StdRng::seed_from_u64(13);
+    let xs = vec![
+        vec![0.0, 0.0],
+        vec![0.0, 1.0],
+        vec![1.0, 0.0],
+        vec![1.0, 1.0],
+    ];
+    let ys: Vec<u32> = vec![0, 1, 1, 0];
+    let mut ps = ParamStore::new();
+    let mlp = Mlp::new(&mut ps, &mut rng, "m", 2, 16, 2, 0.0);
+    let mut opt = Adam::new(&ps, 0.02);
+    for _ in 0..400 {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_rows(&xs));
+        let loss = mlp.forward(&g, &ps, &x).cross_entropy_rows(&ys);
+        g.backward(&loss, &mut ps);
+        opt.step(&mut ps);
+        ps.zero_grad();
+    }
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_rows(&xs));
+    let out = mlp.forward(&g, &ps, &x).value();
+    for (i, &y) in ys.iter().enumerate() {
+        let row = out.row(i);
+        let pred = if row[1] > row[0] { 1 } else { 0 };
+        assert_eq!(pred, y, "XOR case {i} misclassified: {row:?}");
+    }
+}
+
+#[test]
+fn gradient_accumulation_equals_larger_batch() {
+    // Summed gradients over two examples == gradient of the summed loss.
+    let mut rng = StdRng::seed_from_u64(14);
+    let lin_init = init::xavier_uniform(&mut rng, 3, 2);
+    let x1 = init::normal(&mut rng, &[1, 3], 1.0);
+    let x2 = init::normal(&mut rng, &[1, 3], 1.0);
+
+    let run = |accumulate: bool| -> Tensor {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", lin_init.clone());
+        if accumulate {
+            for x in [&x1, &x2] {
+                let g = Graph::new();
+                let wv = g.dense_param(&ps, w);
+                let y = g.leaf(x.clone()).matmul(&wv);
+                let loss = y.mul(&y).sum_all();
+                g.backward(&loss, &mut ps);
+            }
+        } else {
+            let g = Graph::new();
+            let wv = g.dense_param(&ps, w);
+            let both = g.concat_rows(&[&g.leaf(x1.clone()), &g.leaf(x2.clone())]);
+            let y = both.matmul(&wv);
+            let loss = y.mul(&y).sum_all();
+            g.backward(&loss, &mut ps);
+        }
+        ps.get(w).grad.clone()
+    };
+
+    let acc = run(true);
+    let joint = run(false);
+    for (a, b) in acc.data().iter().zip(joint.data()) {
+        assert!((a - b).abs() < 1e-4, "accumulated {a} vs joint {b}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Finite-difference gradient checking used by the test suite.
+//!
+//! Central differences with `h = 1e-2` on `f32` give ~1e-4 absolute error for
+//! O(1) losses, so a mixed absolute/relative tolerance of ~1e-2 is a sound
+//! check for every op in this crate.
+
+use crate::graph::{Graph, Var};
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+
+/// Result of a single gradient comparison.
+#[derive(Debug)]
+pub struct GradMismatch {
+    /// Which input (or parameter) index.
+    pub input: usize,
+    /// Flat element index within the input.
+    pub element: usize,
+    /// Gradient from autograd.
+    pub analytic: f32,
+    /// Gradient from central finite differences.
+    pub numeric: f32,
+}
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}
+
+/// Checks autograd gradients of `build` (a scalar-loss graph over leaf
+/// inputs) against central finite differences. Returns all mismatches.
+pub fn check_input_grads(
+    inputs: &[Tensor],
+    build: impl Fn(&Graph, &[Var]) -> Var,
+    tol: f32,
+) -> Vec<GradMismatch> {
+    let mut store = ParamStore::new();
+    let graph = Graph::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| graph.leaf(t.clone())).collect();
+    let loss = build(&graph, &vars);
+    graph.backward(&loss, &mut store);
+    let analytic: Vec<Tensor> =
+        vars.iter().map(|v| v.grad().unwrap_or_else(|| Tensor::zeros(&v.shape()))).collect();
+
+    let eval = |inputs: &[Tensor]| -> f32 {
+        let g = Graph::new();
+        let vs: Vec<Var> = inputs.iter().map(|t| g.leaf(t.clone())).collect();
+        build(&g, &vs).value().item()
+    };
+
+    let h = 1e-2_f32;
+    let mut mismatches = Vec::new();
+    let mut work: Vec<Tensor> = inputs.to_vec();
+    for (ii, input) in inputs.iter().enumerate() {
+        for e in 0..input.numel() {
+            let orig = input.data()[e];
+            work[ii].data_mut()[e] = orig + h;
+            let up = eval(&work);
+            work[ii].data_mut()[e] = orig - h;
+            let down = eval(&work);
+            work[ii].data_mut()[e] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            let a = analytic[ii].data()[e];
+            if !close(a, numeric, tol) {
+                mismatches.push(GradMismatch { input: ii, element: e, analytic: a, numeric });
+            }
+        }
+    }
+    mismatches
+}
+
+/// Checks parameter gradients (dense params and gathered embedding rows)
+/// against finite differences. `max_per_param` bounds the number of elements
+/// probed per parameter to keep tests fast.
+pub fn check_param_grads(
+    store: &mut ParamStore,
+    build: impl Fn(&Graph, &ParamStore) -> Var,
+    tol: f32,
+    max_per_param: usize,
+) -> Vec<GradMismatch> {
+    store.zero_grad();
+    // Force a full clear in case a previous run left sparse traces.
+    for (_, p) in store.iter_mut() {
+        p.grad.zero_();
+        p.touched_rows.clear();
+        p.dense_touched = false;
+    }
+    let graph = Graph::new();
+    let loss = build(&graph, store);
+    graph.backward(&loss, store);
+    let analytic: Vec<Tensor> = store.iter().map(|(_, p)| p.grad.clone()).collect();
+
+    let h = 1e-2_f32;
+    let mut mismatches = Vec::new();
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    for (pi, &id) in ids.iter().enumerate() {
+        let numel = store.get(id).data.numel();
+        let step = (numel / max_per_param).max(1);
+        for e in (0..numel).step_by(step) {
+            let orig = store.get(id).data.data()[e];
+            store.get_mut(id).data.data_mut()[e] = orig + h;
+            let up = build(&Graph::new(), store).value().item();
+            store.get_mut(id).data.data_mut()[e] = orig - h;
+            let down = build(&Graph::new(), store).value().item();
+            store.get_mut(id).data.data_mut()[e] = orig;
+            let numeric = (up - down) / (2.0 * h);
+            let a = analytic[pi].data()[e];
+            if !close(a, numeric, tol) {
+                mismatches.push(GradMismatch { input: pi, element: e, analytic: a, numeric });
+            }
+        }
+    }
+    mismatches
+}
+
+/// Panics with a readable report if any gradient mismatches were found.
+pub fn assert_no_mismatch(mismatches: &[GradMismatch]) {
+    assert!(
+        mismatches.is_empty(),
+        "gradient check failed at {} points; first: {:?}",
+        mismatches.len(),
+        mismatches.first()
+    );
+}

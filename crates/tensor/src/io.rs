@@ -1,0 +1,213 @@
+//! Binary (de)serialization of parameter stores.
+//!
+//! Format (little-endian): magic `BTLG`, version u32, param count u32, then
+//! per parameter: name (u32 length + UTF-8), rank u32, dims (u64 each), and
+//! the f32 data. Loading verifies names and shapes against the receiving
+//! store, so a model is always reconstructed through its normal constructor
+//! and only the *values* are restored — malformed files cannot smuggle in
+//! mismatched architectures.
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BTLG";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes all parameter values of `store` to `w`.
+pub fn write_store(store: &ParamStore, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u32(w, store.len() as u32)?;
+    for (_, p) in store.iter() {
+        write_u32(w, p.name.len() as u32)?;
+        w.write_all(p.name.as_bytes())?;
+        write_u32(w, p.data.rank() as u32)?;
+        for &d in p.data.shape() {
+            write_u64(w, d as u64)?;
+        }
+        // f32 LE payload.
+        let mut buf = Vec::with_capacity(p.data.numel() * 4);
+        for &v in p.data.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Restores parameter *values* into an already-constructed `store`.
+/// Fails if the file's parameter names, order, or shapes differ.
+pub fn read_into_store(store: &mut ParamStore, r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a bootleg parameter file"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported version {version}")));
+    }
+    let n = read_u32(r)? as usize;
+    if n != store.len() {
+        return Err(bad(format!("file has {n} params, store has {}", store.len())));
+    }
+    let ids: Vec<_> = store.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let name_len = read_u32(r)? as usize;
+        if name_len > 1 << 16 {
+            return Err(bad("implausible name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 name"))?;
+        let rank = read_u32(r)? as usize;
+        if rank > 8 {
+            return Err(bad("implausible rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(read_u64(r)? as usize);
+        }
+        {
+            let p = store.get(id);
+            if p.name != name {
+                return Err(bad(format!("param name mismatch: file {name}, store {}", p.name)));
+            }
+            if p.data.shape() != shape.as_slice() {
+                return Err(bad(format!(
+                    "shape mismatch for {name}: file {shape:?}, store {:?}",
+                    p.data.shape()
+                )));
+            }
+        }
+        let numel: usize = shape.iter().product();
+        let mut buf = vec![0u8; numel * 4];
+        r.read_exact(&mut buf)?;
+        let data: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        store.get_mut(id).data = Tensor::new(shape, data);
+    }
+    Ok(())
+}
+
+/// Convenience: save a store to a file path.
+pub fn save_store(store: &ParamStore, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_store(store, &mut f)
+}
+
+/// Convenience: load values from a file into a matching store.
+pub fn load_store(store: &mut ParamStore, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_into_store(store, &mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_store(seed: u64) -> ParamStore {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ps = ParamStore::new();
+        ps.add("emb", init::normal(&mut rng, &[10, 4], 1.0));
+        ps.add("w", init::normal(&mut rng, &[4, 4], 1.0));
+        ps.add("scalar", Tensor::scalar(3.5));
+        ps
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        write_store(&src, &mut buf).expect("write");
+        let mut dst = sample_store(2); // different values, same structure
+        read_into_store(&mut dst, &mut buf.as_slice()).expect("read");
+        for ((_, a), (_, b)) in src.iter().zip(dst.iter()) {
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut dst = sample_store(0);
+        let err = read_into_store(&mut dst, &mut &b"NOPE"[..]).expect_err("should fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        write_store(&src, &mut buf).expect("write");
+        let mut dst = ParamStore::new();
+        dst.add("emb", Tensor::zeros(&[10, 4]));
+        dst.add("w", Tensor::zeros(&[2, 2])); // wrong shape
+        dst.add("scalar", Tensor::scalar(0.0));
+        assert!(read_into_store(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        write_store(&src, &mut buf).expect("write");
+        let mut dst = ParamStore::new();
+        dst.add("emb", Tensor::zeros(&[10, 4]));
+        dst.add("other", Tensor::zeros(&[4, 4]));
+        dst.add("scalar", Tensor::scalar(0.0));
+        assert!(read_into_store(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let src = sample_store(1);
+        let mut buf = Vec::new();
+        write_store(&src, &mut buf).expect("write");
+        buf.truncate(buf.len() / 2);
+        let mut dst = sample_store(0);
+        assert!(read_into_store(&mut dst, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("bootleg_io_test");
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("store.btlg");
+        let src = sample_store(5);
+        save_store(&src, &path).expect("save");
+        let mut dst = sample_store(6);
+        load_store(&mut dst, &path).expect("load");
+        assert_eq!(src.get(crate::ParamId(0)).data, dst.get(crate::ParamId(0)).data);
+        std::fs::remove_file(&path).ok();
+    }
+}

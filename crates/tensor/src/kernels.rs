@@ -1,0 +1,244 @@
+//! Raw numeric kernels shared by forward and backward passes.
+//!
+//! All kernels operate on contiguous row-major buffers. The matmul uses i-k-j
+//! loop ordering so the innermost loop streams both `b` and `c` sequentially,
+//! which is the main thing that matters for a small CPU GEMM.
+
+/// `c += a (m×k) * b (k×n)`; `c` is m×n and must be pre-zeroed by the caller
+/// if plain assignment is wanted.
+pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += aᵀ (k×m, stored m×k) * b (m×n)`; result is k×n.
+/// Used for weight gradients: dW = xᵀ dy.
+pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let brow = &b[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += a (m×k) * bᵀ (n×k, stored n×k)`; result is m×n.
+/// Used for input gradients: dx = dy Wᵀ.
+pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                s += av * bv;
+            }
+            *cv += s;
+        }
+    }
+}
+
+/// Numerically-stable softmax over each row of an `rows × cols` buffer,
+/// written into `out` (may not alias `x`).
+pub fn softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(out.len(), rows * cols);
+    for r in 0..rows {
+        let xi = &x[r * cols..(r + 1) * cols];
+        let oi = &mut out[r * cols..(r + 1) * cols];
+        let mx = xi.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in oi.iter_mut().zip(xi.iter()) {
+            let e = (v - mx).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in oi.iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+/// Backward of row softmax: given y = softmax(x) and dy, computes
+/// dx = y ⊙ (dy − ⟨dy, y⟩) per row, accumulated into `dx`.
+pub fn softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let yi = &y[r * cols..(r + 1) * cols];
+        let dyi = &dy[r * cols..(r + 1) * cols];
+        let dxi = &mut dx[r * cols..(r + 1) * cols];
+        let dot: f32 = yi.iter().zip(dyi.iter()).map(|(a, b)| a * b).sum();
+        for ((d, &yv), &dyv) in dxi.iter_mut().zip(yi.iter()).zip(dyi.iter()) {
+            *d += yv * (dyv - dot);
+        }
+    }
+}
+
+/// log-softmax over each row, written into `out`.
+pub fn log_softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        let xi = &x[r * cols..(r + 1) * cols];
+        let oi = &mut out[r * cols..(r + 1) * cols];
+        let mx = xi.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse = xi.iter().map(|&v| (v - mx).exp()).sum::<f32>().ln() + mx;
+        for (o, &v) in oi.iter_mut().zip(xi.iter()) {
+            *o = v - lse;
+        }
+    }
+}
+
+/// The tanh-approximation GELU and its derivative.
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+#[inline]
+pub fn gelu_deriv(x: f32) -> f32 {
+    const C: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = C * (x + 0.044_715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a: Vec<f32> = (0..6).map(|x| x as f32 * 0.5 - 1.0).collect();
+        let b: Vec<f32> = (0..12).map(|x| (x as f32).sin()).collect();
+        let mut c = vec![0.0; 2 * 4];
+        matmul_acc(&a, &b, &mut c, 2, 3, 4);
+        let expect = naive_matmul(&a, &b, 2, 3, 4);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn at_b_matches_transpose() {
+        // aᵀ b where a is 3x2 (so aᵀ is 2x3), b is 3x4 -> 2x4
+        let a: Vec<f32> = (0..6).map(|x| x as f32 + 1.0).collect();
+        let b: Vec<f32> = (0..12).map(|x| x as f32 - 5.0).collect();
+        let mut c = vec![0.0; 2 * 4];
+        matmul_at_b_acc(&a, &b, &mut c, 3, 2, 4);
+        // build explicit transpose
+        let mut at = vec![0.0; 6];
+        for i in 0..3 {
+            for j in 0..2 {
+                at[j * 3 + i] = a[i * 2 + j];
+            }
+        }
+        let expect = naive_matmul(&at, &b, 2, 3, 4);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_transpose() {
+        // a (2x3) * bᵀ where b is 4x3 -> 2x4
+        let a: Vec<f32> = (0..6).map(|x| x as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..12).map(|x| (x as f32).cos()).collect();
+        let mut c = vec![0.0; 2 * 4];
+        matmul_a_bt_acc(&a, &b, &mut c, 2, 3, 4);
+        let mut bt = vec![0.0; 12];
+        for i in 0..4 {
+            for j in 0..3 {
+                bt[j * 4 + i] = b[i * 3 + j];
+            }
+        }
+        let expect = naive_matmul(&a, &bt, 2, 3, 4);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = [1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        let mut y = [0.0; 6];
+        softmax_rows(&x, &mut y, 2, 3);
+        for r in 0..2 {
+            let s: f32 = y[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(y[2] > y[1] && y[1] > y[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let x = [1000.0, 1001.0];
+        let mut y = [0.0; 2];
+        softmax_rows(&x, &mut y, 1, 2);
+        assert!(y.iter().all(|v| v.is_finite()));
+        assert!((y[0] + y[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = [0.3, -1.2, 2.0];
+        let mut s = [0.0; 3];
+        let mut ls = [0.0; 3];
+        softmax_rows(&x, &mut s, 1, 3);
+        log_softmax_rows(&x, &mut ls, 1, 3);
+        for i in 0..3 {
+            assert!((s[i].ln() - ls[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gelu_deriv_matches_fd() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.7, 3.0] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_deriv(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Forward op constructors for [`Graph`] / [`Var`].
+//!
+//! Each method computes the forward value eagerly and records the op on the
+//! tape; backward rules live in [`crate::graph`].
+
+use crate::graph::{Graph, Op, Var};
+use crate::kernels;
+use crate::param::{ParamId, ParamStore};
+use crate::shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+impl Graph {
+    /// Records a constant input (no gradient flows out of it).
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records a scalar constant.
+    pub fn scalar(&self, value: f32) -> Var {
+        self.leaf(Tensor::scalar(value))
+    }
+
+    /// Brings a small dense parameter onto the tape by value.
+    pub fn dense_param(&self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.get(id).data.clone(), Op::DenseParam(id))
+    }
+
+    /// Gathers rows of an embedding table; backward scatter-adds into the
+    /// store and records touched rows for sparse optimizers.
+    pub fn gather_rows(&self, store: &ParamStore, id: ParamId, rows: &[u32]) -> Var {
+        let table = &store.get(id).data;
+        assert_eq!(table.rank(), 2, "gather_rows needs a 2-D table");
+        let cols = table.shape()[1];
+        let mut out = Vec::with_capacity(rows.len() * cols);
+        for &r in rows {
+            out.extend_from_slice(table.row(r as usize));
+        }
+        self.push(
+            Tensor::new(vec![rows.len(), cols], out),
+            Op::GatherRows { param: id, rows: rows.to_vec() },
+        )
+    }
+
+    /// Concatenates along the last axis. All inputs must share leading dims.
+    pub fn concat_last(&self, parts: &[&Var]) -> Var {
+        assert!(!parts.is_empty());
+        let values: Vec<Tensor> = parts.iter().map(|v| v.value()).collect();
+        let (rows, _) = shape::rows_cols(values[0].shape());
+        let widths: Vec<usize> =
+            values.iter().map(|t| t.shape().last().copied().unwrap_or(1)).collect();
+        for t in &values {
+            assert_eq!(shape::rows_cols(t.shape()).0, rows, "concat_last leading-dim mismatch");
+        }
+        let total: usize = widths.iter().sum();
+        let mut out = Vec::with_capacity(rows * total);
+        for r in 0..rows {
+            for (t, &w) in values.iter().zip(&widths) {
+                out.extend_from_slice(&t.data()[r * w..(r + 1) * w]);
+            }
+        }
+        let mut new_shape = values[0].shape().to_vec();
+        if new_shape.is_empty() {
+            new_shape = vec![total];
+        } else {
+            *new_shape.last_mut().expect("nonempty") = total;
+        }
+        self.push(Tensor::new(new_shape, out), Op::ConcatLast(parts.iter().map(|v| v.id).collect()))
+    }
+
+    /// Stacks inputs along axis 0. Rank-1 inputs count as single rows.
+    pub fn concat_rows(&self, parts: &[&Var]) -> Var {
+        assert!(!parts.is_empty());
+        let values: Vec<Tensor> = parts.iter().map(|v| v.value()).collect();
+        let cols = values[0].shape().last().copied().expect("rank >= 1");
+        let mut rows = 0;
+        let mut out = Vec::new();
+        for t in &values {
+            assert_eq!(t.shape().last().copied().unwrap(), cols, "concat_rows width mismatch");
+            rows += t.numel() / cols;
+            out.extend_from_slice(t.data());
+        }
+        self.push(Tensor::new(vec![rows, cols], out), Op::ConcatRows(parts.iter().map(|v| v.id).collect()))
+    }
+}
+
+macro_rules! unary_op {
+    ($name:ident, $variant:ident, $f:expr) => {
+        /// Elementwise op.
+        pub fn $name(&self) -> Var {
+            let x = self.value();
+            let data = x.data().iter().map(|&v| $f(v)).collect();
+            self.graph.push(Tensor::new(x.shape().to_vec(), data), Op::$variant(self.id))
+        }
+    };
+}
+
+impl Var {
+    /// Elementwise addition (same shape).
+    pub fn add(&self, other: &Var) -> Var {
+        self.same_graph(other);
+        let mut out = self.value();
+        out.add_assign(&other.value());
+        self.graph.push(out, Op::Add(self.id, other.id))
+    }
+
+    /// Elementwise subtraction (same shape).
+    pub fn sub(&self, other: &Var) -> Var {
+        self.same_graph(other);
+        let a = self.value();
+        let b = other.value();
+        assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+        let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
+        self.graph.push(Tensor::new(a.shape().to_vec(), data), Op::Sub(self.id, other.id))
+    }
+
+    /// Elementwise product (same shape).
+    pub fn mul(&self, other: &Var) -> Var {
+        self.same_graph(other);
+        let a = self.value();
+        let b = other.value();
+        assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+        let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+        self.graph.push(Tensor::new(a.shape().to_vec(), data), Op::Mul(self.id, other.id))
+    }
+
+    /// Adds a rank-1 bias, broadcast over all leading dims.
+    pub fn add_bias(&self, bias: &Var) -> Var {
+        self.same_graph(bias);
+        let x = self.value();
+        let b = bias.value();
+        let n = b.numel();
+        assert_eq!(x.shape().last().copied().unwrap_or(1), n, "bias width mismatch");
+        let data = x.data().iter().enumerate().map(|(i, &v)| v + b.data()[i % n]).collect();
+        self.graph
+            .push(Tensor::new(x.shape().to_vec(), data), Op::AddBias { x: self.id, bias: bias.id })
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, c: f32) -> Var {
+        let x = self.value();
+        let data = x.data().iter().map(|&v| v * c).collect();
+        self.graph.push(Tensor::new(x.shape().to_vec(), data), Op::Scale { x: self.id, c })
+    }
+
+    /// `x + w·I` for a square matrix `x` and scalar variable `w`.
+    pub fn add_scaled_identity(&self, w: &Var) -> Var {
+        self.same_graph(w);
+        let mut x = self.value();
+        assert_eq!(x.rank(), 2);
+        let n = x.shape()[0];
+        assert_eq!(x.shape()[1], n, "add_scaled_identity needs a square matrix");
+        let wv = w.value().item();
+        for i in 0..n {
+            x.data_mut()[i * n + i] += wv;
+        }
+        self.graph.push(x, Op::AddScaledIdentity { x: self.id, w: w.id })
+    }
+
+    /// `a (…, k) × b (k, n)`, flattening `a`'s leading dims.
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.same_graph(other);
+        let a = self.value();
+        let b = other.value();
+        assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+        let (m, k) = shape::rows_cols(a.shape());
+        assert_eq!(k, b.shape()[0], "matmul inner-dim mismatch {:?} x {:?}", a.shape(), b.shape());
+        let n = b.shape()[1];
+        let mut out = vec![0.0; m * n];
+        kernels::matmul_acc(a.data(), b.data(), &mut out, m, k, n);
+        let mut os = a.shape().to_vec();
+        if os.is_empty() {
+            os = vec![n];
+        } else {
+            *os.last_mut().expect("nonempty") = n;
+        }
+        self.graph.push(Tensor::new(os, out), Op::MatMul(self.id, other.id))
+    }
+
+    /// `(B, M, K) × (B, K, N)` batched matmul.
+    pub fn batch_matmul(&self, other: &Var) -> Var {
+        self.same_graph(other);
+        let a = self.value();
+        let b = other.value();
+        assert_eq!(a.rank(), 3);
+        assert_eq!(b.rank(), 3);
+        let (bb, m, k, n) = shape::batch_matmul_dims(a.shape(), b.shape());
+        let mut out = vec![0.0; bb * m * n];
+        for t in 0..bb {
+            kernels::matmul_acc(
+                &a.data()[t * m * k..(t + 1) * m * k],
+                &b.data()[t * k * n..(t + 1) * k * n],
+                &mut out[t * m * n..(t + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        self.graph.push(Tensor::new(vec![bb, m, n], out), Op::BatchMatMul(self.id, other.id))
+    }
+
+    /// Swaps the last two axes (materialized copy).
+    pub fn transpose_last2(&self) -> Var {
+        let x = self.value();
+        let s = x.shape();
+        let (b, m, n) = match s.len() {
+            2 => (1, s[0], s[1]),
+            3 => (s[0], s[1], s[2]),
+            _ => panic!("transpose_last2 rank {s:?}"),
+        };
+        let mut out = vec![0.0; x.numel()];
+        for t in 0..b {
+            for i in 0..m {
+                for j in 0..n {
+                    out[t * m * n + j * m + i] = x.data()[t * m * n + i * n + j];
+                }
+            }
+        }
+        self.graph.push(Tensor::new(shape::transpose_last2(s), out), Op::TransposeLast2(self.id))
+    }
+
+    /// Swaps axes 0 and 1 of a rank-3 tensor (materialized copy).
+    pub fn swap_axes01(&self) -> Var {
+        let x = self.value();
+        let s = x.shape();
+        assert_eq!(s.len(), 3, "swap_axes01 needs rank 3");
+        let (a, b, c) = (s[0], s[1], s[2]);
+        let mut out = vec![0.0; x.numel()];
+        for i in 0..a {
+            for j in 0..b {
+                let src = &x.data()[(i * b + j) * c..(i * b + j + 1) * c];
+                let dst = &mut out[(j * a + i) * c..(j * a + i + 1) * c];
+                dst.copy_from_slice(src);
+            }
+        }
+        self.graph.push(Tensor::new(vec![b, a, c], out), Op::SwapAxes01(self.id))
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    pub fn reshape(&self, new_shape: &[usize]) -> Var {
+        let x = self.value();
+        assert_eq!(shape::numel(new_shape), x.numel(), "reshape to incompatible {new_shape:?}");
+        self.graph.push(Tensor::new(new_shape.to_vec(), x.data().to_vec()), Op::Reshape(self.id))
+    }
+
+    /// Gathers rows of a rank-2 tensor (duplicates allowed).
+    pub fn select_rows(&self, idx: &[u32]) -> Var {
+        let x = self.value();
+        assert_eq!(x.rank(), 2, "select_rows needs rank 2");
+        let cols = x.shape()[1];
+        let mut out = Vec::with_capacity(idx.len() * cols);
+        for &r in idx {
+            out.extend_from_slice(x.row(r as usize));
+        }
+        self.graph.push(
+            Tensor::new(vec![idx.len(), cols], out),
+            Op::SelectRows { x: self.id, idx: idx.to_vec() },
+        )
+    }
+
+    unary_op!(relu, Relu, |v: f32| v.max(0.0));
+    unary_op!(gelu, Gelu, kernels::gelu);
+    unary_op!(tanh_, Tanh, |v: f32| v.tanh());
+    unary_op!(sigmoid, Sigmoid, |v: f32| 1.0 / (1.0 + (-v).exp()));
+
+    /// Softmax over the last axis.
+    pub fn softmax_last(&self) -> Var {
+        let x = self.value();
+        let (rows, cols) = shape::rows_cols(x.shape());
+        let mut out = vec![0.0; x.numel()];
+        kernels::softmax_rows(x.data(), &mut out, rows, cols);
+        self.graph.push(Tensor::new(x.shape().to_vec(), out), Op::SoftmaxLast(self.id))
+    }
+
+    /// Log-softmax over the last axis.
+    pub fn log_softmax_last(&self) -> Var {
+        let x = self.value();
+        let (rows, cols) = shape::rows_cols(x.shape());
+        let mut out = vec![0.0; x.numel()];
+        kernels::log_softmax_rows(x.data(), &mut out, rows, cols);
+        self.graph.push(Tensor::new(x.shape().to_vec(), out), Op::LogSoftmaxLast(self.id))
+    }
+
+    /// Sum of all elements (scalar).
+    pub fn sum_all(&self) -> Var {
+        let s: f32 = self.value().data().iter().sum();
+        self.graph.push(Tensor::scalar(s), Op::SumAll(self.id))
+    }
+
+    /// Mean of all elements (scalar).
+    pub fn mean_all(&self) -> Var {
+        let x = self.value();
+        let s: f32 = x.data().iter().sum::<f32>() / x.numel() as f32;
+        self.graph.push(Tensor::scalar(s), Op::MeanAll(self.id))
+    }
+
+    /// Mean over rows: `(m, n) -> (n,)`.
+    pub fn mean_rows(&self) -> Var {
+        let x = self.value();
+        assert_eq!(x.rank(), 2, "mean_rows needs rank 2");
+        let (m, n) = (x.shape()[0], x.shape()[1]);
+        let mut out = vec![0.0; n];
+        for r in 0..m {
+            for (o, &v) in out.iter_mut().zip(x.row(r)) {
+                *o += v;
+            }
+        }
+        out.iter_mut().for_each(|v| *v /= m as f32);
+        self.graph.push(Tensor::from_slice(&out), Op::MeanRows(self.id))
+    }
+
+    /// Elementwise maximum of two same-shape tensors (ties route to `self`).
+    pub fn maximum(&self, other: &Var) -> Var {
+        self.same_graph(other);
+        let a = self.value();
+        let b = other.value();
+        assert_eq!(a.shape(), b.shape(), "maximum shape mismatch");
+        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| x.max(y)).collect();
+        self.graph.push(Tensor::new(a.shape().to_vec(), data), Op::Maximum(self.id, other.id))
+    }
+
+    /// Inverted dropout; identity when the graph is in inference mode or
+    /// `p == 0`.
+    pub fn dropout(&self, p: f32) -> Var {
+        if p <= 0.0 || !self.graph.training() {
+            return self.scale(1.0);
+        }
+        let x = self.value();
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = {
+            let mut inner = self.graph.inner.borrow_mut();
+            (0..x.numel())
+                .map(|_| if inner.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+                .collect()
+        };
+        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        self.graph.push(Tensor::new(x.shape().to_vec(), data), Op::Dropout { x: self.id, mask })
+    }
+
+    /// Layer norm over the last axis with affine `gamma`/`beta` (rank-1 vars).
+    pub fn layer_norm(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        self.same_graph(gamma);
+        self.same_graph(beta);
+        let x = self.value();
+        let g = gamma.value();
+        let b = beta.value();
+        let (rows, cols) = shape::rows_cols(x.shape());
+        assert_eq!(g.numel(), cols);
+        assert_eq!(b.numel(), cols);
+        let mut out = vec![0.0; x.numel()];
+        for r in 0..rows {
+            let xr = &x.data()[r * cols..(r + 1) * cols];
+            let or = &mut out[r * cols..(r + 1) * cols];
+            let mu: f32 = xr.iter().sum::<f32>() / cols as f32;
+            let var: f32 = xr.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for j in 0..cols {
+                or[j] = (xr[j] - mu) * inv_std * g.data()[j] + b.data()[j];
+            }
+        }
+        self.graph.push(
+            Tensor::new(x.shape().to_vec(), out),
+            Op::LayerNorm { x: self.id, gamma: gamma.id, beta: beta.id, eps },
+        )
+    }
+
+    /// Mean cross-entropy of row logits against integer targets (scalar).
+    pub fn cross_entropy_rows(&self, targets: &[u32]) -> Var {
+        let x = self.value();
+        let (rows, cols) = shape::rows_cols(x.shape());
+        assert_eq!(rows, targets.len(), "one target per logit row");
+        let mut ls = vec![0.0; rows * cols];
+        kernels::log_softmax_rows(x.data(), &mut ls, rows, cols);
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!((t as usize) < cols, "target {t} out of range {cols}");
+            loss -= ls[r * cols + t as usize];
+        }
+        loss /= rows as f32;
+        self.graph.push(
+            Tensor::scalar(loss),
+            Op::CrossEntropyRows { logits: self.id, targets: targets.to_vec() },
+        )
+    }
+}

@@ -1,0 +1,106 @@
+//! Shape utilities for row-major dense tensors of rank 0–3.
+
+/// Number of elements implied by a shape (empty shape = scalar = 1 element).
+#[inline]
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// `true` if two shapes are identical.
+#[inline]
+pub fn same(a: &[usize], b: &[usize]) -> bool {
+    a == b
+}
+
+/// Splits a shape into `(leading, last)` where `leading` is the product of all
+/// dimensions except the last. A rank-0 or rank-1 tensor has `leading == 1`.
+#[inline]
+pub fn rows_cols(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        _ => {
+            let last = shape[shape.len() - 1];
+            (numel(shape) / last.max(1), last)
+        }
+    }
+}
+
+/// Shape of the result of swapping the last two axes. Panics for rank < 2.
+pub fn transpose_last2(shape: &[usize]) -> Vec<usize> {
+    assert!(shape.len() >= 2, "transpose_last2 needs rank >= 2, got {shape:?}");
+    let mut out = shape.to_vec();
+    let n = out.len();
+    out.swap(n - 2, n - 1);
+    out
+}
+
+/// For a batched matmul `(b, m, k) x (b, k, n)` returns `(b, m, k, n)`.
+/// Also accepts the unbatched 2-D x 2-D case, reporting `b == 1`.
+pub fn batch_matmul_dims(a: &[usize], b: &[usize]) -> (usize, usize, usize, usize) {
+    match (a.len(), b.len()) {
+        (2, 2) => {
+            assert_eq!(a[1], b[0], "matmul inner-dim mismatch: {a:?} x {b:?}");
+            (1, a[0], a[1], b[1])
+        }
+        (3, 3) => {
+            assert_eq!(a[0], b[0], "batched matmul batch mismatch: {a:?} x {b:?}");
+            assert_eq!(a[2], b[1], "batched matmul inner-dim mismatch: {a:?} x {b:?}");
+            (a[0], a[1], a[2], b[2])
+        }
+        (3, 2) => {
+            assert_eq!(a[2], b[0], "matmul inner-dim mismatch: {a:?} x {b:?}");
+            (a[0], a[1], a[2], b[1])
+        }
+        _ => panic!("unsupported matmul ranks: {a:?} x {b:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_scalar_is_one() {
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[3]), 3);
+        assert_eq!(numel(&[2, 3]), 6);
+        assert_eq!(numel(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn rows_cols_splits() {
+        assert_eq!(rows_cols(&[5, 7]), (5, 7));
+        assert_eq!(rows_cols(&[2, 5, 7]), (10, 7));
+        assert_eq!(rows_cols(&[7]), (1, 7));
+        assert_eq!(rows_cols(&[]), (1, 1));
+    }
+
+    #[test]
+    fn transpose_shape() {
+        assert_eq!(transpose_last2(&[2, 3]), vec![3, 2]);
+        assert_eq!(transpose_last2(&[4, 2, 3]), vec![4, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn transpose_rank1_panics() {
+        transpose_last2(&[3]);
+    }
+
+    #[test]
+    fn matmul_dims() {
+        assert_eq!(batch_matmul_dims(&[2, 3], &[3, 5]), (1, 2, 3, 5));
+        assert_eq!(batch_matmul_dims(&[4, 2, 3], &[4, 3, 5]), (4, 2, 3, 5));
+        assert_eq!(batch_matmul_dims(&[4, 2, 3], &[3, 5]), (4, 2, 3, 5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_dim_mismatch_panics() {
+        batch_matmul_dims(&[2, 3], &[4, 5]);
+    }
+}

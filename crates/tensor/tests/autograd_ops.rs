@@ -1,0 +1,290 @@
+//! Finite-difference gradient checks for every differentiable op on the tape.
+
+use bootleg_tensor::gradcheck::{assert_no_mismatch, check_input_grads, check_param_grads};
+use bootleg_tensor::{init, Graph, ParamStore, Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 2e-2;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn rand_t(seed: u64, shape: &[usize]) -> Tensor {
+    init::normal(&mut rng(seed), shape, 0.7)
+}
+
+/// Reduces any var to a "generic" scalar so gradient paths stay nonzero and
+/// asymmetric: sum(x * cos(index)).
+fn weighted_sum(g: &Graph, v: &Var) -> Var {
+    let shape = v.shape();
+    let n: usize = shape.iter().product::<usize>().max(1);
+    let w: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.7).cos() + 0.1).collect();
+    let wv = g.leaf(Tensor::new(shape, w));
+    v.mul(&wv).sum_all()
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    let a = rand_t(1, &[3, 4]);
+    let b = rand_t(2, &[3, 4]);
+    let mm = check_input_grads(&[a, b], |g, vs| {
+        let s = vs[0].add(&vs[1]).mul(&vs[0]).sub(&vs[1]);
+        weighted_sum(g, &s)
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_add_bias() {
+    let x = rand_t(3, &[4, 5]);
+    let b = rand_t(4, &[5]);
+    let mm = check_input_grads(&[x, b], |g, vs| weighted_sum(g, &vs[0].add_bias(&vs[1])), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_scale_and_neg_path() {
+    let x = rand_t(5, &[6]);
+    let mm = check_input_grads(&[x], |g, vs| weighted_sum(g, &vs[0].scale(-2.5)), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_matmul_2d() {
+    let a = rand_t(6, &[3, 4]);
+    let b = rand_t(7, &[4, 2]);
+    let mm = check_input_grads(&[a, b], |g, vs| weighted_sum(g, &vs[0].matmul(&vs[1])), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_matmul_3d_by_2d() {
+    let a = rand_t(8, &[2, 3, 4]);
+    let b = rand_t(9, &[4, 5]);
+    let mm = check_input_grads(&[a, b], |g, vs| weighted_sum(g, &vs[0].matmul(&vs[1])), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_batch_matmul() {
+    let a = rand_t(10, &[2, 3, 4]);
+    let b = rand_t(11, &[2, 4, 5]);
+    let mm =
+        check_input_grads(&[a, b], |g, vs| weighted_sum(g, &vs[0].batch_matmul(&vs[1])), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_transpose_last2() {
+    let a = rand_t(12, &[3, 4]);
+    let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].transpose_last2()), TOL);
+    assert_no_mismatch(&mm);
+    let a3 = rand_t(13, &[2, 3, 4]);
+    let mm = check_input_grads(&[a3], |g, vs| weighted_sum(g, &vs[0].transpose_last2()), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_swap_axes01() {
+    let a = rand_t(14, &[2, 3, 4]);
+    let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].swap_axes01()), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_reshape() {
+    let a = rand_t(15, &[2, 6]);
+    let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].reshape(&[3, 4])), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_concat_last() {
+    let a = rand_t(16, &[3, 2]);
+    let b = rand_t(17, &[3, 4]);
+    let mm = check_input_grads(&[a, b], |g, vs| {
+        weighted_sum(g, &g.concat_last(&[&vs[0], &vs[1]]))
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_concat_rows() {
+    let a = rand_t(18, &[2, 3]);
+    let b = rand_t(19, &[4, 3]);
+    let mm = check_input_grads(&[a, b], |g, vs| {
+        weighted_sum(g, &g.concat_rows(&[&vs[0], &vs[1]]))
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_select_rows_with_duplicates() {
+    let a = rand_t(20, &[4, 3]);
+    let mm = check_input_grads(&[a], |g, vs| {
+        weighted_sum(g, &vs[0].select_rows(&[0, 2, 2, 3]))
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_activations() {
+    let a = rand_t(21, &[3, 4]);
+    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].relu()), TOL);
+    assert_no_mismatch(&mm);
+    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].gelu()), TOL);
+    assert_no_mismatch(&mm);
+    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].tanh_()), TOL);
+    assert_no_mismatch(&mm);
+    let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].sigmoid()), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_softmax_and_log_softmax() {
+    let a = rand_t(22, &[3, 5]);
+    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].softmax_last()), TOL);
+    assert_no_mismatch(&mm);
+    let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].log_softmax_last()), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_reductions() {
+    let a = rand_t(23, &[3, 4]);
+    let mm = check_input_grads(&[a.clone()], |_, vs| vs[0].sum_all(), TOL);
+    assert_no_mismatch(&mm);
+    let mm = check_input_grads(&[a.clone()], |_, vs| vs[0].mean_all(), TOL);
+    assert_no_mismatch(&mm);
+    let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].mean_rows()), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_maximum_routes_to_argmax_side() {
+    // Use well-separated values so fd does not straddle the max kink.
+    let a = Tensor::from_slice(&[1.0, -2.0, 3.0, 0.5]);
+    let b = Tensor::from_slice(&[0.0, 2.0, -3.0, 0.0]);
+    let mm = check_input_grads(&[a, b], |g, vs| weighted_sum(g, &vs[0].maximum(&vs[1])), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_add_scaled_identity() {
+    let a = rand_t(24, &[4, 4]);
+    let w = Tensor::scalar(0.3);
+    let mm = check_input_grads(&[a, w], |g, vs| {
+        weighted_sum(g, &vs[0].add_scaled_identity(&vs[1]))
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_layer_norm() {
+    let x = rand_t(25, &[3, 6]);
+    let gamma = rand_t(26, &[6]);
+    let beta = rand_t(27, &[6]);
+    let mm = check_input_grads(&[x, gamma, beta], |g, vs| {
+        weighted_sum(g, &vs[0].layer_norm(&vs[1], &vs[2], 1e-5))
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_cross_entropy_rows() {
+    let x = rand_t(28, &[4, 6]);
+    let mm =
+        check_input_grads(&[x], |_, vs| vs[0].cross_entropy_rows(&[1, 0, 5, 3]), TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn grad_dense_param_and_gather_rows() {
+    let mut store = ParamStore::new();
+    let w = store.add("w", rand_t(29, &[3, 2]));
+    let emb = store.add("emb", rand_t(30, &[6, 3]));
+    let mm = check_param_grads(
+        &mut store,
+        |g, s| {
+            // gather rows (with duplicate) then project with a dense param
+            let rows = g.gather_rows(s, emb, &[0, 4, 4, 1]);
+            let wv = g.dense_param(s, w);
+            let y = rows.matmul(&wv);
+            let shape = y.shape();
+            let n: usize = shape.iter().product();
+            let w2: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.3).sin() + 0.2).collect();
+            y.mul(&g.leaf(Tensor::new(shape, w2))).sum_all()
+        },
+        TOL,
+        64,
+    );
+    assert_no_mismatch(&mm);
+    // Touched-row tracking should contain the gathered rows.
+    let touched = &store.get(emb).touched_rows;
+    assert!(touched.contains(&0) && touched.contains(&4) && touched.contains(&1));
+}
+
+#[test]
+fn grad_composite_attention_like_path() {
+    // A miniature attention block: softmax(QKᵀ/√d)V through several ops.
+    let q = rand_t(31, &[2, 3, 4]);
+    let k = rand_t(32, &[2, 5, 4]);
+    let v = rand_t(33, &[2, 5, 4]);
+    let mm = check_input_grads(&[q, k, v], |g, vs| {
+        let scores = vs[0].batch_matmul(&vs[1].transpose_last2()).scale(0.5);
+        let attn = scores.softmax_last();
+        let out = attn.batch_matmul(&vs[2]);
+        weighted_sum(g, &out)
+    }, TOL);
+    assert_no_mismatch(&mm);
+}
+
+#[test]
+fn dropout_is_identity_in_inference_mode() {
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_slice(&[1.0, 2.0, 3.0]));
+    let y = x.dropout(0.5);
+    assert_eq!(y.value().data(), &[1.0, 2.0, 3.0]);
+}
+
+#[test]
+fn dropout_scales_kept_elements_in_training() {
+    let g = Graph::with_mode(true, 42);
+    let x = g.leaf(Tensor::full(&[1000], 1.0));
+    let y = x.dropout(0.5).value();
+    let kept = y.data().iter().filter(|&&v| v > 0.0).count();
+    assert!(kept > 350 && kept < 650, "kept {kept}");
+    for &v in y.data() {
+        assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn dropout_backward_uses_mask() {
+    let mut store = ParamStore::new();
+    let g = Graph::with_mode(true, 7);
+    let x = g.leaf(Tensor::full(&[64], 1.0));
+    let y = x.dropout(0.5);
+    let loss = y.sum_all();
+    g.backward(&loss, &mut store);
+    let gx = x.grad().expect("grad");
+    let yv = y.value();
+    for (gv, &v) in gx.data().iter().zip(yv.data()) {
+        assert_eq!(*gv, v, "grad must equal mask value");
+    }
+}
+
+#[test]
+fn backward_twice_on_shared_subgraph_accumulates() {
+    // y = x used by two heads; grads must sum.
+    let mut store = ParamStore::new();
+    let g = Graph::new();
+    let x = g.leaf(Tensor::from_slice(&[1.0, 2.0]));
+    let a = x.scale(2.0).sum_all();
+    let b = x.scale(3.0).sum_all();
+    let loss = a.add(&b);
+    g.backward(&loss, &mut store);
+    assert_eq!(x.grad().expect("grad").data(), &[5.0, 5.0]);
+}

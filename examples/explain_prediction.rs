@@ -1,0 +1,54 @@
+//! Which reasoning pattern carried a disambiguation? The `explain` API
+//! re-runs inference with each signal family knocked out (entity embedding,
+//! types, KG) and reports the margin each one contributed — §5's pattern
+//! analysis at the level of a single prediction.
+//!
+//! Run: `cargo run --release --example explain_prediction`
+
+use bootleg::core::{train, BootlegConfig, BootlegModel, Example, TrainConfig};
+use bootleg::corpus::{generate_corpus, CorpusConfig};
+use bootleg::kb::{generate, KbConfig};
+
+fn main() {
+    let kb = generate(&KbConfig { n_entities: 800, seed: 13, ..Default::default() });
+    let corpus =
+        generate_corpus(&kb, &CorpusConfig { n_pages: 300, seed: 13, ..Default::default() });
+    let counts = bootleg::corpus::stats::entity_counts(&corpus.train, true);
+    let mut model = BootlegModel::new(&kb, &corpus.vocab, &counts, BootlegConfig::default());
+    train(&mut model, &kb, &corpus.train, &TrainConfig { epochs: 2, ..Default::default() });
+
+    let mut shown = 0;
+    for s in &corpus.dev {
+        let Some(ex) = Example::evaluation(s) else { continue };
+        // Only explain correct predictions — attribution of a right answer.
+        let preds = model.forward(&kb, &ex, false, 0).predictions;
+        for (mi, m) in ex.mentions.iter().enumerate() {
+            if Some(preds[mi] as u32) != m.gold {
+                continue;
+            }
+            let e = model.explain(&kb, &ex, mi);
+            let gold = m.candidates[preds[mi]];
+            println!("sentence: \"{}\"", corpus.vocab.decode(&s.tokens));
+            println!(
+                "  resolved \"{}\" -> {:?} (margin {:.2}); pattern = {:?}",
+                corpus.vocab.word(ex.tokens[m.first]),
+                kb.entity(gold).title_tokens,
+                e.margin,
+                s.pattern.name(),
+            );
+            for (signal, drop, flipped) in &e.contributions {
+                println!(
+                    "    without {:<7} margin drops {:+.2}{}",
+                    signal.name(),
+                    drop,
+                    if *flipped { "  (prediction flips!)" } else { "" }
+                );
+            }
+            shown += 1;
+            break;
+        }
+        if shown >= 6 {
+            break;
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The §3.3.2 weak-labeling pipeline: pronoun- and alternative-name
+//! heuristics recover labels for unlabeled page mentions, increasing the
+//! training signal (the paper reports a 1.7x label lift and a 2.6-F1 unseen
+//! gain).
+//!
+//! Run: `cargo run --release --example weak_labeling`
+
+use bootleg::corpus::{generate_corpus, weaklabel, CorpusConfig, LabelKind};
+use bootleg::kb::{generate, KbConfig};
+
+fn main() {
+    let kb = generate(&KbConfig { n_entities: 1000, seed: 5, ..Default::default() });
+    let mut corpus =
+        generate_corpus(&kb, &CorpusConfig { n_pages: 400, seed: 5, ..Default::default() });
+
+    let before: usize = corpus
+        .train
+        .iter()
+        .flat_map(|s| s.mentions.iter())
+        .filter(|m| m.label == LabelKind::Unlabeled)
+        .count();
+    println!("before weak labeling: {before} unlabeled mentions");
+
+    // Show a pronoun mention awaiting labeling.
+    for s in &corpus.train {
+        for m in &s.mentions {
+            if m.label == LabelKind::Unlabeled && m.alias.is_none() {
+                println!(
+                    "  e.g. \"{}\" — the pronoun refers to page entity {:?}",
+                    corpus.vocab.decode(&s.tokens),
+                    kb.entity(s.page).title_tokens
+                );
+                break;
+            }
+        }
+    }
+
+    let vocab = corpus.vocab.clone();
+    let stats = weaklabel::apply(&kb, &vocab, &mut corpus.train);
+    println!("\nafter weak labeling:");
+    println!("  anchors:           {}", stats.anchors);
+    println!("  pronoun labels:    {}", stats.pronoun_labels);
+    println!("  alt-name labels:   {}", stats.alt_name_labels);
+    println!("  mislabeled (noise): {} — traps where the alias referred elsewhere", stats.mislabeled);
+    println!("  still unlabeled:   {}", stats.still_unlabeled);
+    println!("  label lift:        {:.2}x (paper: 1.7x)", stats.label_lift());
+
+    // The counts that drive tail slicing include the weak labels (§4.1).
+    let with_weak = bootleg::corpus::stats::entity_counts(&corpus.train, true);
+    let without = bootleg::corpus::stats::entity_counts(&corpus.train, false);
+    println!(
+        "\nocurrence-count mass: {} anchors-only vs {} with weak labels",
+        without.values().map(|&v| v as u64).sum::<u64>(),
+        with_weak.values().map(|&v| v as u64).sum::<u64>()
+    );
+}

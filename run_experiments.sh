@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper. ~30-45 min on one core.
+set -u
+cd "$(dirname "$0")"
+BINS="stats_coverage ablation_design table10_sizes table2_tail fig1_tail_curve table7_patterns table8_errors fig3_compression fig4_rare_proportion table1_benchmarks table6_regularization table11_weaklabel table3_tacred table5_industry"
+for b in $BINS; do
+  echo "== $b =="
+  cargo run --release -q -p bootleg-bench --bin "$b" > "results/$b.txt" 2> "results/$b.log" \
+    && echo "   ok" || echo "   FAILED (see results/$b.log)"
+done
