@@ -10,11 +10,11 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin ablation_design`
 
-use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::BootlegConfig;
 use bootleg_eval::{error_analysis, evaluate_slices};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let eval_set = &wb.corpus.dev;
 
@@ -26,39 +26,29 @@ fn main() {
     ];
 
     let widths = [24, 8, 8, 8, 8, 12];
+    let headers = ["Model", "All", "Torso", "Tail", "Unseen", "MultiHopErr"];
+    let mut table = ResultsTable::new(&headers);
     println!("Design ablations (micro F1; multi-hop = share of errors in that bucket)");
-    println!(
-        "{}",
-        row(
-            &[
-                "Model".into(),
-                "All".into(),
-                "Torso".into(),
-                "Tail".into(),
-                "Unseen".into(),
-                "MultiHopErr".into(),
-            ],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
     for (name, config) in configs {
         let model = wb.train_bootleg(config, &full_train_config());
         let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
         let errors =
             error_analysis(&wb.kb, &wb.corpus.vocab, eval_set, wb.predictor(&model), 0);
-        println!(
-            "{}",
-            row(
-                &[
-                    name.into(),
-                    format!("{:.1}", r.all.f1()),
-                    format!("{:.1}", r.torso.f1()),
-                    format!("{:.1}", r.tail.f1()),
-                    format!("{:.1}", r.unseen.f1()),
-                    format!("{:.1}%", 100.0 * errors.frac(errors.multi_hop)),
-                ],
-                &widths
-            )
-        );
+        let cells = [
+            name.to_string(),
+            format!("{:.1}", r.all.f1()),
+            format!("{:.1}", r.torso.f1()),
+            format!("{:.1}", r.tail.f1()),
+            format!("{:.1}", r.unseen.f1()),
+            format!("{:.1}%", 100.0 * errors.frac(errors.multi_hop)),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     }
+
+    let mut results = Results::new("ablation_design");
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }

@@ -4,11 +4,11 @@
 //! Run: `cargo run --release -p bootleg-bench --bin fig1_tail_curve`
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
-use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::BootlegConfig;
 use bootleg_eval::slices::f1_by_count_bucket;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let eval_set = &wb.corpus.dev;
 
@@ -21,19 +21,9 @@ fn main() {
 
     println!("Figure 1 (right): F1 vs number of entity occurrences in training");
     let widths = [18, 10, 12, 12, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "Occurrences".into(),
-                "Slice".into(),
-                "NED-Base".into(),
-                "Bootleg".into(),
-                "#Ment".into()
-            ],
-            &widths
-        )
-    );
+    let headers = ["Occurrences", "Slice", "NED-Base", "Bootleg", "#Ment"];
+    let mut table = ResultsTable::new(&headers);
+    println!("{}", row(&headers.map(String::from), &widths));
     for (n, b) in ned_curve.iter().zip(&boot_curve) {
         let label = if n.hi == u32::MAX {
             format!("{}+", n.lo)
@@ -46,18 +36,19 @@ fn main() {
             lo if lo <= 1000 => "torso",
             _ => "head",
         };
-        println!(
-            "{}",
-            row(
-                &[
-                    label,
-                    slice.into(),
-                    format!("{:.1}", n.prf.f1()),
-                    format!("{:.1}", b.prf.f1()),
-                    n.prf.gold.to_string(),
-                ],
-                &widths
-            )
-        );
+        let cells = [
+            label,
+            slice.to_string(),
+            format!("{:.1}", n.prf.f1()),
+            format!("{:.1}", b.prf.f1()),
+            n.prf.gold.to_string(),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     }
+
+    let mut results = Results::new("fig1_tail_curve");
+    results.set_table("buckets", table);
+    results.write()?;
+    Ok(())
 }

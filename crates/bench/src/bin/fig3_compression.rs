@@ -5,32 +5,20 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin fig3_compression`
 
-use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::{compress_entity_embeddings, BootlegConfig};
 use bootleg_eval::evaluate_slices;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let model = wb.train_bootleg(BootlegConfig::default(), &full_train_config());
     let eval_set = &wb.corpus.dev;
 
     let widths = [10, 10, 10, 10, 10, 10, 10];
+    let headers = ["k%", "kept", "All", "Torso", "Tail", "Unseen", "Emb MB"];
+    let mut table = ResultsTable::new(&headers);
     println!("Figure 3: error (100 - F1) vs compression (top-k% embeddings kept)");
-    println!(
-        "{}",
-        row(
-            &[
-                "k%".into(),
-                "kept".into(),
-                "All".into(),
-                "Torso".into(),
-                "Tail".into(),
-                "Unseen".into(),
-                "Emb MB".into(),
-            ],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
     for k in [100.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.1f64] {
         let (compressed, kept) = compress_entity_embeddings(&model, k / 100.0);
@@ -39,21 +27,22 @@ fn main() {
         });
         // Storage actually needed: kept rows + one shared row.
         let mb = ((kept + 1) * compressed.config.entity_dim * 4) as f64 / 1_048_576.0;
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{k}"),
-                    kept.to_string(),
-                    format!("{:.1}", 100.0 - r.all.f1()),
-                    format!("{:.1}", 100.0 - r.torso.f1()),
-                    format!("{:.1}", 100.0 - r.tail.f1()),
-                    format!("{:.1}", 100.0 - r.unseen.f1()),
-                    format!("{mb:.3}"),
-                ],
-                &widths
-            )
-        );
+        let cells = [
+            format!("{k}"),
+            kept.to_string(),
+            format!("{:.1}", 100.0 - r.all.f1()),
+            format!("{:.1}", 100.0 - r.torso.f1()),
+            format!("{:.1}", 100.0 - r.tail.f1()),
+            format!("{:.1}", 100.0 - r.unseen.f1()),
+            format!("{mb:.3}"),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     }
     println!("\n(paper: top 5% keeps overall F1 within 0.8 points and *gains* ~2 F1 on the tail)");
+
+    let mut results = Results::new("fig3_compression");
+    results.set_table("curve", table);
+    results.write()?;
+    Ok(())
 }

@@ -5,13 +5,15 @@
 //! Run: `cargo run --release -p bootleg-bench --bin fig4_rare_proportion`
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
-use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, Example, ModelVariant};
 use bootleg_eval::metrics::Prf;
 use bootleg_kb::stats::{rare_proportion_by_relation, rare_proportion_by_type};
 use bootleg_kb::EntityId;
 
 const N_BINS: usize = 5;
+
+type Predictor<'a> = Box<dyn FnMut(&Example) -> Vec<usize> + 'a>;
 
 /// Bins evaluable mentions by the max rare-proportion of the gold's
 /// categories and accumulates a PRF per bin.
@@ -38,13 +40,14 @@ fn print_panel(
     title: &str,
     sentences: &[bootleg_corpus::Sentence],
     prop_of: &dyn Fn(EntityId) -> Option<f64>,
-    models: &mut [(&str, Box<dyn FnMut(&Example) -> Vec<usize> + '_>)],
-) {
+    models: &mut [(&str, Predictor<'_>)],
+) -> ResultsTable {
     println!("\n{title}: error rate (%) by rare-proportion bin");
     let widths = [14, 12, 12, 12, 10];
     let mut header = vec!["Bin".to_string()];
     header.extend(models.iter().map(|(n, _)| n.to_string()));
     header.push("#Ment".into());
+    let mut table = ResultsTable::new(&header);
     println!("{}", row(&header, &widths));
     let curves: Vec<Vec<Prf>> =
         models.iter_mut().map(|(_, f)| curve(sentences, prop_of, f)).collect();
@@ -60,11 +63,13 @@ fn print_panel(
             });
         }
         cells.push(curves[0][b].gold.to_string());
+        table.add(&cells);
         println!("{}", row(&cells, &widths));
     }
+    table
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let eval_set = &wb.corpus.dev;
 
@@ -96,15 +101,21 @@ fn main() {
     };
 
     println!("Figure 4: error rate vs rare-entity proportion of the gold's category");
-    let mut models: Vec<(&str, Box<dyn FnMut(&Example) -> Vec<usize>>)> = vec![
+    let mut models: Vec<(&str, Predictor<'_>)> = vec![
         ("NED-Base", Box::new(|ex: &Example| ned.predict_indices(ex))),
         ("Ent-only", Box::new(|ex: &Example| ent_only.forward(&wb.kb, ex, false, 0).predictions)),
         ("Bootleg", Box::new(|ex: &Example| bootleg.forward(&wb.kb, ex, false, 0).predictions)),
     ];
-    print_panel("(Left) by relation", eval_set, &rel_prop, &mut models);
-    print_panel("(Right) by type", eval_set, &type_prop, &mut models);
+    let by_relation = print_panel("(Left) by relation", eval_set, &rel_prop, &mut models);
+    let by_type = print_panel("(Right) by type", eval_set, &type_prop, &mut models);
     println!(
         "\n(paper: Bootleg's error stays lowest and flattest as the rare-proportion grows;\n\
          the baseline and Ent-only error rates climb)"
     );
+
+    let mut results = Results::new("fig4_rare_proportion");
+    results.set_table("by_relation", by_relation);
+    results.set_table("by_type", by_type);
+    results.write()?;
+    Ok(())
 }

@@ -4,12 +4,13 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin stats_coverage`
 
-use bootleg_bench::Workbench;
+use bootleg_bench::{Json, Results, Workbench};
 use bootleg_corpus::stats::{pattern_coverage, unlabeled_fraction};
 use bootleg_kb::stats::tail_structure_stats;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
+    let mut results = Results::new("stats_coverage");
 
     println!("== Corpus statistics (paper §2, §3.3.2) ==\n");
 
@@ -17,9 +18,12 @@ fn main() {
     println!("KG 23-27%, consistency 8-12%):");
     let mut cov: Vec<_> = pattern_coverage(&wb.corpus.train).into_iter().collect();
     cov.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let mut coverage = Vec::new();
     for (p, frac) in cov {
         println!("  {:<14} {:5.1}%", p.name(), frac * 100.0);
+        coverage.push((p.name().to_string(), Json::Num(frac * 100.0)));
     }
+    results.set("pattern_coverage_pct", Json::Obj(coverage));
 
     let stats = tail_structure_stats(&wb.kb, &wb.counts);
     println!("\nTail structure (paper: 88% of tail entities in non-tail types, 90% in");
@@ -34,6 +38,21 @@ fn main() {
         stats.frac_tail_with_nontail_relation * 100.0
     );
     println!("  entities with any structure:       {:.1}%", stats.frac_with_structure * 100.0);
+    results.set(
+        "tail_structure",
+        Json::Obj(vec![
+            ("tail_entities".into(), stats.n_tail_entities.into()),
+            (
+                "frac_tail_with_nontail_type_pct".into(),
+                (stats.frac_tail_with_nontail_type * 100.0).into(),
+            ),
+            (
+                "frac_tail_with_nontail_relation_pct".into(),
+                (stats.frac_tail_with_nontail_relation * 100.0).into(),
+            ),
+            ("frac_with_structure_pct".into(), (stats.frac_with_structure * 100.0).into()),
+        ]),
+    );
 
     println!("\nLabel sparsity and weak labeling (paper: 68% unlabeled, 1.7x label lift):");
     // Rebuild without weak labels to measure the raw unlabeled fraction.
@@ -56,4 +75,20 @@ fn main() {
     println!("  alt-name labels:    {}", wb.wl_stats.alt_name_labels);
     println!("  mislabeled (noise): {}", wb.wl_stats.mislabeled);
     println!("  label lift:         {:.2}x", wb.wl_stats.label_lift());
+    results.set(
+        "weak_labeling",
+        Json::Obj(vec![
+            (
+                "unlabeled_after_wl_pct".into(),
+                (unlabeled_fraction(&wb.corpus.train) * 100.0).into(),
+            ),
+            ("anchors".into(), wb.wl_stats.anchors.into()),
+            ("pronoun_labels".into(), wb.wl_stats.pronoun_labels.into()),
+            ("alt_name_labels".into(), wb.wl_stats.alt_name_labels.into()),
+            ("mislabeled".into(), wb.wl_stats.mislabeled.into()),
+            ("label_lift".into(), wb.wl_stats.label_lift().into()),
+        ]),
+    );
+    results.write()?;
+    Ok(())
 }

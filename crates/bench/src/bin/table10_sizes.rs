@@ -5,39 +5,31 @@
 //! Run: `cargo run --release -p bootleg-bench --bin table10_sizes`
 
 use bootleg_baselines::{NedBase, NedBaseConfig};
-use bootleg_bench::{row, Workbench};
+use bootleg_bench::{row, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, BootlegModel, ModelVariant, SizeReport};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
 
     let widths = [22, 16, 14, 12];
+    let headers = ["Model", "Embedding (MB)", "Network (MB)", "Total (MB)"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 10: model sizes (MB of f32 parameters; word encoder excluded,");
     println!("as the paper excludes the shared frozen BERT)");
-    println!(
-        "{}",
-        row(
-            &["Model".into(), "Embedding (MB)".into(), "Network (MB)".into(), "Total (MB)".into()],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
     // NED-Base first (entity table + mention projection).
     let ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     let emb = ned.params.bytes_where(|n| n.starts_with("embedding.")) as f64 / 1_048_576.0;
     let net = ned.params.bytes_where(|n| n.starts_with("net.")) as f64 / 1_048_576.0;
-    println!(
-        "{}",
-        row(
-            &[
-                "NED-Base".into(),
-                format!("{emb:.3}"),
-                format!("{net:.3}"),
-                format!("{:.3}", emb + net)
-            ],
-            &widths
-        )
-    );
+    let cells = [
+        "NED-Base".to_string(),
+        format!("{emb:.3}"),
+        format!("{net:.3}"),
+        format!("{:.3}", emb + net),
+    ];
+    table.add(&cells);
+    println!("{}", row(&cells, &widths));
 
     for variant in [
         ModelVariant::Full,
@@ -52,18 +44,14 @@ fn main() {
             BootlegConfig::default().with_variant(variant),
         );
         let s = SizeReport::of(&model);
-        println!(
-            "{}",
-            row(
-                &[
-                    variant.name().into(),
-                    format!("{:.3}", s.embedding_mb()),
-                    format!("{:.3}", s.network_mb()),
-                    format!("{:.3}", s.total_mb()),
-                ],
-                &widths
-            )
-        );
+        let cells = [
+            variant.name().to_string(),
+            format!("{:.3}", s.embedding_mb()),
+            format!("{:.3}", s.network_mb()),
+            format!("{:.3}", s.total_mb()),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     }
     println!(
         "\n(entities: {}, types: {}, relations: {})",
@@ -71,4 +59,12 @@ fn main() {
         wb.kb.types.len(),
         wb.kb.relations.len()
     );
+
+    let mut results = Results::new("table10_sizes");
+    results.set("entities", wb.kb.num_entities());
+    results.set("types", wb.kb.types.len());
+    results.set("relations", wb.kb.relations.len());
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }

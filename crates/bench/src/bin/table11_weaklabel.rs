@@ -4,13 +4,13 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin table11_weaklabel`
 
-use bootleg_bench::{micro_train_config, row, scale, Workbench};
+use bootleg_bench::{micro_train_config, row, scale, Results, ResultsTable, Workbench};
 use bootleg_core::BootlegConfig;
 use bootleg_corpus::CorpusConfig;
 use bootleg_eval::evaluate_slices;
 use bootleg_kb::KbConfig;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let n_entities = ((2_000.0 * scale()).round() as usize).max(16);
     let n_pages = ((800.0 * scale()).round() as usize).max(16);
     let kb_cfg = KbConfig { n_entities, n_types: 60, n_relations: 30, seed: 7, ..Default::default() };
@@ -30,46 +30,41 @@ fn main() {
     );
 
     let widths = [22, 8, 8, 8, 8];
-    println!(
-        "{}",
-        row(
-            &["Model".into(), "All".into(), "Torso".into(), "Tail".into(), "Unseen".into()],
-            &widths
-        )
-    );
+    let headers = ["Model", "All", "Torso", "Tail", "Unseen"];
+    let mut table = ResultsTable::new(&headers);
+    println!("{}", row(&headers.map(String::from), &widths));
 
     for (name, wb) in [("Bootleg (No WL)", &without_wl), ("Bootleg (WL)", &with_wl)] {
         let model = wb.train_bootleg(BootlegConfig::default(), &micro_train_config());
         // Evaluate on the *same* dev population; slice by pre-WL counts.
         let r = evaluate_slices(&wb.corpus.dev, &wb.counts_pre_wl, wb.predictor(&model));
-        println!(
-            "{}",
-            row(
-                &[
-                    name.into(),
-                    format!("{:.1}", r.all.f1()),
-                    format!("{:.1}", r.torso.f1()),
-                    format!("{:.1}", r.tail.f1()),
-                    format!("{:.1}", r.unseen.f1()),
-                ],
-                &widths
-            )
-        );
+        let cells = [
+            name.to_string(),
+            format!("{:.1}", r.all.f1()),
+            format!("{:.1}", r.torso.f1()),
+            format!("{:.1}", r.tail.f1()),
+            format!("{:.1}", r.unseen.f1()),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     }
     let r = evaluate_slices(&with_wl.corpus.dev, &with_wl.counts_pre_wl, |ex| {
         vec![0; ex.mentions.len()]
     });
-    println!(
-        "{}",
-        row(
-            &[
-                "# Mentions".into(),
-                r.all.gold.to_string(),
-                r.torso.gold.to_string(),
-                r.tail.gold.to_string(),
-                r.unseen.gold.to_string(),
-            ],
-            &widths
-        )
-    );
+    let cells = [
+        "# Mentions".to_string(),
+        r.all.gold.to_string(),
+        r.torso.gold.to_string(),
+        r.tail.gold.to_string(),
+        r.unseen.gold.to_string(),
+    ];
+    table.add(&cells);
+    println!("{}", row(&cells, &widths));
+
+    let mut results = Results::new("table11_weaklabel");
+    results.set("weak_labels_added", with_wl.wl_stats.total_weak());
+    results.set("label_lift", with_wl.wl_stats.label_lift());
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }

@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p bootleg-bench --bin table1_benchmarks`
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig, PopularityPrior};
-use bootleg_bench::{full_train_config, row, scale, Workbench};
+use bootleg_bench::{full_train_config, row, scale, Results, ResultsTable, Workbench};
 use bootleg_candgen::{extract_mentions, CandidateGenerator};
 use bootleg_core::{BootlegConfig, ExMention, Example};
 use bootleg_corpus::benchmarks::{aida_like, kore50_like, rss500_like};
@@ -69,7 +69,7 @@ fn bench_prf(
     prf
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let gamma = CandidateGenerator::mine_from_corpus(&wb.kb, &wb.corpus.train, 8);
 
@@ -102,14 +102,10 @@ fn main() {
         .collect();
 
     let widths = [12, 22, 11, 9, 8];
+    let headers = ["Benchmark", "Model", "Precision", "Recall", "F1"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 1: benchmark P/R/F1 (mentions re-extracted by longest-alias match)");
-    println!(
-        "{}",
-        row(
-            &["Benchmark".into(), "Model".into(), "Precision".into(), "Recall".into(), "F1".into()],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
     for (name, set) in [("KORE50", &kore), ("RSS500", &rss), ("AIDA", &aida)] {
         let rows: Vec<(String, Prf)> = vec![
             (
@@ -125,19 +121,20 @@ fn main() {
             ),
         ];
         for (model, prf) in rows {
-            println!(
-                "{}",
-                row(
-                    &[
-                        name.into(),
-                        model,
-                        format!("{:.1}", prf.precision()),
-                        format!("{:.1}", prf.recall()),
-                        format!("{:.1}", prf.f1()),
-                    ],
-                    &widths
-                )
-            );
+            let cells = [
+                name.to_string(),
+                model,
+                format!("{:.1}", prf.precision()),
+                format!("{:.1}", prf.recall()),
+                format!("{:.1}", prf.f1()),
+            ];
+            table.add(&cells);
+            println!("{}", row(&cells, &widths));
         }
     }
+
+    let mut results = Results::new("table1_benchmarks");
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }

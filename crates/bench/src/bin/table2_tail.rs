@@ -6,11 +6,11 @@
 //! Scale with `BOOTLEG_SCALE` (default 1.0).
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
-use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, ModelVariant};
 use bootleg_eval::evaluate_slices;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let t0 = std::time::Instant::now();
     let wb = Workbench::full(2024);
     let eval_set = &wb.corpus.dev;
@@ -24,34 +24,25 @@ fn main() {
     );
 
     let widths = [26, 8, 8, 8, 8];
+    let headers = ["Model", "All", "Torso", "Tail", "Unseen"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 2: tail disambiguation (micro F1)");
-    println!(
-        "{}",
-        row(
-            &["Model".into(), "All".into(), "Torso".into(), "Tail".into(), "Unseen".into()],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
     // NED-Base.
     let t = std::time::Instant::now();
     let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
     let r = evaluate_slices(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
-    println!(
-        "{}   [{:.0}s]",
-        row(
-            &[
-                "NED-Base".into(),
-                format!("{:.1}", r.all.f1()),
-                format!("{:.1}", r.torso.f1()),
-                format!("{:.1}", r.tail.f1()),
-                format!("{:.1}", r.unseen.f1()),
-            ],
-            &widths
-        ),
-        t.elapsed().as_secs_f32()
-    );
+    let cells = [
+        "NED-Base".to_string(),
+        format!("{:.1}", r.all.f1()),
+        format!("{:.1}", r.torso.f1()),
+        format!("{:.1}", r.tail.f1()),
+        format!("{:.1}", r.unseen.f1()),
+    ];
+    table.add(&cells);
+    println!("{}   [{:.0}s]", row(&cells, &widths), t.elapsed().as_secs_f32());
 
     // Bootleg and ablations.
     for variant in [
@@ -64,36 +55,33 @@ fn main() {
         let model =
             wb.train_bootleg(BootlegConfig::default().with_variant(variant), &full_train_config());
         let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
-        println!(
-            "{}   [{:.0}s]",
-            row(
-                &[
-                    variant.name().into(),
-                    format!("{:.1}", r.all.f1()),
-                    format!("{:.1}", r.torso.f1()),
-                    format!("{:.1}", r.tail.f1()),
-                    format!("{:.1}", r.unseen.f1()),
-                ],
-                &widths
-            ),
-            t.elapsed().as_secs_f32()
-        );
+        let cells = [
+            variant.name().to_string(),
+            format!("{:.1}", r.all.f1()),
+            format!("{:.1}", r.torso.f1()),
+            format!("{:.1}", r.tail.f1()),
+            format!("{:.1}", r.unseen.f1()),
+        ];
+        table.add(&cells);
+        println!("{}   [{:.0}s]", row(&cells, &widths), t.elapsed().as_secs_f32());
     }
 
     // Mention counts row (paper reports them).
     let r = evaluate_slices(eval_set, &wb.counts, |ex| vec![0; ex.mentions.len()]);
-    println!(
-        "{}",
-        row(
-            &[
-                "# Mentions".into(),
-                r.all.gold.to_string(),
-                r.torso.gold.to_string(),
-                r.tail.gold.to_string(),
-                r.unseen.gold.to_string(),
-            ],
-            &widths
-        )
-    );
+    let cells = [
+        "# Mentions".to_string(),
+        r.all.gold.to_string(),
+        r.torso.gold.to_string(),
+        r.tail.gold.to_string(),
+        r.unseen.gold.to_string(),
+    ];
+    table.add(&cells);
+    println!("{}", row(&cells, &widths));
     eprintln!("[total {:.1}s]", t0.elapsed().as_secs_f32());
+
+    let mut results = Results::new("table2_tail");
+    results.set("dev_sentences", eval_set.len());
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }

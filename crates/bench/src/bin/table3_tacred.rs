@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin table3_tacred`
 
-use bootleg_bench::{full_train_config, row, scale, Workbench};
+use bootleg_bench::{full_train_config, row, scale, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, ExMention, Example};
 use bootleg_downstream::analysis::{
     qualitative_wins, signal_proportions, table12_gap, table13_ratio, PairedOutcome,
@@ -15,7 +15,7 @@ use bootleg_downstream::analysis::{
 use bootleg_downstream::re_model::{extract_features, tacred_f1, EntityFeatures, ReFeatures};
 use bootleg_downstream::{generate_re_dataset, train_re, ReClassifier, ReConfig, ReDataset, ReTrainConfig};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     eprintln!("[training Bootleg for feature extraction]");
     let bootleg = wb.train_bootleg(BootlegConfig::default(), &full_train_config());
@@ -32,11 +32,10 @@ fn main() {
     eprintln!("[RE dataset] train={} test={} relations={}", ds.train.len(), ds.test.len(), ds.n_relations);
 
     let widths = [22, 11, 9, 8];
+    let headers = ["Model", "Precision", "Recall", "F1"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 3: TACRED-analog test scores");
-    println!(
-        "{}",
-        row(&["Model".into(), "Precision".into(), "Recall".into(), "F1".into()], &widths)
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
     let mut errors: Vec<Vec<bool>> = Vec::new();
     for kind in [EntityFeatures::None, EntityFeatures::Static, EntityFeatures::Contextual] {
@@ -45,13 +44,10 @@ fn main() {
         let mut model = ReClassifier::new(&wb.corpus.vocab, ds.n_relations + 1, train_feats.dim, 3);
         train_re(&mut model, &ds, &train_feats, &ReTrainConfig { epochs: 10, ..Default::default() });
         let (p, r, f1) = tacred_f1(&model, &ds, &test_feats);
-        println!(
-            "{}",
-            row(
-                &[kind.name().into(), format!("{p:.1}"), format!("{r:.1}"), format!("{f1:.1}")],
-                &widths
-            )
-        );
+        let cells =
+            [kind.name().to_string(), format!("{p:.1}"), format!("{r:.1}"), format!("{f1:.1}")];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
         errors.push(per_example_errors(&model, &ds, &test_feats));
     }
 
@@ -88,21 +84,30 @@ fn main() {
 
     println!("\nTable 12: error-rate gap (baseline/Bootleg) above vs below median signal");
     println!("(paper: entity 1.10x, relation 4.67x, type 1.35x)");
-    let (n, gap) = table12_gap(&outcomes, |s| s.entity);
-    println!("  {:<10} n={n:<5} gap={gap:.2}x", "Entity");
-    let (n, gap) = table12_gap(&outcomes, |s| s.relation);
-    println!("  {:<10} n={n:<5} gap={gap:.2}x", "Relation");
-    let (n, gap) = table12_gap(&outcomes, |s| s.types);
-    println!("  {:<10} n={n:<5} gap={gap:.2}x", "Type");
+    let mut gaps = ResultsTable::new(&["Signal", "n", "gap"]);
+    type SigFn = fn(&bootleg_downstream::analysis::SignalProportions) -> f64;
+    type SigPred = fn(&bootleg_downstream::analysis::SignalProportions) -> bool;
+    let gap_specs: [(&str, SigFn); 3] =
+        [("Entity", |s| s.entity), ("Relation", |s| s.relation), ("Type", |s| s.types)];
+    for (name, f) in gap_specs {
+        let (n, gap) = table12_gap(&outcomes, f);
+        println!("  {name:<10} n={n:<5} gap={gap:.2}x");
+        gaps.add(&[name.to_string(), n.to_string(), format!("{gap:.2}")]);
+    }
 
     println!("\nTable 13: baseline/Bootleg error-rate ratio on signal slices");
     println!("(paper: entity 1.20x, relation 1.18x, obj-type 1.20x)");
-    let (n, ratio) = table13_ratio(&outcomes, |s| s.entity > 0.0);
-    println!("  {:<10} n={n:<5} ratio={ratio:.2}x", "Entity");
-    let (n, ratio) = table13_ratio(&outcomes, |s| s.relation > 0.0);
-    println!("  {:<10} n={n:<5} ratio={ratio:.2}x", "Relation");
-    let (n, ratio) = table13_ratio(&outcomes, |s| s.types > 0.0);
-    println!("  {:<10} n={n:<5} ratio={ratio:.2}x", "Type");
+    let mut ratios = ResultsTable::new(&["Signal", "n", "ratio"]);
+    let ratio_specs: [(&str, SigPred); 3] = [
+        ("Entity", |s| s.entity > 0.0),
+        ("Relation", |s| s.relation > 0.0),
+        ("Type", |s| s.types > 0.0),
+    ];
+    for (name, f) in ratio_specs {
+        let (n, ratio) = table13_ratio(&outcomes, f);
+        println!("  {name:<10} n={n:<5} ratio={ratio:.2}x");
+        ratios.add(&[name.to_string(), n.to_string(), format!("{ratio:.2}")]);
+    }
 
     // ---- Table 4: qualitative wins ----
     println!("\nTable 4: examples the Bootleg model corrects (baseline wrong, Bootleg right)");
@@ -124,6 +129,15 @@ fn main() {
             wb.kb.connected(ex.subj_gold, ex.obj_gold).is_some(),
         );
     }
+
+    let mut results = Results::new("table3_tacred");
+    results.set("train_examples", ds.train.len());
+    results.set("test_examples", ds.test.len());
+    results.set_table("rows", table);
+    results.set_table("table12_gap", gaps);
+    results.set_table("table13_ratio", ratios);
+    results.write()?;
+    Ok(())
 }
 
 /// Per-test-example error flags for a trained classifier.

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin table5_industry`
 
-use bootleg_bench::{row, scale, Workbench};
+use bootleg_bench::{row, scale, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, Example, TrainConfig};
 use bootleg_corpus::CorpusConfig;
 use bootleg_downstream::industry::{bootleg_candidate_features, train_overton, OvertonModel};
@@ -19,7 +19,7 @@ struct Domain {
     pattern_mix: [f64; 4],
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     // Four domains: progressively heavier tails and different pattern mixes,
     // standing in for the four languages (tail-heaviness is the property
     // Table 5's per-language differences hinge on).
@@ -35,22 +35,11 @@ fn main() {
     let epochs = 3;
 
     let widths = [10, 12, 12, 14, 14, 12, 12];
+    let headers =
+        ["Domain", "Base All", "Base Tail", "+Bootleg All", "+Bootleg Tail", "Rel All", "Rel Tail"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 5: relative F1 of Overton-analog with Bootleg embeddings vs without");
-    println!(
-        "{}",
-        row(
-            &[
-                "Domain".into(),
-                "Base All".into(),
-                "Base Tail".into(),
-                "+Bootleg All".into(),
-                "+Bootleg Tail".into(),
-                "Rel All".into(),
-                "Rel Tail".into(),
-            ],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
     for d in &domains {
         let wb = Workbench::build(
@@ -87,23 +76,24 @@ fn main() {
         // include unseen entities").
         let base_tail = merge(&base_r);
         let plus_tail = merge(&plus_r);
-        println!(
-            "{}",
-            row(
-                &[
-                    d.name.into(),
-                    format!("{:.1}", base_r.all.f1()),
-                    format!("{:.1}", base_tail.f1()),
-                    format!("{:.1}", plus_r.all.f1()),
-                    format!("{:.1}", plus_tail.f1()),
-                    format!("{:.2}", plus_r.all.f1() / base_r.all.f1().max(1.0)),
-                    format!("{:.2}", plus_tail.f1() / base_tail.f1().max(1.0)),
-                ],
-                &widths
-            )
-        );
+        let cells = [
+            d.name.to_string(),
+            format!("{:.1}", base_r.all.f1()),
+            format!("{:.1}", base_tail.f1()),
+            format!("{:.1}", plus_r.all.f1()),
+            format!("{:.1}", plus_tail.f1()),
+            format!("{:.2}", plus_r.all.f1() / base_r.all.f1().max(1.0)),
+            format!("{:.2}", plus_tail.f1() / base_tail.f1().max(1.0)),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     }
     println!("\n(paper: relative quality 1.00-1.08 overall, 1.03-1.17 on the tail)");
+
+    let mut results = Results::new("table5_industry");
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }
 
 fn merge(r: &bootleg_eval::SliceReport) -> bootleg_eval::Prf {

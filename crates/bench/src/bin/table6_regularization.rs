@@ -5,11 +5,11 @@
 //! Run: `cargo run --release -p bootleg-bench --bin table6_regularization`
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
-use bootleg_bench::{micro_train_config, row, Workbench};
+use bootleg_bench::{micro_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, ModelVariant, RegScheme};
 use bootleg_eval::evaluate_slices;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::micro(7);
     let eval_set = &wb.corpus.dev;
     eprintln!(
@@ -20,43 +20,35 @@ fn main() {
     );
 
     let widths = [24, 8, 8, 8, 8];
+    let headers = ["Model", "All", "Torso", "Tail", "Unseen"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 9: micro-dataset ablation (micro F1)");
-    println!(
-        "{}",
-        row(
-            &["Model".into(), "All".into(), "Torso".into(), "Tail".into(), "Unseen".into()],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
-    let print_row = |name: String, r: &bootleg_eval::SliceReport| {
-        println!(
-            "{}",
-            row(
-                &[
-                    name,
-                    format!("{:.1}", r.all.f1()),
-                    format!("{:.1}", r.torso.f1()),
-                    format!("{:.1}", r.tail.f1()),
-                    format!("{:.1}", r.unseen.f1()),
-                ],
-                &widths
-            )
-        );
+    let print_row = |table: &mut ResultsTable, name: String, r: &bootleg_eval::SliceReport| {
+        let cells = [
+            name,
+            format!("{:.1}", r.all.f1()),
+            format!("{:.1}", r.torso.f1()),
+            format!("{:.1}", r.tail.f1()),
+            format!("{:.1}", r.unseen.f1()),
+        ];
+        table.add(&cells);
+        println!("{}", row(&cells, &widths));
     };
 
     // NED-Base row.
     let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &wb.corpus.train, &micro_train_config());
     let r = evaluate_slices(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
-    print_row("NED-Base".into(), &r);
+    print_row(&mut table, "NED-Base".into(), &r);
 
     // Signal ablations (standard InvPopPow regularization).
     for variant in [ModelVariant::EntOnly, ModelVariant::TypeOnly, ModelVariant::KgOnly] {
         let model = wb
             .train_bootleg(BootlegConfig::default().with_variant(variant), &micro_train_config());
         let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
-        print_row(variant.name().into(), &r);
+        print_row(&mut table, variant.name().into(), &r);
     }
 
     // Regularization schemes on the full model (Tables 6 + 9 bottom).
@@ -75,28 +67,32 @@ fn main() {
         let config = BootlegConfig { regularization: scheme, ..BootlegConfig::default() };
         let model = wb.train_bootleg(config, &micro_train_config());
         let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
-        print_row(format!("Bootleg (p(e)={})", scheme.name()), &r);
+        print_row(&mut table, format!("Bootleg (p(e)={})", scheme.name()), &r);
         unseen_line.push((scheme.name(), r.unseen.f1()));
     }
 
     // Mention counts.
     let r = evaluate_slices(eval_set, &wb.counts, |ex| vec![0; ex.mentions.len()]);
-    println!(
-        "{}",
-        row(
-            &[
-                "# Mentions".into(),
-                r.all.gold.to_string(),
-                r.torso.gold.to_string(),
-                r.tail.gold.to_string(),
-                r.unseen.gold.to_string(),
-            ],
-            &widths
-        )
-    );
+    let cells = [
+        "# Mentions".to_string(),
+        r.all.gold.to_string(),
+        r.torso.gold.to_string(),
+        r.tail.gold.to_string(),
+        r.unseen.gold.to_string(),
+    ];
+    table.add(&cells);
+    println!("{}", row(&cells, &widths));
 
     println!("\nTable 6: unseen-entity F1 by regularization scheme");
+    let mut unseen_table = ResultsTable::new(&["Scheme", "Unseen F1"]);
     for (name, f1) in &unseen_line {
         println!("  {name:<12} {f1:.1}");
+        unseen_table.add(&[name.to_string(), format!("{f1:.1}")]);
     }
+
+    let mut results = Results::new("table6_regularization");
+    results.set_table("rows", table);
+    results.set_table("unseen_by_scheme", unseen_table);
+    results.write()?;
+    Ok(())
 }

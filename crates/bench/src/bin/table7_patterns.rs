@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p bootleg-bench --bin table7_patterns`
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
-use bootleg_bench::{full_train_config, row, Workbench};
+use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, ModelVariant};
 use bootleg_corpus::Pattern;
 use bootleg_eval::pattern_slices;
@@ -14,25 +14,15 @@ use bootleg_eval::pattern_slices;
 const ORDER: [Pattern; 4] =
     [Pattern::Memorization, Pattern::Consistency, Pattern::KgRelation, Pattern::Affordance];
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let eval_set = &wb.corpus.dev;
 
     let widths = [22, 14, 18, 14, 16];
+    let headers = ["Model", "Entity", "Type Consistency", "KG Relation", "Type Affordance"];
+    let mut table = ResultsTable::new(&headers);
     println!("Table 7: Overall/Tail F1 per reasoning-pattern slice");
-    println!(
-        "{}",
-        row(
-            &[
-                "Model".into(),
-                "Entity".into(),
-                "Type Consistency".into(),
-                "KG Relation".into(),
-                "Type Affordance".into(),
-            ],
-            &widths
-        )
-    );
+    println!("{}", row(&headers.map(String::from), &widths));
 
     let fmt = |report: &bootleg_eval::PatternSliceReport| -> Vec<String> {
         ORDER
@@ -51,6 +41,7 @@ fn main() {
     });
     let mut cells = vec!["NED-Base".to_string()];
     cells.extend(fmt(&r));
+    table.add(&cells);
     println!("{}", row(&cells, &widths));
 
     for variant in [
@@ -65,6 +56,7 @@ fn main() {
             pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, wb.predictor(&model));
         let mut cells = vec![variant.name().to_string()];
         cells.extend(fmt(&r));
+        table.add(&cells);
         println!("{}", row(&cells, &widths));
     }
 
@@ -77,5 +69,11 @@ fn main() {
         let (overall, tail) = sizes.per_pattern[&p];
         cells.push(format!("{}/{}", overall.gold, tail.gold));
     }
+    table.add(&cells);
     println!("{}", row(&cells, &widths));
+
+    let mut results = Results::new("table7_patterns");
+    results.set_table("rows", table);
+    results.write()?;
+    Ok(())
 }

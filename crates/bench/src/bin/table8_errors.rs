@@ -4,11 +4,11 @@
 //!
 //! Run: `cargo run --release -p bootleg-bench --bin table8_errors`
 
-use bootleg_bench::{full_train_config, Workbench};
+use bootleg_bench::{full_train_config, Json, Results, Workbench};
 use bootleg_core::BootlegConfig;
 use bootleg_eval::error_analysis;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let model = wb.train_bootleg(BootlegConfig::default(), &full_train_config());
     let buckets =
@@ -22,6 +22,7 @@ fn main() {
         100.0 * buckets.total_errors as f64 / buckets.total_mentions.max(1) as f64
     );
     println!("(paper: granularity 12%, numerical 14%, multi-hop 6%, exact-match 28% of errors)");
+    let mut by_bucket = Vec::new();
     for (name, n) in [
         ("granularity", buckets.granularity),
         ("numerical", buckets.numerical),
@@ -29,6 +30,13 @@ fn main() {
         ("exact-match", buckets.exact_match),
     ] {
         println!("  {:<12} {:4}  ({:.1}% of errors)", name, n, 100.0 * buckets.frac(n));
+        by_bucket.push((
+            name.to_string(),
+            Json::Obj(vec![
+                ("errors".into(), n.into()),
+                ("pct_of_errors".into(), (100.0 * buckets.frac(n)).into()),
+            ]),
+        ));
     }
 
     println!("\nQualitative samples:");
@@ -56,4 +64,11 @@ fn main() {
             wb.kb.entity(case.gold).title_tokens,
         );
     }
+
+    let mut results = Results::new("table8_errors");
+    results.set("total_errors", buckets.total_errors);
+    results.set("total_mentions", buckets.total_mentions);
+    results.set("buckets", Json::Obj(by_bucket));
+    results.write()?;
+    Ok(())
 }

@@ -13,10 +13,17 @@
 //! Sizes scale with the `BOOTLEG_SCALE` environment variable (default 1.0);
 //! EXPERIMENTS.md records results at the default scale.
 
-use bootleg_core::{train, BootlegConfig, BootlegModel, Example, TrainConfig};
+use bootleg_core::fault::FaultPlan;
+use bootleg_core::{
+    train_resumable, BootlegConfig, BootlegModel, CheckpointConfig, Example, TrainConfig,
+};
 use bootleg_corpus::{generate_corpus, weaklabel, Corpus, CorpusConfig};
 use bootleg_kb::{generate as generate_kb, EntityId, KbConfig, KnowledgeBase};
 use std::collections::HashMap;
+
+pub mod results;
+
+pub use results::{Json, Results, ResultsTable};
 
 /// A prepared knowledge base + corpus + occurrence counts.
 pub struct Workbench {
@@ -75,14 +82,33 @@ impl Workbench {
         Self { kb, corpus, counts, counts_pre_wl, wl_stats }
     }
 
-    /// Trains a Bootleg model on this workbench's training split.
+    /// Trains a Bootleg model on this workbench's training split. With
+    /// `BOOTLEG_CKPT_DIR` set, the run checkpoints atomically every
+    /// `BOOTLEG_CKPT_EVERY` steps (default 200) into
+    /// `<dir>/<label>` and resumes from the newest valid checkpoint,
+    /// so a killed experiment binary picks up where it left off.
     pub fn train_bootleg(&self, config: BootlegConfig, tcfg: &TrainConfig) -> BootlegModel {
         let mut model = BootlegModel::new(&self.kb, &self.corpus.vocab, &self.counts, config);
         if model.config.cooccur_kg {
             let idx = bootleg_core::cooccur::CooccurrenceIndex::build(&self.corpus.train, 2);
             model.set_cooccurrence(idx);
         }
-        train(&mut model, &self.kb, &self.corpus.train, tcfg);
+        let checkpoints = checkpoint_config(&format!("{:?}", model.config.variant));
+        let outcome = train_resumable(
+            &mut model,
+            &self.kb,
+            &self.corpus.train,
+            tcfg,
+            checkpoints.as_ref(),
+            &FaultPlan::none(),
+        )
+        .expect("checkpoint I/O");
+        if let Some(step) = outcome.report.resumed_from {
+            eprintln!("[train] resumed from checkpoint at step {step}");
+        }
+        for ev in &outcome.report.recovery_events {
+            eprintln!("[train] recovery at step {}: {:?} ({})", ev.step, ev.kind, ev.detail);
+        }
         model
     }
 
@@ -93,6 +119,27 @@ impl Workbench {
     ) -> impl FnMut(&Example) -> Vec<usize> + 'a {
         move |ex| model.forward(&self.kb, ex, false, 0).predictions
     }
+}
+
+/// Builds the checkpoint config for one `train_bootleg` call, if
+/// `BOOTLEG_CKPT_DIR` is set. Each call in a process gets its own numbered
+/// subdirectory (call order is deterministic), so several models trained by
+/// one binary never share — or wrongly resume — each other's checkpoints.
+fn checkpoint_config(label: &str) -> Option<CheckpointConfig> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static CALLS: AtomicUsize = AtomicUsize::new(0);
+    let root = std::env::var("BOOTLEG_CKPT_DIR").ok()?;
+    let n = CALLS.fetch_add(1, Ordering::SeqCst);
+    let exe = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    let every = std::env::var("BOOTLEG_CKPT_EVERY").ok().and_then(|s| s.parse().ok()).unwrap_or(200);
+    Some(CheckpointConfig {
+        dir: std::path::PathBuf::from(root).join(format!("{exe}-{n:02}-{label}")),
+        every_steps: every,
+        keep_last: 3,
+    })
 }
 
 fn epochs_override(default: usize) -> usize {

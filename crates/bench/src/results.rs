@@ -1,0 +1,294 @@
+//! Machine-readable experiment outputs: every bench binary writes its table
+//! to `results/<name>.json` **atomically** (temp file + rename via
+//! `bootleg_tensor::checkpoint::atomic_write`), so a killed run can never
+//! leave a truncated or half-written results file for downstream tooling to
+//! trip over. No external JSON dependency: the tiny value model below is all
+//! the binaries need.
+
+use std::io;
+use std::path::PathBuf;
+
+/// A JSON value (the subset the bench binaries emit).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+impl From<f32> for Json {
+    fn from(v: f32) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Json {
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad_in = "  ".repeat(indent + 1);
+        match self {
+            Json::Num(v) if v.is_finite() => {
+                if *v == v.trunc() && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => escape(s, out),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    item.render(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad_in);
+                    escape(k, out);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Pretty-printed JSON text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// A table whose printed cells are also collected for the JSON output.
+/// Numeric-looking cells (optionally suffixed with `%` or `x`) become JSON
+/// numbers; everything else stays a string.
+#[derive(Clone, Debug)]
+pub struct ResultsTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<Json>>,
+}
+
+impl ResultsTable {
+    /// A table with the given column headers.
+    pub fn new(headers: &[impl AsRef<str>]) -> Self {
+        Self { headers: headers.iter().map(|h| h.as_ref().to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Records one printed row (same cells that went to stdout).
+    pub fn add(&mut self, cells: &[String]) {
+        self.rows.push(cells.iter().map(|c| parse_cell(c)).collect());
+    }
+
+    /// The table as an array of `{header: value}` objects.
+    pub fn into_json(self) -> Json {
+        let headers = self.headers;
+        Json::Arr(
+            self.rows
+                .into_iter()
+                .map(|cells| {
+                    Json::Obj(headers.iter().cloned().zip(cells).collect())
+                })
+                .collect(),
+        )
+    }
+}
+
+fn parse_cell(cell: &str) -> Json {
+    let t = cell.trim();
+    let numeric = t.strip_suffix('%').or_else(|| t.strip_suffix('x')).unwrap_or(t);
+    match numeric.parse::<f64>() {
+        Ok(v) if v.is_finite() => Json::Num(v),
+        _ => Json::Str(t.to_string()),
+    }
+}
+
+/// Accumulates a binary's machine-readable output and writes it atomically
+/// to `<results dir>/<name>.json`. The directory defaults to `results/` and
+/// can be redirected with `BOOTLEG_RESULTS_DIR`.
+#[derive(Clone, Debug)]
+pub struct Results {
+    name: String,
+    fields: Vec<(String, Json)>,
+}
+
+impl Results {
+    /// Starts a results document for the binary `name`, pre-stamped with the
+    /// active `BOOTLEG_SCALE`.
+    pub fn new(name: &str) -> Self {
+        let mut r = Self { name: name.to_string(), fields: Vec::new() };
+        r.set("experiment", name);
+        r.set("scale", crate::scale());
+        r
+    }
+
+    /// Sets (or replaces) a top-level field.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let value = value.into();
+        if let Some(f) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            f.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// Adds a collected table under `key`.
+    pub fn set_table(&mut self, key: &str, table: ResultsTable) {
+        self.set(key, table.into_json());
+    }
+
+    /// The directory results are written to.
+    pub fn dir() -> PathBuf {
+        std::env::var("BOOTLEG_RESULTS_DIR").map(PathBuf::from).unwrap_or_else(|_| "results".into())
+    }
+
+    /// Writes `<dir>/<name>.json` atomically; returns the path written.
+    pub fn write(self) -> io::Result<PathBuf> {
+        let dir = Self::dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        let text = Json::Obj(self.fields).to_text();
+        bootleg_tensor::checkpoint::atomic_write(&path, text.as_bytes())?;
+        eprintln!("[results] wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_escapes() {
+        let j = Json::Obj(vec![
+            ("name".into(), Json::Str("a\"b\\c\n".into())),
+            ("n".into(), Json::Num(42.0)),
+            ("f".into(), Json::Num(0.5)),
+            ("nan".into(), Json::Num(f64::NAN)),
+            ("ok".into(), Json::Bool(true)),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        let text = j.to_text();
+        assert!(text.contains("\"a\\\"b\\\\c\\n\""));
+        assert!(text.contains("\"n\": 42"));
+        assert!(text.contains("\"f\": 0.5"));
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn table_parses_numeric_cells() {
+        let mut t = ResultsTable::new(&["Model", "F1", "Lift"]);
+        t.add(&["Bootleg".to_string(), "83.2".to_string(), "1.7x".to_string()]);
+        let Json::Arr(rows) = t.into_json() else { panic!("array") };
+        let Json::Obj(fields) = &rows[0] else { panic!("object") };
+        assert_eq!(fields[0], ("Model".to_string(), Json::Str("Bootleg".into())));
+        assert_eq!(fields[1], ("F1".to_string(), Json::Num(83.2)));
+        assert_eq!(fields[2], ("Lift".to_string(), Json::Num(1.7)));
+    }
+
+    #[test]
+    fn write_is_atomic_and_valid() {
+        let dir = std::env::temp_dir().join(format!("bootleg_results_{}", std::process::id()));
+        std::env::set_var("BOOTLEG_RESULTS_DIR", &dir);
+        let mut r = Results::new("unit_test");
+        r.set("answer", 41usize);
+        r.set("answer", 42usize); // replaces
+        let path = r.write().expect("write");
+        std::env::remove_var("BOOTLEG_RESULTS_DIR");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.contains("\"answer\": 42"));
+        assert!(text.contains("\"experiment\": \"unit_test\""));
+        // No temp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter(|e| {
+                e.as_ref().expect("entry").file_name().to_string_lossy().contains(".tmp")
+            })
+            .collect();
+        assert!(leftovers.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

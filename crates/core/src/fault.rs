@@ -1,0 +1,173 @@
+//! Deterministic fault injection for the fault-tolerance test harness.
+//!
+//! A [`FaultPlan`] schedules failures at exact points of a training run so
+//! recovery paths can be exercised reproducibly:
+//!
+//! * [`Fault::NanLoss`] — the batch loss at a given *batch attempt* is
+//!   replaced by NaN (a poisoned example / numerical blow-up).
+//! * [`Fault::ExplodingGrad`] — the accumulated gradient at a given batch
+//!   attempt is scaled by a huge factor (an optimization blow-up).
+//! * [`Fault::Crash`] — the run stops right after completing a given
+//!   optimizer step, as if the process was killed. The trainer saves a
+//!   checkpoint first (a real crash can only ever be recovered to the last
+//!   checkpoint; the simulated one crashes at the checkpoint boundary so
+//!   resume equivalence can be asserted bit-exactly).
+//! * [`Fault::CorruptCheckpoint`] — the checkpoint file written at a given
+//!   step is damaged on disk after the save (bit rot / partial write).
+//!
+//! Loss and gradient faults are keyed on the **batch attempt** counter, not
+//! the optimizer step: a batch whose update is skipped by an anomaly guard
+//! does not advance the step counter, so keying faults on steps would
+//! re-inject the same fault forever.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// How [`corrupt_file`] damages a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Drop the second half of the file (partial write / torn file).
+    Truncate,
+    /// XOR one byte in the middle (bit rot).
+    FlipByte,
+    /// Replace the whole payload with a constant pattern (wrong file).
+    Garbage,
+}
+
+/// One scheduled failure.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// Replace the batch loss with NaN at this batch attempt (1-based).
+    NanLoss {
+        /// Batch attempt to poison.
+        attempt: u64,
+    },
+    /// Scale the accumulated gradient at this batch attempt (1-based).
+    ExplodingGrad {
+        /// Batch attempt to poison.
+        attempt: u64,
+        /// Multiplier applied to every gradient value.
+        scale: f32,
+    },
+    /// Stop the run (with a checkpoint) right after this optimizer step.
+    Crash {
+        /// Optimizer step after which the simulated kill fires.
+        after_step: u64,
+    },
+    /// Damage the checkpoint file written at this optimizer step.
+    CorruptCheckpoint {
+        /// Step whose checkpoint gets damaged.
+        at_step: u64,
+        /// Kind of damage.
+        mode: CorruptionMode,
+    },
+}
+
+/// A deterministic schedule of [`Fault`]s. An empty plan injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (same as `FaultPlan::default()`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault to the schedule (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Should the batch loss at `attempt` be replaced with NaN?
+    pub fn nan_loss_at(&self, attempt: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::NanLoss { attempt: a } if *a == attempt))
+    }
+
+    /// Gradient scale to inject at `attempt`, if any.
+    pub fn grad_scale_at(&self, attempt: u64) -> Option<f32> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ExplodingGrad { attempt: a, scale } if *a == attempt => Some(*scale),
+            _ => None,
+        })
+    }
+
+    /// Should the run crash right after completing optimizer step `step`?
+    pub fn crash_after(&self, step: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::Crash { after_step } if *after_step == step))
+    }
+
+    /// Damage scheduled for the checkpoint written at `step`, if any.
+    pub fn corruption_at(&self, step: u64) -> Option<CorruptionMode> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CorruptCheckpoint { at_step, mode } if *at_step == step => Some(*mode),
+            _ => None,
+        })
+    }
+}
+
+/// Damages `path` in place according to `mode`. Intentionally *not* atomic:
+/// this simulates exactly the torn/partial writes the checkpoint format
+/// must survive.
+pub fn corrupt_file(path: &Path, mode: CorruptionMode) -> io::Result<()> {
+    let bytes = fs::read(path)?;
+    match mode {
+        CorruptionMode::Truncate => fs::write(path, &bytes[..bytes.len() / 2]),
+        CorruptionMode::FlipByte => {
+            let mut b = bytes;
+            let mid = b.len() / 2;
+            b[mid] ^= 0xFF;
+            fs::write(path, b)
+        }
+        CorruptionMode::Garbage => fs::write(path, vec![0xA5u8; bytes.len().max(16)]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_lookups_match_schedule() {
+        let plan = FaultPlan::none()
+            .with(Fault::NanLoss { attempt: 3 })
+            .with(Fault::ExplodingGrad { attempt: 5, scale: 1e12 })
+            .with(Fault::Crash { after_step: 7 })
+            .with(Fault::CorruptCheckpoint { at_step: 7, mode: CorruptionMode::FlipByte });
+        assert!(plan.nan_loss_at(3));
+        assert!(!plan.nan_loss_at(4));
+        assert_eq!(plan.grad_scale_at(5), Some(1e12));
+        assert_eq!(plan.grad_scale_at(3), None);
+        assert!(plan.crash_after(7));
+        assert!(!plan.crash_after(6));
+        assert_eq!(plan.corruption_at(7), Some(CorruptionMode::FlipByte));
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_damages_every_mode() {
+        let dir = std::env::temp_dir().join(format!("bootleg_fault_{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("tmpdir");
+        for mode in [CorruptionMode::Truncate, CorruptionMode::FlipByte, CorruptionMode::Garbage] {
+            let p = dir.join(format!("{mode:?}.bin"));
+            let original: Vec<u8> = (0..64u8).collect();
+            fs::write(&p, &original).expect("write");
+            corrupt_file(&p, mode).expect("corrupt");
+            assert_ne!(fs::read(&p).expect("read"), original, "{mode:?} must change bytes");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

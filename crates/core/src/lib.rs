@@ -32,6 +32,7 @@ pub mod config;
 pub mod cooccur;
 pub mod example;
 pub mod explain;
+pub mod fault;
 pub mod forward;
 pub mod model;
 pub mod regularization;
@@ -45,5 +46,9 @@ pub use explain::{Explanation, Signal};
 pub use forward::ForwardOutput;
 pub use model::BootlegModel;
 pub use regularization::RegScheme;
+pub use fault::{corrupt_file, CorruptionMode, Fault, FaultPlan};
 pub use size::SizeReport;
-pub use train::{train, TrainConfig, TrainReport};
+pub use train::{
+    train, train_resumable, AnomalyConfig, CheckpointConfig, RecoveryEvent, RecoveryKind,
+    TrainConfig, TrainOutcome, TrainReport, TrainStatus,
+};

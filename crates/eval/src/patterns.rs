@@ -195,6 +195,12 @@ mod tests {
         let mut agree = 0;
         let mut total = 0;
         for s in &c.dev {
+            // Sentences whose pattern-carrying mention was rendered as an
+            // unlabeled pronoun/alt-name are unknowable from data properties
+            // alone; the classifier only sees anchor golds.
+            if s.anchor_mentions().count() != s.mentions.len() {
+                continue;
+            }
             let slices = classify(&kb, &c.vocab, &idx, s);
             match s.pattern {
                 Pattern::Affordance | Pattern::KgRelation | Pattern::Consistency => {

@@ -6,7 +6,7 @@ use bootleg_nn::optim::Adam;
 use bootleg_nn::{Linear, Mlp};
 use bootleg_tensor::{init, Graph, ParamStore, Tensor};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 #[test]
 fn logistic_regression_separates_gaussians() {

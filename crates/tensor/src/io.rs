@@ -117,16 +117,22 @@ pub fn read_into_store(store: &mut ParamStore, r: &mut impl Read) -> io::Result<
     Ok(())
 }
 
-/// Convenience: save a store to a file path.
+/// Convenience: save a store to a file path, atomically (temp file +
+/// fsync + rename), so a crash mid-save never leaves a truncated file
+/// under the final name. Errors carry the file path.
 pub fn save_store(store: &ParamStore, path: &std::path::Path) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    write_store(store, &mut f)
+    let mut buf = Vec::with_capacity(store.num_scalars(false) * 4 + 64);
+    write_store(store, &mut buf).map_err(|e| crate::checkpoint::with_path(e, path))?;
+    crate::checkpoint::atomic_write(path, &buf)
 }
 
-/// Convenience: load values from a file into a matching store.
+/// Convenience: load values from a file into a matching store. Errors
+/// carry the file path.
 pub fn load_store(store: &mut ParamStore, path: &std::path::Path) -> io::Result<()> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    read_into_store(store, &mut f)
+    let mut f = io::BufReader::new(
+        std::fs::File::open(path).map_err(|e| crate::checkpoint::with_path(e, path))?,
+    );
+    read_into_store(store, &mut f).map_err(|e| crate::checkpoint::with_path(e, path))
 }
 
 #[cfg(test)]

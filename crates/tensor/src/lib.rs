@@ -20,6 +20,7 @@
 //! Gradient correctness for every differentiable op is checked against central
 //! finite differences in the test suite (see `gradcheck`).
 
+pub mod checkpoint;
 pub mod gradcheck;
 pub mod graph;
 pub mod ops;

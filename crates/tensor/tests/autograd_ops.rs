@@ -132,11 +132,11 @@ fn grad_select_rows_with_duplicates() {
 #[test]
 fn grad_activations() {
     let a = rand_t(21, &[3, 4]);
-    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].relu()), TOL);
+    let mm = check_input_grads(std::slice::from_ref(&a), |g, vs| weighted_sum(g, &vs[0].relu()), TOL);
     assert_no_mismatch(&mm);
-    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].gelu()), TOL);
+    let mm = check_input_grads(std::slice::from_ref(&a), |g, vs| weighted_sum(g, &vs[0].gelu()), TOL);
     assert_no_mismatch(&mm);
-    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].tanh_()), TOL);
+    let mm = check_input_grads(std::slice::from_ref(&a), |g, vs| weighted_sum(g, &vs[0].tanh_()), TOL);
     assert_no_mismatch(&mm);
     let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].sigmoid()), TOL);
     assert_no_mismatch(&mm);
@@ -145,7 +145,7 @@ fn grad_activations() {
 #[test]
 fn grad_softmax_and_log_softmax() {
     let a = rand_t(22, &[3, 5]);
-    let mm = check_input_grads(&[a.clone()], |g, vs| weighted_sum(g, &vs[0].softmax_last()), TOL);
+    let mm = check_input_grads(std::slice::from_ref(&a), |g, vs| weighted_sum(g, &vs[0].softmax_last()), TOL);
     assert_no_mismatch(&mm);
     let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].log_softmax_last()), TOL);
     assert_no_mismatch(&mm);
@@ -154,9 +154,9 @@ fn grad_softmax_and_log_softmax() {
 #[test]
 fn grad_reductions() {
     let a = rand_t(23, &[3, 4]);
-    let mm = check_input_grads(&[a.clone()], |_, vs| vs[0].sum_all(), TOL);
+    let mm = check_input_grads(std::slice::from_ref(&a), |_, vs| vs[0].sum_all(), TOL);
     assert_no_mismatch(&mm);
-    let mm = check_input_grads(&[a.clone()], |_, vs| vs[0].mean_all(), TOL);
+    let mm = check_input_grads(std::slice::from_ref(&a), |_, vs| vs[0].mean_all(), TOL);
     assert_no_mismatch(&mm);
     let mm = check_input_grads(&[a], |g, vs| weighted_sum(g, &vs[0].mean_rows()), TOL);
     assert_no_mismatch(&mm);

@@ -1,0 +1,120 @@
+//! Property tests for the checkpoint container: serialization is a bijection
+//! on valid byte strings, and every corruption is detected.
+
+use bootleg_tensor::checkpoint::{
+    atomic_write, decode_tensors, decode_u64s, encode_tensors, encode_u64s, Checkpoint,
+    CheckpointManager,
+};
+use bootleg_tensor::Tensor;
+use proptest::prelude::*;
+
+fn checkpoint_from(step: u64, sections: &[(u8, Vec<u8>)]) -> Checkpoint {
+    let mut c = Checkpoint::new(step);
+    for (tag, payload) in sections {
+        c.put(&format!("section-{tag}"), payload.clone());
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn save_load_save_is_byte_identical(
+        step in 0u64..u64::MAX,
+        sections in proptest::collection::vec(
+            (0u8..32, proptest::collection::vec(0u8..=255, 0..200)),
+            0..8,
+        ),
+    ) {
+        let c = checkpoint_from(step, &sections);
+        let bytes = c.to_bytes();
+        let reloaded = Checkpoint::from_bytes(&bytes).expect("valid bytes parse");
+        prop_assert_eq!(reloaded.step, c.step);
+        // The round-tripped checkpoint must re-serialize to the exact same
+        // bytes: save -> load -> save is the identity on the file.
+        prop_assert_eq!(reloaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_byte_is_rejected(
+        step in 0u64..1_000_000,
+        payload in proptest::collection::vec(0u8..=255, 1..300),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut c = Checkpoint::new(step);
+        c.put("data", payload);
+        let mut bytes = c.to_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        prop_assert!(
+            Checkpoint::from_bytes(&bytes).is_err(),
+            "flipping byte {} must fail the checksum", pos
+        );
+    }
+
+    #[test]
+    fn truncated_file_is_rejected(
+        step in 0u64..1_000_000,
+        payload in proptest::collection::vec(0u8..=255, 0..300),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let mut c = Checkpoint::new(step);
+        c.put("data", payload);
+        let bytes = c.to_bytes();
+        let keep = ((bytes.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(
+            Checkpoint::from_bytes(&bytes[..keep]).is_err(),
+            "truncating {} -> {} bytes must be rejected", bytes.len(), keep
+        );
+    }
+
+    #[test]
+    fn tensor_payload_roundtrips(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        scale in -100.0f32..100.0,
+    ) {
+        let t = Tensor::new(
+            vec![rows, cols],
+            (0..rows * cols).map(|i| i as f32 * scale).collect(),
+        );
+        let bytes = encode_tensors(std::slice::from_ref(&t));
+        let back = decode_tensors(&bytes).expect("decode");
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&back[0], &t);
+        prop_assert_eq!(encode_tensors(&back), bytes);
+    }
+
+    #[test]
+    fn u64_payload_roundtrips(values in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+        let values_clone = values.clone();
+        prop_assert_eq!(decode_u64s(&encode_u64s(&values)).expect("decode"), values_clone);
+    }
+}
+
+#[test]
+fn atomic_write_replaces_existing_file_completely() {
+    let dir = std::env::temp_dir().join(format!("bootleg_ckpt_props_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("f.bin");
+    atomic_write(&path, &[1u8; 100]).expect("first write");
+    atomic_write(&path, &[2u8; 10]).expect("second write");
+    assert_eq!(std::fs::read(&path).expect("read"), vec![2u8; 10]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manager_survives_all_checkpoints_corrupt() {
+    let dir = std::env::temp_dir().join(format!("bootleg_ckpt_allbad_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mgr = CheckpointManager::new(&dir, 4).expect("mgr");
+    for step in [1u64, 2, 3] {
+        let mut c = Checkpoint::new(step);
+        c.put("x", vec![0u8; 64]);
+        let path = mgr.save(&c).expect("save");
+        std::fs::write(&path, b"shredded").expect("shred");
+    }
+    let loaded = mgr.load_latest_valid().expect("io");
+    assert!(loaded.is_none(), "no valid checkpoint must mean None, not a panic");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -18,9 +18,11 @@ struct Pipeline {
 }
 
 fn pipeline() -> Pipeline {
+    // 360 pages gives the dev split comfortable headroom over the coverage
+    // preconditions below (>50 gold mentions, >20 head/torso mentions).
     let kb = generate(&KbConfig { n_entities: 700, seed: 171, ..Default::default() });
     let mut corpus =
-        generate_corpus(&kb, &CorpusConfig { n_pages: 220, seed: 171, ..Default::default() });
+        generate_corpus(&kb, &CorpusConfig { n_pages: 360, seed: 171, ..Default::default() });
     let vocab = corpus.vocab.clone();
     weaklabel::apply(&kb, &vocab, &mut corpus.train);
     let counts = bootleg::corpus::stats::entity_counts(&corpus.train, true);
