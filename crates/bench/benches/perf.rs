@@ -1,19 +1,26 @@
-//! Performance benches: the numeric kernels and end-to-end component
+//! Performance benches: the numeric kernels, end-to-end component
 //! throughputs (inference latency, training step, candidate generation,
-//! weak labeling, KG adjacency construction).
+//! weak labeling, KG adjacency construction), and serial-vs-parallel
+//! comparisons for the data-parallel execution layer (kernel-level and
+//! whole-corpus evaluation), recorded to `results/perf.json`.
 //!
 //! Self-contained harness (no crates.io access for Criterion in this build
 //! environment): warm-up, timed batches, median-of-batches reporting.
 //! Run with `cargo bench -p bootleg-bench`; under `cargo test` the binary
 //! exits immediately because Cargo only passes `--bench` for real bench runs.
+//! Set `BOOTLEG_PERF_SMOKE=1` for a fast CI smoke run (small workload, one
+//! repetition) that still exercises serial/parallel parity.
 
 use bootleg_baselines::{NedBase, NedBaseConfig};
+use bootleg_bench::{Results, Workbench};
 use bootleg_candgen::{extract_mentions, CandidateGenerator};
 use bootleg_core::{BootlegConfig, BootlegModel, Example};
 use bootleg_corpus::{generate_corpus, weaklabel, CorpusConfig};
+use bootleg_eval::{evaluate_slices, par_evaluate, BootlegPredictor};
 use bootleg_kb::{generate as gen_kb, KbConfig};
 use bootleg_nn::optim::Adam;
 use bootleg_nn::MhaBlock;
+use bootleg_pool::{with_pool, ThreadPool};
 use bootleg_tensor::{init, kernels, Graph, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,22 +30,32 @@ use std::time::{Duration, Instant};
 const WARM_UP: Duration = Duration::from_millis(300);
 const MEASURE: Duration = Duration::from_millis(1500);
 
+/// True when `BOOTLEG_PERF_SMOKE` asks for the fast CI configuration.
+fn smoke_mode() -> bool {
+    std::env::var("BOOTLEG_PERF_SMOKE").map(|v| v != "0").unwrap_or(false)
+}
+
 /// Runs `f` repeatedly: warm-up for `WARM_UP`, then timed batches for
-/// `MEASURE`, printing the median per-iteration latency.
-fn bench_function(name: &str, mut f: impl FnMut()) {
+/// `MEASURE`, printing and returning the median per-iteration latency.
+fn bench_function(name: &str, mut f: impl FnMut()) -> f64 {
+    let (warm_up, measure) = if smoke_mode() {
+        (Duration::from_millis(30), Duration::from_millis(150))
+    } else {
+        (WARM_UP, MEASURE)
+    };
     let warm_start = Instant::now();
     let mut warm_iters = 0u64;
-    while warm_start.elapsed() < WARM_UP {
+    while warm_start.elapsed() < warm_up {
         f();
         warm_iters += 1;
     }
-    // Size batches so each lasts roughly MEASURE/10.
+    // Size batches so each lasts roughly measure/10.
     let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
-    let batch = ((MEASURE.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).max(1);
+    let batch = ((measure.as_secs_f64() / 10.0 / per_iter.max(1e-9)) as u64).max(1);
 
     let mut samples: Vec<f64> = Vec::new();
     let measure_start = Instant::now();
-    while measure_start.elapsed() < MEASURE {
+    while measure_start.elapsed() < measure {
         let t = Instant::now();
         for _ in 0..batch {
             f();
@@ -55,6 +72,7 @@ fn bench_function(name: &str, mut f: impl FnMut()) {
         fmt_time(hi),
         samples.len(),
     );
+    median
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -112,7 +130,7 @@ fn bench_inference() {
     let ex: Example =
         corpus.train.iter().find_map(Example::training).expect("training example");
     bench_function("model/bootleg_inference_sentence", || {
-        black_box(model.forward(&kb, &ex, false, 0).predictions.clone());
+        black_box(model.infer(&kb, &ex).predictions.clone());
     });
     bench_function("model/ned_base_inference_sentence", || {
         black_box(ned.predict_indices(&ex));
@@ -156,6 +174,110 @@ fn bench_data_pipeline() {
     });
 }
 
+/// Kernel-level serial-vs-parallel comparison: one matmul well above the
+/// parallel cutoff, timed under a 1-thread and a 4-thread pool.
+fn bench_parallel_kernels(results: &mut Results) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 160; // 160^3 ≈ 4.1 MFLOP, far above PAR_MATMUL_FLOPS
+    let a = init::normal(&mut rng, &[n, n], 1.0);
+    let b = init::normal(&mut rng, &[n, n], 1.0);
+    let mut out = vec![0.0f32; n * n];
+
+    let serial_pool = ThreadPool::new(1);
+    let serial = with_pool(&serial_pool, || {
+        bench_function(&format!("kernels/matmul_{n}_1_thread"), || {
+            out.iter_mut().for_each(|x| *x = 0.0);
+            kernels::matmul_acc(black_box(a.data()), black_box(b.data()), &mut out, n, n, n);
+        })
+    });
+    let serial_out = out.clone();
+
+    let par_pool = ThreadPool::new(4);
+    let par = with_pool(&par_pool, || {
+        bench_function(&format!("kernels/matmul_{n}_4_threads"), || {
+            out.iter_mut().for_each(|x| *x = 0.0);
+            kernels::matmul_acc(black_box(a.data()), black_box(b.data()), &mut out, n, n, n);
+        })
+    });
+    assert_eq!(serial_out, out, "parallel matmul must be bit-identical to serial");
+    let speedup = serial / par.max(1e-12);
+    println!("kernels/matmul_{n} speedup at 4 threads: {speedup:.2}x");
+    results.set("matmul_n", n);
+    results.set("matmul_serial_secs", serial);
+    results.set("matmul_par4_secs", par);
+    results.set("matmul_speedup_4t", speedup);
+}
+
+/// Whole-corpus evaluation, serial vs 4 threads, on a table1-style workload
+/// (full-workbench generator settings, shrunk in smoke mode). Asserts the
+/// slice metrics are bit-identical before reporting the speedup.
+fn bench_parallel_eval(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, reps) =
+        if smoke { (600usize, 120usize, 1usize) } else { (6_000, 1_200, 3) };
+    let wb = Workbench::build(
+        KbConfig { n_entities, seed: 2024, ..KbConfig::default() },
+        CorpusConfig { n_pages, seed: 2024 ^ 1, ..CorpusConfig::default() },
+        true,
+    );
+    let model =
+        BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default());
+    let predict = BootlegPredictor::new(&model, &wb.kb);
+    let dev = &wb.corpus.dev;
+    println!(
+        "eval workload: {} dev sentences, {} entities ({} rep(s))",
+        dev.len(),
+        wb.kb.num_entities(),
+        reps
+    );
+
+    let time_reps = |f: &dyn Fn()| -> f64 {
+        let mut ts: Vec<f64> = (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        ts.sort_by(|a, b| a.total_cmp(b));
+        ts[ts.len() / 2]
+    };
+
+    let serial_pool = ThreadPool::new(1);
+    let serial_report = with_pool(&serial_pool, || evaluate_slices(dev, &wb.counts, predict));
+    let serial = with_pool(&serial_pool, || {
+        time_reps(&|| {
+            black_box(evaluate_slices(dev, &wb.counts, predict));
+        })
+    });
+    println!("eval/whole_corpus_serial                     {}", fmt_time(serial));
+
+    let par_pool = ThreadPool::new(4);
+    let par_report = with_pool(&par_pool, || par_evaluate(dev, &wb.counts, predict));
+    let par = with_pool(&par_pool, || {
+        time_reps(&|| {
+            black_box(par_evaluate(dev, &wb.counts, predict));
+        })
+    });
+    println!("eval/whole_corpus_4_threads                  {}", fmt_time(par));
+
+    assert_eq!(
+        serial_report, par_report,
+        "parallel evaluation metrics must be bit-identical to serial"
+    );
+    let speedup = serial / par.max(1e-12);
+    println!("eval/whole_corpus speedup at 4 threads: {speedup:.2}x (metrics identical)");
+    if !smoke && speedup < 1.5 {
+        eprintln!("warning: whole-corpus eval speedup {speedup:.2}x below the 1.5x target");
+    }
+    results.set("eval_sentences", dev.len());
+    results.set("eval_reps", reps);
+    results.set("eval_serial_secs", serial);
+    results.set("eval_par4_secs", par);
+    results.set("eval_speedup_4t", speedup);
+    results.set("eval_metrics_identical", true);
+}
+
 fn main() {
     // `cargo bench` passes --bench; `cargo test` runs bench targets bare.
     // Skip instantly in the latter case so the test suite stays fast.
@@ -163,9 +285,18 @@ fn main() {
         println!("perf: skipped (run via `cargo bench` to measure)");
         return;
     }
-    bench_kernels();
-    bench_attention();
-    bench_inference();
-    bench_train_step();
-    bench_data_pipeline();
+    let smoke = smoke_mode();
+    let mut results = Results::new("perf");
+    results.set("smoke", smoke);
+    results.set("threads_available", bootleg_pool::num_threads());
+    if !smoke {
+        bench_kernels();
+        bench_attention();
+        bench_inference();
+        bench_train_step();
+        bench_data_pipeline();
+    }
+    bench_parallel_kernels(&mut results);
+    bench_parallel_eval(&mut results);
+    results.write().expect("write results/perf.json");
 }

@@ -12,7 +12,7 @@
 
 use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
 use bootleg_core::BootlegConfig;
-use bootleg_eval::{error_analysis, evaluate_slices};
+use bootleg_eval::{par_error_analysis, par_evaluate};
 
 fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
@@ -32,9 +32,9 @@ fn main() -> std::io::Result<()> {
     println!("{}", row(&headers.map(String::from), &widths));
     for (name, config) in configs {
         let model = wb.train_bootleg(config, &full_train_config());
-        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        let r = par_evaluate(eval_set, &wb.counts, wb.predictor(&model));
         let errors =
-            error_analysis(&wb.kb, &wb.corpus.vocab, eval_set, wb.predictor(&model), 0);
+            par_error_analysis(&wb.kb, &wb.corpus.vocab, eval_set, wb.predictor(&model), 0);
         let cells = [
             name.to_string(),
             format!("{:.1}", r.all.f1()),

@@ -5,8 +5,8 @@
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
 use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
-use bootleg_core::BootlegConfig;
-use bootleg_eval::slices::f1_by_count_bucket;
+use bootleg_core::{BootlegConfig, Example};
+use bootleg_eval::par_f1_by_count_bucket;
 
 fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
@@ -14,10 +14,10 @@ fn main() -> std::io::Result<()> {
 
     let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
-    let ned_curve = f1_by_count_bucket(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
+    let ned_curve = par_f1_by_count_bucket(eval_set, &wb.counts, |ex: &Example| ned.predict_indices(ex));
 
     let bootleg = wb.train_bootleg(BootlegConfig::default(), &full_train_config());
-    let boot_curve = f1_by_count_bucket(eval_set, &wb.counts, wb.predictor(&bootleg));
+    let boot_curve = par_f1_by_count_bucket(eval_set, &wb.counts, wb.predictor(&bootleg));
 
     println!("Figure 1 (right): F1 vs number of entity occurrences in training");
     let widths = [18, 10, 12, 12, 10];

@@ -13,7 +13,7 @@ use bootleg_kb::EntityId;
 
 const N_BINS: usize = 5;
 
-type Predictor<'a> = Box<dyn FnMut(&Example) -> Vec<usize> + 'a>;
+type DynPredict<'a> = Box<dyn FnMut(&Example) -> Vec<usize> + 'a>;
 
 /// Bins evaluable mentions by the max rare-proportion of the gold's
 /// categories and accumulates a PRF per bin.
@@ -40,7 +40,7 @@ fn print_panel(
     title: &str,
     sentences: &[bootleg_corpus::Sentence],
     prop_of: &dyn Fn(EntityId) -> Option<f64>,
-    models: &mut [(&str, Predictor<'_>)],
+    models: &mut [(&str, DynPredict<'_>)],
 ) -> ResultsTable {
     println!("\n{title}: error rate (%) by rare-proportion bin");
     let widths = [14, 12, 12, 12, 10];
@@ -101,10 +101,10 @@ fn main() -> std::io::Result<()> {
     };
 
     println!("Figure 4: error rate vs rare-entity proportion of the gold's category");
-    let mut models: Vec<(&str, Predictor<'_>)> = vec![
+    let mut models: Vec<(&str, DynPredict<'_>)> = vec![
         ("NED-Base", Box::new(|ex: &Example| ned.predict_indices(ex))),
-        ("Ent-only", Box::new(|ex: &Example| ent_only.forward(&wb.kb, ex, false, 0).predictions)),
-        ("Bootleg", Box::new(|ex: &Example| bootleg.forward(&wb.kb, ex, false, 0).predictions)),
+        ("Ent-only", Box::new(|ex: &Example| ent_only.infer(&wb.kb, ex).predictions)),
+        ("Bootleg", Box::new(|ex: &Example| bootleg.infer(&wb.kb, ex).predictions)),
     ];
     let by_relation = print_panel("(Left) by relation", eval_set, &rel_prop, &mut models);
     let by_type = print_panel("(Right) by type", eval_set, &type_prop, &mut models);

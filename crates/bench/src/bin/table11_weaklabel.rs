@@ -5,9 +5,9 @@
 //! Run: `cargo run --release -p bootleg-bench --bin table11_weaklabel`
 
 use bootleg_bench::{micro_train_config, row, scale, Results, ResultsTable, Workbench};
-use bootleg_core::BootlegConfig;
+use bootleg_core::{BootlegConfig, Example};
 use bootleg_corpus::CorpusConfig;
-use bootleg_eval::evaluate_slices;
+use bootleg_eval::par_evaluate;
 use bootleg_kb::KbConfig;
 
 fn main() -> std::io::Result<()> {
@@ -37,7 +37,7 @@ fn main() -> std::io::Result<()> {
     for (name, wb) in [("Bootleg (No WL)", &without_wl), ("Bootleg (WL)", &with_wl)] {
         let model = wb.train_bootleg(BootlegConfig::default(), &micro_train_config());
         // Evaluate on the *same* dev population; slice by pre-WL counts.
-        let r = evaluate_slices(&wb.corpus.dev, &wb.counts_pre_wl, wb.predictor(&model));
+        let r = par_evaluate(&wb.corpus.dev, &wb.counts_pre_wl, wb.predictor(&model));
         let cells = [
             name.to_string(),
             format!("{:.1}", r.all.f1()),
@@ -48,7 +48,7 @@ fn main() -> std::io::Result<()> {
         table.add(&cells);
         println!("{}", row(&cells, &widths));
     }
-    let r = evaluate_slices(&with_wl.corpus.dev, &with_wl.counts_pre_wl, |ex| {
+    let r = par_evaluate(&with_wl.corpus.dev, &with_wl.counts_pre_wl, |ex: &Example| {
         vec![0; ex.mentions.len()]
     });
     let cells = [

@@ -17,53 +17,67 @@ use bootleg_candgen::{extract_mentions, CandidateGenerator};
 use bootleg_core::{BootlegConfig, ExMention, Example};
 use bootleg_corpus::benchmarks::{aida_like, kore50_like, rss500_like};
 use bootleg_corpus::{LabelKind, Sentence};
-use bootleg_eval::Prf;
+use bootleg_eval::{Predictor, Prf};
 use bootleg_kb::EntityId;
 
-/// Evaluates a predictor on a benchmark with re-extracted mentions.
+/// Evaluates a predictor on a benchmark with re-extracted mentions,
+/// fanning sentences out across the thread pool.
 fn bench_prf(
     wb: &Workbench,
     gamma: &CandidateGenerator,
     sentences: &[Sentence],
-    mut predict: impl FnMut(&Example) -> Vec<usize>,
+    predict: impl Predictor,
+) -> Prf {
+    let partials = bootleg_pool::map(sentences, |s| sentence_prf(wb, gamma, s, &predict));
+    let mut prf = Prf::default();
+    for p in &partials {
+        prf.merge(*p);
+    }
+    prf
+}
+
+/// One sentence's contribution to the open-extraction PRF.
+fn sentence_prf<P: Predictor + ?Sized>(
+    wb: &Workbench,
+    gamma: &CandidateGenerator,
+    s: &Sentence,
+    predict: &P,
 ) -> Prf {
     let mut prf = Prf::default();
-    for s in sentences {
-        // Gold mentions defined in the data (§4.1 filters applied).
-        let golds: Vec<(usize, EntityId)> = s
-            .mentions
-            .iter()
-            .filter(|m| m.label == LabelKind::Anchor && m.evaluable())
-            .map(|m| (m.start, m.gold))
-            .collect();
-        prf.gold += golds.len();
-        // Re-extract mentions.
-        let extracted = extract_mentions(&s.tokens, &wb.corpus.vocab, &wb.kb, gamma);
-        let mentions: Vec<ExMention> = extracted
-            .iter()
-            .map(|e| ExMention {
-                first: e.start,
-                last: e.last,
-                candidates: gamma.candidates(e.alias).to_vec(),
-                gold: None,
-            })
-            .filter(|m| !m.candidates.is_empty())
-            .collect();
-        if mentions.is_empty() {
+    // Gold mentions defined in the data (§4.1 filters applied).
+    let golds: Vec<(usize, EntityId)> = s
+        .mentions
+        .iter()
+        .filter(|m| m.label == LabelKind::Anchor && m.evaluable())
+        .map(|m| (m.start, m.gold))
+        .collect();
+    prf.gold += golds.len();
+    // Re-extract mentions.
+    let extracted = extract_mentions(&s.tokens, &wb.corpus.vocab, &wb.kb, gamma);
+    let mentions: Vec<ExMention> = extracted
+        .iter()
+        .map(|e| ExMention {
+            first: e.start,
+            last: e.last,
+            candidates: gamma.candidates(e.alias).to_vec(),
+            gold: None,
+        })
+        .filter(|m| !m.candidates.is_empty())
+        .collect();
+    if mentions.is_empty() {
+        return prf;
+    }
+    let ambiguous = mentions.iter().filter(|m| m.candidates.len() > 1).count();
+    prf.extracted += ambiguous;
+    let ex = Example::inference(s.tokens.clone(), mentions);
+    let preds = predict.predict(&ex);
+    for (m, &p) in ex.mentions.iter().zip(&preds) {
+        if m.candidates.len() < 2 {
             continue;
         }
-        let ambiguous = mentions.iter().filter(|m| m.candidates.len() > 1).count();
-        prf.extracted += ambiguous;
-        let ex = Example::inference(s.tokens.clone(), mentions);
-        let preds = predict(&ex);
-        for (m, &p) in ex.mentions.iter().zip(&preds) {
-            if m.candidates.len() < 2 {
-                continue;
-            }
-            let predicted = m.candidates[p];
-            if golds.iter().any(|&(start, gold)| start == m.first && gold == predicted) {
-                prf.correct += 1;
-            }
+        let predicted = m.candidates[p];
+        if golds.iter().any(|&(start, gold)| start == m.first && gold == predicted) {
+            prf.correct += 1;
         }
     }
     prf
@@ -110,13 +124,13 @@ fn main() -> std::io::Result<()> {
         let rows: Vec<(String, Prf)> = vec![
             (
                 "Popularity prior".into(),
-                bench_prf(&wb, &gamma, set, |ex| PopularityPrior.predict_indices(ex)),
+                bench_prf(&wb, &gamma, set, PopularityPrior),
             ),
-            ("NED-Base".into(), bench_prf(&wb, &gamma, set, |ex| ned.predict_indices(ex))),
+            ("NED-Base".into(), bench_prf(&wb, &gamma, set, |ex: &Example| ned.predict_indices(ex))),
             (
                 "Bootleg".into(),
-                bench_prf(&wb, &gamma, set, |ex| {
-                    bootleg.forward(&wb.kb, ex, false, 0).predictions
+                bench_prf(&wb, &gamma, set, |ex: &Example| {
+                    bootleg.infer(&wb.kb, ex).predictions
                 }),
             ),
         ];

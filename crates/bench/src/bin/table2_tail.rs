@@ -7,8 +7,8 @@
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
 use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
-use bootleg_core::{BootlegConfig, ModelVariant};
-use bootleg_eval::evaluate_slices;
+use bootleg_core::{BootlegConfig, Example, ModelVariant};
+use bootleg_eval::par_evaluate;
 
 fn main() -> std::io::Result<()> {
     let t0 = std::time::Instant::now();
@@ -33,7 +33,7 @@ fn main() -> std::io::Result<()> {
     let t = std::time::Instant::now();
     let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
-    let r = evaluate_slices(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
+    let r = par_evaluate(eval_set, &wb.counts, |ex: &Example| ned.predict_indices(ex));
     let cells = [
         "NED-Base".to_string(),
         format!("{:.1}", r.all.f1()),
@@ -54,7 +54,7 @@ fn main() -> std::io::Result<()> {
         let t = std::time::Instant::now();
         let model =
             wb.train_bootleg(BootlegConfig::default().with_variant(variant), &full_train_config());
-        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        let r = par_evaluate(eval_set, &wb.counts, wb.predictor(&model));
         let cells = [
             variant.name().to_string(),
             format!("{:.1}", r.all.f1()),
@@ -67,7 +67,7 @@ fn main() -> std::io::Result<()> {
     }
 
     // Mention counts row (paper reports them).
-    let r = evaluate_slices(eval_set, &wb.counts, |ex| vec![0; ex.mentions.len()]);
+    let r = par_evaluate(eval_set, &wb.counts, |ex: &Example| vec![0; ex.mentions.len()]);
     let cells = [
         "# Mentions".to_string(),
         r.all.gold.to_string(),

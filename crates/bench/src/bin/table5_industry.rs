@@ -9,7 +9,7 @@ use bootleg_bench::{row, scale, Results, ResultsTable, Workbench};
 use bootleg_core::{BootlegConfig, Example, TrainConfig};
 use bootleg_corpus::CorpusConfig;
 use bootleg_downstream::industry::{bootleg_candidate_features, train_overton, OvertonModel};
-use bootleg_eval::evaluate_slices;
+use bootleg_eval::par_evaluate;
 use bootleg_kb::KbConfig;
 
 struct Domain {
@@ -61,13 +61,13 @@ fn main() -> std::io::Result<()> {
         let mut base = OvertonModel::new(&wb.kb, &wb.corpus.vocab, 0, d.seed);
         train_overton(&mut base, &wb.kb, &wb.corpus.train, None, epochs, d.seed);
         let base_r =
-            evaluate_slices(&wb.corpus.dev, &wb.counts, |ex| base.predict_indices(ex, None));
+            par_evaluate(&wb.corpus.dev, &wb.counts, |ex: &Example| base.predict_indices(ex, None));
 
         // Same system + frozen Bootleg candidate representations.
         let mut plus =
             OvertonModel::new(&wb.kb, &wb.corpus.vocab, bootleg.config.hidden, d.seed + 1);
         train_overton(&mut plus, &wb.kb, &wb.corpus.train, Some(&bootleg), epochs, d.seed + 1);
-        let plus_r = evaluate_slices(&wb.corpus.dev, &wb.counts, |ex: &Example| {
+        let plus_r = par_evaluate(&wb.corpus.dev, &wb.counts, |ex: &Example| {
             let feats = bootleg_candidate_features(&bootleg, &wb.kb, ex);
             plus.predict_indices(ex, Some(&feats))
         });

@@ -6,8 +6,8 @@
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
 use bootleg_bench::{micro_train_config, row, Results, ResultsTable, Workbench};
-use bootleg_core::{BootlegConfig, ModelVariant, RegScheme};
-use bootleg_eval::evaluate_slices;
+use bootleg_core::{BootlegConfig, Example, ModelVariant, RegScheme};
+use bootleg_eval::par_evaluate;
 
 fn main() -> std::io::Result<()> {
     let wb = Workbench::micro(7);
@@ -40,14 +40,14 @@ fn main() -> std::io::Result<()> {
     // NED-Base row.
     let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &wb.corpus.train, &micro_train_config());
-    let r = evaluate_slices(eval_set, &wb.counts, |ex| ned.predict_indices(ex));
+    let r = par_evaluate(eval_set, &wb.counts, |ex: &Example| ned.predict_indices(ex));
     print_row(&mut table, "NED-Base".into(), &r);
 
     // Signal ablations (standard InvPopPow regularization).
     for variant in [ModelVariant::EntOnly, ModelVariant::TypeOnly, ModelVariant::KgOnly] {
         let model = wb
             .train_bootleg(BootlegConfig::default().with_variant(variant), &micro_train_config());
-        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        let r = par_evaluate(eval_set, &wb.counts, wb.predictor(&model));
         print_row(&mut table, variant.name().into(), &r);
     }
 
@@ -66,13 +66,13 @@ fn main() -> std::io::Result<()> {
     for scheme in schemes {
         let config = BootlegConfig { regularization: scheme, ..BootlegConfig::default() };
         let model = wb.train_bootleg(config, &micro_train_config());
-        let r = evaluate_slices(eval_set, &wb.counts, wb.predictor(&model));
+        let r = par_evaluate(eval_set, &wb.counts, wb.predictor(&model));
         print_row(&mut table, format!("Bootleg (p(e)={})", scheme.name()), &r);
         unseen_line.push((scheme.name(), r.unseen.f1()));
     }
 
     // Mention counts.
-    let r = evaluate_slices(eval_set, &wb.counts, |ex| vec![0; ex.mentions.len()]);
+    let r = par_evaluate(eval_set, &wb.counts, |ex: &Example| vec![0; ex.mentions.len()]);
     let cells = [
         "# Mentions".to_string(),
         r.all.gold.to_string(),

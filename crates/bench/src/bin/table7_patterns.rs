@@ -7,9 +7,9 @@
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
 use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
-use bootleg_core::{BootlegConfig, ModelVariant};
+use bootleg_core::{BootlegConfig, Example, ModelVariant};
 use bootleg_corpus::Pattern;
-use bootleg_eval::pattern_slices;
+use bootleg_eval::par_pattern_slices;
 
 const ORDER: [Pattern; 4] =
     [Pattern::Memorization, Pattern::Consistency, Pattern::KgRelation, Pattern::Affordance];
@@ -36,7 +36,7 @@ fn main() -> std::io::Result<()> {
 
     let mut ned = NedBase::new(&wb.kb, &wb.corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &wb.corpus.train, &full_train_config());
-    let r = pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, |ex| {
+    let r = par_pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, |ex: &Example| {
         ned.predict_indices(ex)
     });
     let mut cells = vec!["NED-Base".to_string()];
@@ -52,8 +52,13 @@ fn main() -> std::io::Result<()> {
     ] {
         let model = wb
             .train_bootleg(BootlegConfig::default().with_variant(variant), &full_train_config());
-        let r =
-            pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, wb.predictor(&model));
+        let r = par_pattern_slices(
+            &wb.kb,
+            &wb.corpus.vocab,
+            eval_set,
+            &wb.counts,
+            wb.predictor(&model),
+        );
         let mut cells = vec![variant.name().to_string()];
         cells.extend(fmt(&r));
         table.add(&cells);
@@ -61,7 +66,7 @@ fn main() -> std::io::Result<()> {
     }
 
     // Slice sizes (overall/tail gold mentions).
-    let sizes = pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, |ex| {
+    let sizes = par_pattern_slices(&wb.kb, &wb.corpus.vocab, eval_set, &wb.counts, |ex: &Example| {
         vec![0; ex.mentions.len()]
     });
     let mut cells = vec!["# Mentions".to_string()];

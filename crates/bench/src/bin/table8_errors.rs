@@ -6,13 +6,13 @@
 
 use bootleg_bench::{full_train_config, Json, Results, Workbench};
 use bootleg_core::BootlegConfig;
-use bootleg_eval::error_analysis;
+use bootleg_eval::par_error_analysis;
 
 fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
     let model = wb.train_bootleg(BootlegConfig::default(), &full_train_config());
     let buckets =
-        error_analysis(&wb.kb, &wb.corpus.vocab, &wb.corpus.dev, wb.predictor(&model), 4);
+        par_error_analysis(&wb.kb, &wb.corpus.vocab, &wb.corpus.dev, wb.predictor(&model), 4);
 
     println!("Table 8 / error analysis: Bootleg validation errors by bucket");
     println!(

@@ -15,9 +15,10 @@
 
 use bootleg_core::fault::FaultPlan;
 use bootleg_core::{
-    train_resumable, BootlegConfig, BootlegModel, CheckpointConfig, Example, TrainConfig,
+    train_resumable, BootlegConfig, BootlegModel, CheckpointConfig, TrainConfig,
 };
 use bootleg_corpus::{generate_corpus, weaklabel, Corpus, CorpusConfig};
+use bootleg_eval::BootlegPredictor;
 use bootleg_kb::{generate as generate_kb, EntityId, KbConfig, KnowledgeBase};
 use std::collections::HashMap;
 
@@ -112,12 +113,11 @@ impl Workbench {
         model
     }
 
-    /// A closure adapter: model → per-mention candidate-index predictor.
-    pub fn predictor<'a>(
-        &'a self,
-        model: &'a BootlegModel,
-    ) -> impl FnMut(&Example) -> Vec<usize> + 'a {
-        move |ex| model.forward(&self.kb, ex, false, 0).predictions
+    /// Pairs a model with this workbench's KB as a
+    /// [`Predictor`](bootleg_eval::Predictor) usable with both the serial
+    /// and the sentence-parallel evaluation drivers.
+    pub fn predictor<'a>(&'a self, model: &'a BootlegModel) -> BootlegPredictor<'a> {
+        BootlegPredictor::new(model, &self.kb)
     }
 }
 

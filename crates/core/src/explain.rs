@@ -48,7 +48,7 @@ pub struct Explanation {
 impl BootlegModel {
     /// Explains the model's prediction for mention `mention_idx` of `ex`.
     pub fn explain(&self, kb: &KnowledgeBase, ex: &Example, mention_idx: usize) -> Explanation {
-        let base = self.forward(kb, ex, false, 0);
+        let base = self.infer(kb, ex);
         let prediction = base.predictions[mention_idx];
         let margin = margin_of(&base.scores[mention_idx], prediction);
 
@@ -105,7 +105,7 @@ impl BootlegModel {
                 }
             }
         }
-        m.forward(kb, ex, false, 0)
+        m.infer(kb, ex)
     }
 }
 

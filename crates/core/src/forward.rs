@@ -9,6 +9,49 @@ use bootleg_tensor::{Graph, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// What a forward pass should compute beyond scores and predictions.
+///
+/// [`BootlegModel::forward`] historically always paid for the full training
+/// tape; inference-only callers (evaluation drivers, bench bins, serving)
+/// use [`ForwardOptions::inference`] / [`BootlegModel::infer`] to skip the
+/// loss node and the per-candidate representation matrices.
+#[derive(Clone, Copy, Debug)]
+pub struct ForwardOptions {
+    /// Enables dropout and 2-D entity-embedding masking.
+    pub training: bool,
+    /// Seed for dropout/masking (ignored at inference).
+    pub seed: u64,
+    /// Build the `L_dis + L_type` loss node (needed to call `backward`).
+    pub build_loss: bool,
+    /// Materialize per-mention, per-candidate final-layer representations
+    /// (needed by the Overton-style downstream system).
+    pub candidate_reprs: bool,
+}
+
+impl ForwardOptions {
+    /// Prediction/scoring only: no loss node, no candidate representations.
+    pub fn inference() -> Self {
+        Self { training: false, seed: 0, build_loss: false, candidate_reprs: false }
+    }
+
+    /// The full training tape (what `forward(…, training, seed)` builds).
+    pub fn training(seed: u64) -> Self {
+        Self { training: true, seed, build_loss: true, candidate_reprs: true }
+    }
+
+    /// Overrides whether candidate representations are materialized.
+    pub fn with_candidate_reprs(mut self, on: bool) -> Self {
+        self.candidate_reprs = on;
+        self
+    }
+
+    /// Overrides whether the loss node is built.
+    pub fn with_loss(mut self, on: bool) -> Self {
+        self.build_loss = on;
+        self
+    }
+}
+
 /// Result of a forward pass.
 pub struct ForwardOutput {
     /// The autograd tape (call `graph.backward(&loss, …)` to train).
@@ -26,12 +69,14 @@ pub struct ForwardOutput {
     pub mention_reprs: Vec<Vec<f32>>,
     /// Per-mention, per-candidate final-layer representations (used by the
     /// Overton-style downstream system, which scores all candidates).
+    /// Empty unless [`ForwardOptions::candidate_reprs`] was set.
     pub candidate_reprs: Vec<Vec<Vec<f32>>>,
 }
 
 impl BootlegModel {
-    /// Runs the model on one example. `training` enables dropout and the 2-D
-    /// entity-embedding masking; `seed` drives both.
+    /// Runs the model on one example with the full training tape.
+    /// `training` enables dropout and the 2-D entity-embedding masking;
+    /// `seed` drives both.
     pub fn forward(
         &self,
         kb: &KnowledgeBase,
@@ -39,7 +84,30 @@ impl BootlegModel {
         training: bool,
         seed: u64,
     ) -> ForwardOutput {
+        self.forward_with(
+            kb,
+            ex,
+            ForwardOptions { training, seed, build_loss: true, candidate_reprs: true },
+        )
+    }
+
+    /// Inference-only forward: scores, predictions and mention
+    /// representations without building the loss node or the per-candidate
+    /// representation matrices. Scores are bit-identical to
+    /// `forward(kb, ex, false, 0)` — loss nodes never feed back into them.
+    pub fn infer(&self, kb: &KnowledgeBase, ex: &Example) -> ForwardOutput {
+        self.forward_with(kb, ex, ForwardOptions::inference())
+    }
+
+    /// Runs the model on one example, computing exactly what `opts` asks for.
+    pub fn forward_with(
+        &self,
+        kb: &KnowledgeBase,
+        ex: &Example,
+        opts: ForwardOptions,
+    ) -> ForwardOutput {
         assert!(!ex.mentions.is_empty(), "forward needs at least one mention");
+        let ForwardOptions { training, seed, .. } = opts;
         let g = Graph::with_mode(training, seed);
         let ps = &self.params;
         let cfg = &self.config;
@@ -100,18 +168,20 @@ impl BootlegModel {
                 logits_rows.push(logits);
             }
             // Supervise with the gold entity's coarse type where available.
-            let mut targets = Vec::new();
-            let mut supervised_rows: Vec<&Var> = Vec::new();
-            for (mi, m) in ex.mentions.iter().enumerate() {
-                if let Some(gi) = m.gold {
-                    let gold_entity = m.candidates[gi as usize];
-                    targets.push(self.entity_coarse[gold_entity.idx()]);
-                    supervised_rows.push(&logits_rows[mi]);
+            if opts.build_loss {
+                let mut targets = Vec::new();
+                let mut supervised_rows: Vec<&Var> = Vec::new();
+                for (mi, m) in ex.mentions.iter().enumerate() {
+                    if let Some(gi) = m.gold {
+                        let gold_entity = m.candidates[gi as usize];
+                        targets.push(self.entity_coarse[gold_entity.idx()]);
+                        supervised_rows.push(&logits_rows[mi]);
+                    }
                 }
-            }
-            if !supervised_rows.is_empty() {
-                let all = g.concat_rows(&supervised_rows);
-                type_loss = Some(all.cross_entropy_rows(&targets));
+                if !supervised_rows.is_empty() {
+                    let all = g.concat_rows(&supervised_rows);
+                    type_loss = Some(all.cross_entropy_rows(&targets));
+                }
             }
         }
 
@@ -286,13 +356,15 @@ impl BootlegModel {
             let values = mention_scores.value();
             scores.push(values.data().to_vec());
             predictions.push(values.argmax());
-            if let Some(gi) = m.gold {
-                let ce = mention_scores.cross_entropy_rows(&[gi]);
-                n_supervised += 1;
-                dis_loss = Some(match dis_loss {
-                    Some(acc) => acc.add(&ce),
-                    None => ce,
-                });
+            if opts.build_loss {
+                if let Some(gi) = m.gold {
+                    let ce = mention_scores.cross_entropy_rows(&[gi]);
+                    n_supervised += 1;
+                    dis_loss = Some(match dis_loss {
+                        Some(acc) => acc.add(&ce),
+                        None => ce,
+                    });
+                }
             }
         }
         let loss = match (dis_loss, n_supervised) {
@@ -313,21 +385,24 @@ impl BootlegModel {
             .enumerate()
             .map(|(mi, &p)| final_e.row(offsets[mi] + p).to_vec())
             .collect();
-        let candidate_reprs = ex
-            .mentions
-            .iter()
-            .enumerate()
-            .map(|(mi, m)| {
-                (0..m.candidates.len()).map(|j| final_e.row(offsets[mi] + j).to_vec()).collect()
-            })
-            .collect();
+        let candidate_reprs = if opts.candidate_reprs {
+            ex.mentions
+                .iter()
+                .enumerate()
+                .map(|(mi, m)| {
+                    (0..m.candidates.len()).map(|j| final_e.row(offsets[mi] + j).to_vec()).collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         ForwardOutput { graph: g, loss, scores, predictions, mention_reprs, candidate_reprs }
     }
 
     /// Predicts the entity for each mention of `ex`.
     pub fn predict(&self, kb: &KnowledgeBase, ex: &Example) -> Vec<EntityId> {
-        let out = self.forward(kb, ex, false, 0);
+        let out = self.infer(kb, ex);
         out.predictions
             .iter()
             .zip(&ex.mentions)
@@ -433,6 +508,23 @@ mod tests {
         for r in &out.mention_reprs {
             assert_eq!(r.len(), m.config.hidden);
         }
+    }
+
+    #[test]
+    fn infer_matches_full_inference_forward() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let full = m.forward(&kb, &ex, false, 0);
+        let lean = m.infer(&kb, &ex);
+        assert_eq!(full.scores, lean.scores, "infer must not change scores");
+        assert_eq!(full.predictions, lean.predictions);
+        assert_eq!(full.mention_reprs, lean.mention_reprs);
+        assert!(lean.loss.is_none(), "infer must skip the loss");
+        assert!(lean.candidate_reprs.is_empty(), "infer must skip candidate reprs");
+        // Opting back into candidate reprs restores them bit-for-bit.
+        let with_reprs =
+            m.forward_with(&kb, &ex, ForwardOptions::inference().with_candidate_reprs(true));
+        assert_eq!(full.candidate_reprs, with_reprs.candidate_reprs);
     }
 
     #[test]

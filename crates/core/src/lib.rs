@@ -43,7 +43,7 @@ pub use compression::compress_entity_embeddings;
 pub use config::{BootlegConfig, ModelVariant};
 pub use example::{ExMention, Example};
 pub use explain::{Explanation, Signal};
-pub use forward::ForwardOutput;
+pub use forward::{ForwardOptions, ForwardOutput};
 pub use model::BootlegModel;
 pub use regularization::RegScheme;
 pub use fault::{corrupt_file, CorruptionMode, Fault, FaultPlan};

@@ -8,7 +8,7 @@
 //! representations; "languages" are four generator domains (see the
 //! `table5_industry` binary).
 
-use bootleg_core::{BootlegModel, Example};
+use bootleg_core::{BootlegModel, Example, ForwardOptions};
 use bootleg_corpus::{Sentence, Vocab};
 use bootleg_kb::KnowledgeBase;
 use bootleg_nn::encoder::WordEncoderConfig;
@@ -112,7 +112,9 @@ pub fn bootleg_candidate_features(
     kb: &KnowledgeBase,
     ex: &Example,
 ) -> Vec<Vec<Vec<f32>>> {
-    bootleg.forward(kb, ex, false, 0).candidate_reprs
+    bootleg
+        .forward_with(kb, ex, ForwardOptions::inference().with_candidate_reprs(true))
+        .candidate_reprs
 }
 
 /// Trains the Overton system on labeled sentences; `bootleg` enables the

@@ -133,7 +133,7 @@ pub fn extract_features(
                         },
                     ];
                     let bex = Example::inference(ex.tokens.clone(), mentions);
-                    let out = bootleg.forward(kb, &bex, false, 0);
+                    let out = bootleg.infer(kb, &bex);
                     let subj_pred = bex.mentions[0].candidates[out.predictions[0]];
                     let obj_pred = bex.mentions[1].candidates[out.predictions[1]];
                     let mut v =

@@ -2,12 +2,13 @@
 //! buckets the paper identifies — granularity, numerical, multi-hop, and
 //! missed exact matches.
 
+use crate::predictor::Predictor;
 use bootleg_core::Example;
 use bootleg_corpus::{Sentence, Vocab};
 use bootleg_kb::{EntityId, KnowledgeBase};
 
 /// One misclassified mention with its diagnosis.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ErrorCase {
     /// The gold entity.
     pub gold: EntityId,
@@ -26,7 +27,7 @@ pub struct ErrorCase {
 }
 
 /// Aggregated §5 error-bucket counts.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ErrorBuckets {
     /// All errors observed.
     pub total_errors: usize,
@@ -50,6 +51,23 @@ impl ErrorBuckets {
     pub fn frac(&self, bucket: usize) -> f64 {
         bucket as f64 / self.total_errors.max(1) as f64
     }
+
+    /// Accumulates another report's counts, keeping at most `max_samples`
+    /// sample cases (first-come in merge order).
+    pub fn merge(&mut self, other: &ErrorBuckets, max_samples: usize) {
+        self.total_errors += other.total_errors;
+        self.total_mentions += other.total_mentions;
+        self.granularity += other.granularity;
+        self.numerical += other.numerical;
+        self.multi_hop += other.multi_hop;
+        self.exact_match += other.exact_match;
+        for case in &other.samples {
+            if self.samples.len() >= max_samples {
+                break;
+            }
+            self.samples.push(case.clone());
+        }
+    }
 }
 
 /// Runs a predictor over `sentences` and buckets its errors.
@@ -57,59 +75,74 @@ pub fn error_analysis(
     kb: &KnowledgeBase,
     vocab: &Vocab,
     sentences: &[Sentence],
-    mut predict: impl FnMut(&Example) -> Vec<usize>,
+    predict: impl Predictor,
     max_samples: usize,
 ) -> ErrorBuckets {
     let mut out = ErrorBuckets::default();
     for s in sentences {
-        let Some(ex) = Example::evaluation(s) else { continue };
-        let preds = predict(&ex);
-        let golds: Vec<EntityId> =
-            ex.mentions.iter().map(|m| m.candidates[m.gold.expect("gold") as usize]).collect();
-        for (mi, (m, &p)) in ex.mentions.iter().zip(&preds).enumerate() {
-            out.total_mentions += 1;
-            let gi = m.gold.expect("gold") as usize;
-            if p == gi {
-                continue;
-            }
-            out.total_errors += 1;
-            let gold = m.candidates[gi];
-            let predicted = m.candidates[p];
+        out.merge(&sentence_errors(kb, vocab, s, &predict, max_samples), max_samples);
+    }
+    out
+}
 
-            let granularity = kb.is_granularity_pair(predicted, gold);
-            let numerical = kb.entity(gold).year.is_some();
-            // Multi-hop: this gold is not directly connected to any other
-            // gold in the sentence, but is two-hop connected to one.
-            let others: Vec<EntityId> = golds
-                .iter()
-                .enumerate()
-                .filter(|&(i, _)| i != mi)
-                .map(|(_, &g)| g)
-                .collect();
-            let direct = others.iter().any(|&o| kb.connected(gold, o).is_some());
-            let multi_hop = !direct && others.iter().any(|&o| kb.two_hop_connected(gold, o));
-            // Exact match: the mention's surface token equals the gold's
-            // canonical title token.
-            let surface = vocab.word(ex.tokens[m.first]);
-            let exact_match = kb.entity(gold).title_tokens.iter().any(|t| t == surface);
+/// One sentence's contribution to the error buckets — the unit of work the
+/// parallel driver fans out. Collects at most `max_samples` cases; the merge
+/// truncates again, so serial and parallel runs keep the same ones.
+pub(crate) fn sentence_errors<P: Predictor + ?Sized>(
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+    s: &Sentence,
+    predict: &P,
+    max_samples: usize,
+) -> ErrorBuckets {
+    let mut out = ErrorBuckets::default();
+    let Some(ex) = Example::evaluation(s) else { return out };
+    let preds = predict.predict(&ex);
+    let golds: Vec<EntityId> =
+        ex.mentions.iter().map(|m| m.candidates[m.gold.expect("gold") as usize]).collect();
+    for (mi, (m, &p)) in ex.mentions.iter().zip(&preds).enumerate() {
+        out.total_mentions += 1;
+        let gi = m.gold.expect("gold") as usize;
+        if p == gi {
+            continue;
+        }
+        out.total_errors += 1;
+        let gold = m.candidates[gi];
+        let predicted = m.candidates[p];
 
-            out.granularity += usize::from(granularity);
-            out.numerical += usize::from(numerical);
-            out.multi_hop += usize::from(multi_hop);
-            out.exact_match += usize::from(exact_match);
-            if out.samples.len() < max_samples
-                && (granularity || numerical || multi_hop || exact_match)
-            {
-                out.samples.push(ErrorCase {
-                    gold,
-                    predicted,
-                    tokens: ex.tokens.clone(),
-                    granularity,
-                    numerical,
-                    multi_hop,
-                    exact_match,
-                });
-            }
+        let granularity = kb.is_granularity_pair(predicted, gold);
+        let numerical = kb.entity(gold).year.is_some();
+        // Multi-hop: this gold is not directly connected to any other
+        // gold in the sentence, but is two-hop connected to one.
+        let others: Vec<EntityId> = golds
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != mi)
+            .map(|(_, &g)| g)
+            .collect();
+        let direct = others.iter().any(|&o| kb.connected(gold, o).is_some());
+        let multi_hop = !direct && others.iter().any(|&o| kb.two_hop_connected(gold, o));
+        // Exact match: the mention's surface token equals the gold's
+        // canonical title token.
+        let surface = vocab.word(ex.tokens[m.first]);
+        let exact_match = kb.entity(gold).title_tokens.iter().any(|t| t == surface);
+
+        out.granularity += usize::from(granularity);
+        out.numerical += usize::from(numerical);
+        out.multi_hop += usize::from(multi_hop);
+        out.exact_match += usize::from(exact_match);
+        if out.samples.len() < max_samples
+            && (granularity || numerical || multi_hop || exact_match)
+        {
+            out.samples.push(ErrorCase {
+                gold,
+                predicted,
+                tokens: ex.tokens.clone(),
+                granularity,
+                numerical,
+                multi_hop,
+                exact_match,
+            });
         }
     }
     out
@@ -133,7 +166,7 @@ mod tests {
             &kb,
             &c.vocab,
             &c.dev,
-            |ex| ex.mentions.iter().map(|m| m.candidates.len() - 1).collect(),
+            |ex: &Example| ex.mentions.iter().map(|m| m.candidates.len() - 1).collect(),
             5,
         );
         assert!(buckets.total_errors > 20);
@@ -154,7 +187,7 @@ mod tests {
             &kb,
             &c.vocab,
             &c.dev,
-            |ex| ex.mentions.iter().map(|m| m.gold.expect("gold") as usize).collect(),
+            |ex: &Example| ex.mentions.iter().map(|m| m.gold.expect("gold") as usize).collect(),
             5,
         );
         assert_eq!(buckets.total_errors, 0);

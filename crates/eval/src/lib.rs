@@ -6,16 +6,21 @@
 //! (Figure 4), and the four error buckets of the §5 error analysis
 //! (granularity, numerical, multi-hop, exact match).
 //!
-//! All evaluators are closure-driven (`FnMut(&Example) -> Vec<usize>`), so
-//! Bootleg, NED-Base, priors, ablations, and compressed models all evaluate
-//! through one code path.
+//! All evaluators are driven by the [`Predictor`] trait (with a blanket impl
+//! for plain closures), so Bootleg, NED-Base, priors, ablations, and
+//! compressed models all evaluate through one code path — serially, or
+//! sentence-parallel via the [`par`] drivers backed by [`bootleg_pool`].
 
 pub mod errors;
 pub mod metrics;
+pub mod par;
 pub mod patterns;
+pub mod predictor;
 pub mod slices;
 
 pub use errors::{error_analysis, ErrorBuckets};
 pub use metrics::Prf;
+pub use par::{par_error_analysis, par_evaluate, par_f1_by_count_bucket, par_pattern_slices};
 pub use patterns::{pattern_slices, PatternSliceReport};
+pub use predictor::{BootlegPredictor, Predictor};
 pub use slices::{evaluate_slices, SliceReport};

@@ -13,6 +13,7 @@
 //!   mining recovers it in `tfidf`).
 
 use crate::metrics::Prf;
+use crate::predictor::Predictor;
 use bootleg_core::Example;
 use bootleg_corpus::{Pattern, Sentence, Vocab};
 use bootleg_kb::stats::PopularitySlice;
@@ -20,10 +21,21 @@ use bootleg_kb::{EntityId, KnowledgeBase, TypeId};
 use std::collections::{HashMap, HashSet};
 
 /// Overall/tail PRF per reasoning-pattern slice (Table 7 rows).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PatternSliceReport {
     /// `(overall, tail)` per pattern.
     pub per_pattern: HashMap<Pattern, (Prf, Prf)>,
+}
+
+impl PatternSliceReport {
+    /// Accumulates another report's counts into this one.
+    pub fn merge(&mut self, other: &PatternSliceReport) {
+        for (pat, (overall, tail)) in &other.per_pattern {
+            let entry = self.per_pattern.entry(*pat).or_default();
+            entry.0.merge(*overall);
+            entry.1.merge(*tail);
+        }
+    }
 }
 
 /// Classifies which pattern slices a sentence belongs to, from data
@@ -140,34 +152,55 @@ pub fn pattern_slices(
     vocab: &Vocab,
     sentences: &[Sentence],
     counts: &HashMap<EntityId, u32>,
-    mut predict: impl FnMut(&Example) -> Vec<usize>,
+    predict: impl Predictor,
 ) -> PatternSliceReport {
     let idx = affordance_index(kb, vocab);
+    let mut report = empty_pattern_report();
+    for s in sentences {
+        report.merge(&sentence_patterns(kb, vocab, &idx, counts, s, &predict));
+    }
+    report
+}
+
+/// A report with every pattern present (zero counts).
+pub(crate) fn empty_pattern_report() -> PatternSliceReport {
     let mut report = PatternSliceReport::default();
     for p in Pattern::ALL {
         report.per_pattern.insert(p, (Prf::default(), Prf::default()));
     }
-    for s in sentences {
-        let Some(ex) = Example::evaluation(s) else { continue };
-        let slices = classify(kb, vocab, &idx, s);
-        if slices.is_empty() {
-            continue;
-        }
-        let preds = predict(&ex);
-        for (m, &p) in ex.mentions.iter().zip(&preds) {
-            let gi = m.gold.expect("gold") as usize;
-            let gold_entity = m.candidates[gi];
-            let hit = usize::from(p == gi);
-            let is_tail = matches!(
-                PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0)),
-                PopularitySlice::Tail | PopularitySlice::Unseen
-            );
-            for pat in &slices {
-                let entry = report.per_pattern.get_mut(pat).expect("initialized");
-                entry.0.merge(Prf::closed(hit, 1));
-                if is_tail {
-                    entry.1.merge(Prf::closed(hit, 1));
-                }
+    report
+}
+
+/// One sentence's contribution to the Table-7 report — the unit of work the
+/// parallel driver fans out. Only touched patterns appear in the result.
+pub(crate) fn sentence_patterns<P: Predictor + ?Sized>(
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+    idx: &HashMap<u32, HashSet<TypeId>>,
+    counts: &HashMap<EntityId, u32>,
+    s: &Sentence,
+    predict: &P,
+) -> PatternSliceReport {
+    let mut report = PatternSliceReport::default();
+    let Some(ex) = Example::evaluation(s) else { return report };
+    let slices = classify(kb, vocab, idx, s);
+    if slices.is_empty() {
+        return report;
+    }
+    let preds = predict.predict(&ex);
+    for (m, &p) in ex.mentions.iter().zip(&preds) {
+        let gi = m.gold.expect("gold") as usize;
+        let gold_entity = m.candidates[gi];
+        let hit = usize::from(p == gi);
+        let is_tail = matches!(
+            PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0)),
+            PopularitySlice::Tail | PopularitySlice::Unseen
+        );
+        for pat in &slices {
+            let entry = report.per_pattern.entry(*pat).or_default();
+            entry.0.merge(Prf::closed(hit, 1));
+            if is_tail {
+                entry.1.merge(Prf::closed(hit, 1));
             }
         }
     }
@@ -224,7 +257,7 @@ mod tests {
         let (kb, c) = setup();
         let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
         let report =
-            pattern_slices(&kb, &c.vocab, &c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+            pattern_slices(&kb, &c.vocab, &c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
         let aff = report.per_pattern[&Pattern::Affordance].0;
         assert!(aff.gold > 20, "affordance slice should be populated, got {}", aff.gold);
         let kg = report.per_pattern[&Pattern::KgRelation].0;

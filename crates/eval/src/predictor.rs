@@ -1,0 +1,99 @@
+//! The unified prediction interface every evaluator consumes.
+//!
+//! A [`Predictor`] maps an [`Example`] to one candidate index per mention.
+//! The trait is `Sync` so the same value can drive both the serial
+//! evaluators and the sentence-parallel drivers in [`crate::par`]; a blanket
+//! impl keeps plain closures working everywhere a `Predictor` is expected.
+
+use bootleg_baselines::{NedBase, PopularityPrior};
+use bootleg_core::{BootlegModel, Example};
+use bootleg_kb::KnowledgeBase;
+
+/// Anything that disambiguates: one candidate index per mention of `ex`.
+///
+/// `Sync` is a supertrait so evaluation can fan sentences out across
+/// threads; predictors that need interior mutability (e.g. a seeded random
+/// baseline) should pre-materialize their predictions into a closure over
+/// immutable state instead.
+pub trait Predictor: Sync {
+    /// Returns the chosen candidate index for each mention of `ex`.
+    fn predict(&self, ex: &Example) -> Vec<usize>;
+}
+
+/// Plain closures (and fns) are predictors.
+impl<F: Fn(&Example) -> Vec<usize> + Sync> Predictor for F {
+    fn predict(&self, ex: &Example) -> Vec<usize> {
+        self(ex)
+    }
+}
+
+/// A Bootleg model paired with the knowledge base it disambiguates against.
+///
+/// Runs the inference-only forward pass ([`BootlegModel::infer`]), which
+/// skips loss construction and candidate representations.
+#[derive(Clone, Copy, Debug)]
+pub struct BootlegPredictor<'a> {
+    /// The model.
+    pub model: &'a BootlegModel,
+    /// Its knowledge base.
+    pub kb: &'a KnowledgeBase,
+}
+
+impl<'a> BootlegPredictor<'a> {
+    /// Pairs a model with its knowledge base.
+    pub fn new(model: &'a BootlegModel, kb: &'a KnowledgeBase) -> Self {
+        Self { model, kb }
+    }
+}
+
+impl Predictor for BootlegPredictor<'_> {
+    fn predict(&self, ex: &Example) -> Vec<usize> {
+        self.model.infer(self.kb, ex).predictions
+    }
+}
+
+impl Predictor for NedBase {
+    fn predict(&self, ex: &Example) -> Vec<usize> {
+        self.predict_indices(ex)
+    }
+}
+
+impl Predictor for PopularityPrior {
+    fn predict(&self, ex: &Example) -> Vec<usize> {
+        self.predict_indices(ex)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_core::ExMention;
+    use bootleg_kb::EntityId;
+
+    fn example() -> Example {
+        Example::inference(
+            vec![0, 1, 2],
+            vec![ExMention {
+                first: 0,
+                last: 0,
+                candidates: vec![EntityId(1), EntityId(2)],
+                gold: None,
+            }],
+        )
+    }
+
+    #[test]
+    fn closures_are_predictors() {
+        fn takes(p: impl Predictor, ex: &Example) -> Vec<usize> {
+            p.predict(ex)
+        }
+        let ex = example();
+        assert_eq!(takes(|e: &Example| vec![1; e.mentions.len()], &ex), vec![1]);
+    }
+
+    #[test]
+    fn popularity_prior_is_a_predictor() {
+        let ex = example();
+        assert_eq!(Predictor::predict(&PopularityPrior, &ex), vec![0]);
+    }
+}

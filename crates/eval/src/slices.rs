@@ -2,6 +2,7 @@
 //! plus the Figure-1 F1-vs-occurrence-count curve.
 
 use crate::metrics::Prf;
+use crate::predictor::Predictor;
 use bootleg_core::Example;
 use bootleg_corpus::Sentence;
 use bootleg_kb::stats::PopularitySlice;
@@ -9,7 +10,7 @@ use bootleg_kb::EntityId;
 use std::collections::HashMap;
 
 /// Per-slice evaluation results.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SliceReport {
     /// All evaluable mentions.
     pub all: Prf,
@@ -42,6 +43,15 @@ impl SliceReport {
             PopularitySlice::Unseen => &mut self.unseen,
         }
     }
+
+    /// Accumulates another report's counts into this one.
+    pub fn merge(&mut self, other: &SliceReport) {
+        self.all.merge(other.all);
+        self.head.merge(other.head);
+        self.torso.merge(other.torso);
+        self.tail.merge(other.tail);
+        self.unseen.merge(other.unseen);
+    }
 }
 
 /// Evaluates a predictor over `sentences`, slicing by the gold entity's
@@ -50,27 +60,39 @@ impl SliceReport {
 pub fn evaluate_slices(
     sentences: &[Sentence],
     counts: &HashMap<EntityId, u32>,
-    mut predict: impl FnMut(&Example) -> Vec<usize>,
+    predict: impl Predictor,
 ) -> SliceReport {
     let mut report = SliceReport::default();
     for s in sentences {
-        let Some(ex) = Example::evaluation(s) else { continue };
-        let preds = predict(&ex);
-        assert_eq!(preds.len(), ex.mentions.len(), "one prediction per mention");
-        for (m, &p) in ex.mentions.iter().zip(&preds) {
-            let gi = m.gold.expect("evaluation mentions carry gold") as usize;
-            let gold_entity = m.candidates[gi];
-            let slice = PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0));
-            let hit = usize::from(p == gi);
-            report.all.merge(Prf::closed(hit, 1));
-            report.of_mut(slice).merge(Prf::closed(hit, 1));
-        }
+        report.merge(&sentence_slices(s, counts, &predict));
+    }
+    report
+}
+
+/// One sentence's contribution to a [`SliceReport`] — the unit of work the
+/// parallel driver fans out.
+pub(crate) fn sentence_slices<P: Predictor + ?Sized>(
+    s: &Sentence,
+    counts: &HashMap<EntityId, u32>,
+    predict: &P,
+) -> SliceReport {
+    let mut report = SliceReport::default();
+    let Some(ex) = Example::evaluation(s) else { return report };
+    let preds = predict.predict(&ex);
+    assert_eq!(preds.len(), ex.mentions.len(), "one prediction per mention");
+    for (m, &p) in ex.mentions.iter().zip(&preds) {
+        let gi = m.gold.expect("evaluation mentions carry gold") as usize;
+        let gold_entity = m.candidates[gi];
+        let slice = PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0));
+        let hit = usize::from(p == gi);
+        report.all.merge(Prf::closed(hit, 1));
+        report.of_mut(slice).merge(Prf::closed(hit, 1));
     }
     report
 }
 
 /// One point of the Figure-1 curve: an occurrence-count bucket and its F1.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CurvePoint {
     /// Inclusive lower bound of the occurrence-count bucket.
     pub lo: u32,
@@ -88,22 +110,44 @@ pub const FIG1_BUCKETS: [(u32, u32); 7] =
 pub fn f1_by_count_bucket(
     sentences: &[Sentence],
     counts: &HashMap<EntityId, u32>,
-    mut predict: impl FnMut(&Example) -> Vec<usize>,
+    predict: impl Predictor,
 ) -> Vec<CurvePoint> {
-    let mut points: Vec<CurvePoint> =
-        FIG1_BUCKETS.iter().map(|&(lo, hi)| CurvePoint { lo, hi, prf: Prf::default() }).collect();
+    let mut points = empty_curve();
     for s in sentences {
-        let Some(ex) = Example::evaluation(s) else { continue };
-        let preds = predict(&ex);
-        for (m, &p) in ex.mentions.iter().zip(&preds) {
-            let gi = m.gold.expect("gold") as usize;
-            let c = *counts.get(&m.candidates[gi]).unwrap_or(&0);
-            let hit = usize::from(p == gi);
-            for pt in &mut points {
-                if c >= pt.lo && c <= pt.hi {
-                    pt.prf.merge(Prf::closed(hit, 1));
-                    break;
-                }
+        merge_curve(&mut points, &sentence_curve(s, counts, &predict));
+    }
+    points
+}
+
+/// All Figure-1 buckets with zeroed counts.
+pub(crate) fn empty_curve() -> Vec<CurvePoint> {
+    FIG1_BUCKETS.iter().map(|&(lo, hi)| CurvePoint { lo, hi, prf: Prf::default() }).collect()
+}
+
+/// Accumulates a per-sentence curve contribution bucket-by-bucket.
+pub(crate) fn merge_curve(acc: &mut [CurvePoint], part: &[CurvePoint]) {
+    for (a, p) in acc.iter_mut().zip(part) {
+        a.prf.merge(p.prf);
+    }
+}
+
+/// One sentence's contribution to the Figure-1 curve.
+pub(crate) fn sentence_curve<P: Predictor + ?Sized>(
+    s: &Sentence,
+    counts: &HashMap<EntityId, u32>,
+    predict: &P,
+) -> Vec<CurvePoint> {
+    let mut points = empty_curve();
+    let Some(ex) = Example::evaluation(s) else { return points };
+    let preds = predict.predict(&ex);
+    for (m, &p) in ex.mentions.iter().zip(&preds) {
+        let gi = m.gold.expect("gold") as usize;
+        let c = *counts.get(&m.candidates[gi]).unwrap_or(&0);
+        let hit = usize::from(p == gi);
+        for pt in &mut points {
+            if c >= pt.lo && c <= pt.hi {
+                pt.prf.merge(Prf::closed(hit, 1));
+                break;
             }
         }
     }
@@ -137,7 +181,7 @@ mod tests {
         let counts: HashMap<EntityId, u32> =
             [(EntityId(1), 2000), (EntityId(3), 5), (EntityId(5), 0)].into_iter().collect();
         // Predictor: always candidate 0 (correct everywhere here).
-        let report = evaluate_slices(&sentences, &counts, |ex| vec![0; ex.mentions.len()]);
+        let report = evaluate_slices(&sentences, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
         assert_eq!(report.all.gold, 3);
         assert_eq!(report.head.gold, 1);
         assert_eq!(report.tail.gold, 1);
@@ -150,7 +194,7 @@ mod tests {
     fn wrong_predictions_score_zero() {
         let sentences = vec![sentence(2, &[1, 2])];
         let counts = HashMap::new();
-        let report = evaluate_slices(&sentences, &counts, |ex| vec![0; ex.mentions.len()]);
+        let report = evaluate_slices(&sentences, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
         assert_eq!(report.all.correct, 0);
         assert_eq!(report.unseen.gold, 1);
     }
@@ -158,7 +202,7 @@ mod tests {
     #[test]
     fn single_candidate_mentions_excluded() {
         let sentences = vec![sentence(1, &[1])];
-        let report = evaluate_slices(&sentences, &HashMap::new(), |ex| vec![0; ex.mentions.len()]);
+        let report = evaluate_slices(&sentences, &HashMap::new(), |ex: &Example| vec![0; ex.mentions.len()]);
         assert_eq!(report.all.gold, 0, "filtered by the >1 candidate rule");
     }
 
@@ -176,7 +220,7 @@ mod tests {
         let sentences = vec![sentence(1, &[1, 2]), sentence(3, &[3, 4])];
         let counts: HashMap<EntityId, u32> =
             [(EntityId(1), 2), (EntityId(3), 50)].into_iter().collect();
-        let curve = f1_by_count_bucket(&sentences, &counts, |ex| vec![0; ex.mentions.len()]);
+        let curve = f1_by_count_bucket(&sentences, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
         let total: usize = curve.iter().map(|p| p.prf.gold).sum();
         assert_eq!(total, 2);
     }

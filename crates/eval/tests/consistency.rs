@@ -17,7 +17,7 @@ fn setup() -> (bootleg_kb::KnowledgeBase, bootleg_corpus::Corpus, std::collectio
 #[test]
 fn slices_partition_all_mentions() {
     let (_, c, counts) = setup();
-    let r = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let r = evaluate_slices(&c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
     assert_eq!(
         r.all.gold,
         r.head.gold + r.torso.gold + r.tail.gold + r.unseen.gold,
@@ -32,8 +32,8 @@ fn slices_partition_all_mentions() {
 #[test]
 fn curve_partitions_match_slices() {
     let (_, c, counts) = setup();
-    let slices = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
-    let curve = f1_by_count_bucket(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let slices = evaluate_slices(&c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
+    let curve = f1_by_count_bucket(&c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
     let curve_total: usize = curve.iter().map(|p| p.prf.gold).sum();
     assert_eq!(curve_total, slices.all.gold);
     // The 0-occurrence bucket equals the unseen slice exactly.
@@ -44,10 +44,10 @@ fn curve_partitions_match_slices() {
 #[test]
 fn prior_predictor_beats_random_on_all() {
     let (_, c, counts) = setup();
-    let prior = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+    let prior = evaluate_slices(&c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
     // Predict the LAST candidate (anti-prior) — must be no better than prior
     // overall, since candidates are popularity-ranked and popularity-sampled.
-    let anti = evaluate_slices(&c.dev, &counts, |ex| {
+    let anti = evaluate_slices(&c.dev, &counts, |ex: &Example| {
         ex.mentions.iter().map(|m| m.candidates.len() - 1).collect()
     });
     assert!(prior.all.f1() > anti.all.f1());
@@ -56,8 +56,8 @@ fn prior_predictor_beats_random_on_all() {
 #[test]
 fn error_analysis_counts_complement_accuracy() {
     let (kb, c, counts) = setup();
-    let slices = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
-    let buckets = error_analysis(&kb, &c.vocab, &c.dev, |ex| vec![0; ex.mentions.len()], 0);
+    let slices = evaluate_slices(&c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
+    let buckets = error_analysis(&kb, &c.vocab, &c.dev, |ex: &Example| vec![0; ex.mentions.len()], 0);
     assert_eq!(buckets.total_mentions, slices.all.gold);
     assert_eq!(buckets.total_errors, slices.all.gold - slices.all.correct);
 }
@@ -66,8 +66,8 @@ fn error_analysis_counts_complement_accuracy() {
 fn pattern_slices_bounded_by_population() {
     let (kb, c, counts) = setup();
     let report =
-        pattern_slices(&kb, &c.vocab, &c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
-    let all = evaluate_slices(&c.dev, &counts, |ex| vec![0; ex.mentions.len()]);
+        pattern_slices(&kb, &c.vocab, &c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
+    let all = evaluate_slices(&c.dev, &counts, |ex: &Example| vec![0; ex.mentions.len()]);
     for (p, (overall, tail)) in &report.per_pattern {
         assert!(
             overall.gold <= all.all.gold,

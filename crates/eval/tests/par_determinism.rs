@@ -1,0 +1,66 @@
+//! The parallel evaluation drivers must produce **byte-identical** reports
+//! to the serial ones at any thread count. All metrics are integer counters
+//! merged in sentence order, so this is exact equality, not tolerance.
+
+use bootleg_core::{BootlegConfig, BootlegModel};
+use bootleg_corpus::{generate_corpus, Corpus, CorpusConfig};
+use bootleg_eval::{
+    error_analysis, evaluate_slices, par_error_analysis, par_evaluate, par_f1_by_count_bucket,
+    par_pattern_slices, pattern_slices, BootlegPredictor,
+};
+use bootleg_eval::slices::f1_by_count_bucket;
+use bootleg_kb::{generate as gen_kb, EntityId, KbConfig, KnowledgeBase};
+use bootleg_pool::{with_pool, ThreadPool};
+use std::collections::HashMap;
+
+fn setup() -> (KnowledgeBase, Corpus, HashMap<EntityId, u32>, BootlegModel) {
+    let kb = gen_kb(&KbConfig { n_entities: 400, seed: 171, ..KbConfig::default() });
+    let c = generate_corpus(&kb, &CorpusConfig { n_pages: 80, seed: 171, ..CorpusConfig::default() });
+    let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+    let model = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default());
+    (kb, c, counts, model)
+}
+
+#[test]
+fn par_drivers_are_bit_identical_to_serial_at_1_2_8_threads() {
+    let (kb, c, counts, model) = setup();
+    let predict = BootlegPredictor::new(&model, &kb);
+
+    let serial_slices = evaluate_slices(&c.dev, &counts, predict);
+    let serial_curve = f1_by_count_bucket(&c.dev, &counts, predict);
+    let serial_patterns = pattern_slices(&kb, &c.vocab, &c.dev, &counts, predict);
+    let serial_errors = error_analysis(&kb, &c.vocab, &c.dev, predict, 3);
+    assert!(serial_slices.all.gold > 0, "workload must be non-trivial");
+    assert!(serial_errors.total_errors > 0, "untrained model should err");
+
+    for threads in [1, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let (slices, curve, patterns, errors) = with_pool(&pool, || {
+            (
+                par_evaluate(&c.dev, &counts, predict),
+                par_f1_by_count_bucket(&c.dev, &counts, predict),
+                par_pattern_slices(&kb, &c.vocab, &c.dev, &counts, predict),
+                par_error_analysis(&kb, &c.vocab, &c.dev, predict, 3),
+            )
+        });
+        assert_eq!(serial_slices, slices, "slice report differs at {threads} threads");
+        assert_eq!(serial_curve, curve, "fig-1 curve differs at {threads} threads");
+        assert_eq!(serial_patterns, patterns, "pattern report differs at {threads} threads");
+        assert_eq!(serial_errors, errors, "error buckets differ at {threads} threads");
+    }
+}
+
+#[test]
+fn par_error_samples_match_serial_selection() {
+    // The sample cases (not just the counts) must be the same ones, in the
+    // same order, regardless of which thread diagnosed them.
+    let (kb, c, _, _) = setup();
+    let worst = |ex: &bootleg_core::Example| -> Vec<usize> {
+        ex.mentions.iter().map(|m| m.candidates.len() - 1).collect()
+    };
+    let serial = error_analysis(&kb, &c.vocab, &c.dev, worst, 5);
+    assert!(!serial.samples.is_empty());
+    let pool = ThreadPool::new(4);
+    let par = with_pool(&pool, || par_error_analysis(&kb, &c.vocab, &c.dev, worst, 5));
+    assert_eq!(serial.samples, par.samples);
+}

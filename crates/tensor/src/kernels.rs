@@ -3,6 +3,32 @@
 //! All kernels operate on contiguous row-major buffers. The matmul uses i-k-j
 //! loop ordering so the innermost loop streams both `b` and `c` sequentially,
 //! which is the main thing that matters for a small CPU GEMM.
+//!
+//! ## Data parallelism
+//!
+//! Kernels above the `PAR_*` size cutoffs fan out over the
+//! [`bootleg_pool`] execution layer by splitting their *output* rows (or
+//! batch slabs) into disjoint chunks; below the cutoffs they run the plain
+//! serial loop. Every chunk computes exactly the elements the serial loop
+//! would, with the same per-element floating-point accumulation order, so
+//! results are **bit-identical at any thread count** — parallelism here is
+//! purely a scheduling choice, never a numeric one.
+
+/// Minimum multiply-accumulate count before a matmul fans out to the pool.
+pub const PAR_MATMUL_FLOPS: usize = 64 * 1024;
+/// Target multiply-accumulate count per parallel matmul chunk.
+const PAR_MATMUL_CHUNK_FLOPS: usize = 16 * 1024;
+/// Minimum element count before row-wise kernels (softmax, layer norm,
+/// gather) fan out to the pool.
+pub const PAR_ROWS_MIN_ELEMS: usize = 16 * 1024;
+/// Target element count per parallel row chunk.
+const PAR_ROW_CHUNK_ELEMS: usize = 8 * 1024;
+
+/// Rows per chunk that lands roughly `target` scalar ops per chunk when each
+/// row costs `row_work`.
+fn rows_per_chunk(target: usize, row_work: usize) -> usize {
+    (target / row_work.max(1)).max(1)
+}
 
 /// `c += a (m×k) * b (k×n)`; `c` is m×n and must be pre-zeroed by the caller
 /// if plain assignment is wanted.
@@ -10,6 +36,19 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if m >= 2 && m * k * n >= PAR_MATMUL_FLOPS {
+        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n);
+        bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
+            let r0 = ci * rows_per;
+            let rows = cc.len() / n;
+            matmul_acc_serial(&a[r0 * k..(r0 + rows) * k], b, cc, rows, k, n);
+        });
+    } else {
+        matmul_acc_serial(a, b, c, m, k, n);
+    }
+}
+
+fn matmul_acc_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -25,12 +64,69 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     }
 }
 
+/// `(B, M, K) × (B, K, N)` batched matmul into a pre-zeroed `c` (B, M, N),
+/// parallel over the batch axis above the flop cutoff.
+pub fn batch_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], bb: usize, m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), bb * m * k);
+    debug_assert_eq!(b.len(), bb * k * n);
+    debug_assert_eq!(c.len(), bb * m * n);
+    let slab = m * n;
+    if bb >= 2 && bb * m * k * n >= PAR_MATMUL_FLOPS {
+        bootleg_pool::parallel_chunks_mut(c, slab, |t, cc| {
+            matmul_acc_serial(
+                &a[t * m * k..(t + 1) * m * k],
+                &b[t * k * n..(t + 1) * k * n],
+                cc,
+                m,
+                k,
+                n,
+            );
+        });
+    } else {
+        for t in 0..bb {
+            matmul_acc_serial(
+                &a[t * m * k..(t + 1) * m * k],
+                &b[t * k * n..(t + 1) * k * n],
+                &mut c[t * slab..(t + 1) * slab],
+                m,
+                k,
+                n,
+            );
+        }
+    }
+}
+
 /// `c += aᵀ (k×m, stored m×k) * b (m×n)`; result is k×n.
 /// Used for weight gradients: dW = xᵀ dy.
 pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
+    if k >= 2 && m * k * n >= PAR_MATMUL_FLOPS {
+        // Split the k output rows; each chunk walks i in the same ascending
+        // order as the serial loop, so per-element accumulation order (and
+        // thus every bit of the result) is unchanged.
+        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, m * n);
+        bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
+            let p0 = ci * rows_per;
+            let prows = cc.len() / n;
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let brow = &b[i * n..(i + 1) * n];
+                for pp in 0..prows {
+                    let av = arow[p0 + pp];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut cc[pp * n..(pp + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        });
+        return;
+    }
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let brow = &b[i * n..(i + 1) * n];
@@ -52,6 +148,19 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    if m >= 2 && m * k * n >= PAR_MATMUL_FLOPS {
+        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n);
+        bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
+            let r0 = ci * rows_per;
+            let rows = cc.len() / n;
+            matmul_a_bt_serial(&a[r0 * k..(r0 + rows) * k], b, cc, rows, k, n);
+        });
+    } else {
+        matmul_a_bt_serial(a, b, c, m, k, n);
+    }
+}
+
+fn matmul_a_bt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -66,11 +175,45 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     }
 }
 
+/// Gathers `rows` of a row-major `(·, cols)` table into `out`
+/// (`rows.len() × cols`), parallel over output rows above the cutoff.
+pub fn gather_rows(table: &[f32], rows: &[u32], out: &mut [f32], cols: usize) {
+    debug_assert_eq!(out.len(), rows.len() * cols);
+    let copy = |rs: &[u32], os: &mut [f32]| {
+        for (r, orow) in rs.iter().zip(os.chunks_exact_mut(cols)) {
+            let r = *r as usize;
+            orow.copy_from_slice(&table[r * cols..(r + 1) * cols]);
+        }
+    };
+    if rows.len() >= 2 && out.len() >= PAR_ROWS_MIN_ELEMS {
+        let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
+        bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
+            let r0 = ci * rows_per;
+            copy(&rows[r0..r0 + oc.len() / cols], oc);
+        });
+    } else {
+        copy(rows, out);
+    }
+}
+
 /// Numerically-stable softmax over each row of an `rows × cols` buffer,
 /// written into `out` (may not alias `x`).
 pub fn softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
     debug_assert_eq!(x.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
+    if rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS {
+        let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
+        bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
+            let r0 = ci * rows_per;
+            let nr = oc.len() / cols;
+            softmax_rows_serial(&x[r0 * cols..(r0 + nr) * cols], oc, nr, cols);
+        });
+    } else {
+        softmax_rows_serial(x, out, rows, cols);
+    }
+}
+
+fn softmax_rows_serial(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
     for r in 0..rows {
         let xi = &x[r * cols..(r + 1) * cols];
         let oi = &mut out[r * cols..(r + 1) * cols];
@@ -104,6 +247,19 @@ pub fn softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], rows: usize,
 
 /// log-softmax over each row, written into `out`.
 pub fn log_softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
+    if rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS {
+        let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
+        bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
+            let r0 = ci * rows_per;
+            let nr = oc.len() / cols;
+            log_softmax_rows_serial(&x[r0 * cols..(r0 + nr) * cols], oc, nr, cols);
+        });
+    } else {
+        log_softmax_rows_serial(x, out, rows, cols);
+    }
+}
+
+fn log_softmax_rows_serial(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
     for r in 0..rows {
         let xi = &x[r * cols..(r + 1) * cols];
         let oi = &mut out[r * cols..(r + 1) * cols];
@@ -112,6 +268,44 @@ pub fn log_softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
         for (o, &v) in oi.iter_mut().zip(xi.iter()) {
             *o = v - lse;
         }
+    }
+}
+
+/// Layer norm over each row with affine `gamma`/`beta` (length `cols`),
+/// written into `out`; parallel over rows above the cutoff.
+pub fn layer_norm_rows(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    eps: f32,
+) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(gamma.len(), cols);
+    debug_assert_eq!(beta.len(), cols);
+    let norm = |xs: &[f32], os: &mut [f32], nr: usize| {
+        for r in 0..nr {
+            let xr = &xs[r * cols..(r + 1) * cols];
+            let or = &mut os[r * cols..(r + 1) * cols];
+            let mu: f32 = xr.iter().sum::<f32>() / cols as f32;
+            let var: f32 = xr.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            for j in 0..cols {
+                or[j] = (xr[j] - mu) * inv_std * gamma[j] + beta[j];
+            }
+        }
+    };
+    if rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS {
+        let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
+        bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
+            let r0 = ci * rows_per;
+            let nr = oc.len() / cols;
+            norm(&x[r0 * cols..(r0 + nr) * cols], oc, nr);
+        });
+    } else {
+        norm(x, out, rows);
     }
 }
 
@@ -239,6 +433,131 @@ mod tests {
             let h = 1e-3;
             let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
             assert!((gelu_deriv(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    /// Runs `f` under a 1-thread and an 8-thread pool and asserts the two
+    /// output buffers are bit-identical.
+    fn assert_par_bitwise(mut f: impl FnMut() -> Vec<f32>) {
+        let serial_pool = bootleg_pool::ThreadPool::new(1);
+        let par_pool = bootleg_pool::ThreadPool::new(8);
+        let serial = bootleg_pool::with_pool(&serial_pool, &mut f);
+        let parallel = bootleg_pool::with_pool(&par_pool, &mut f);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s.to_bits(), p.to_bits(), "element {i}: serial {s} vs parallel {p}");
+        }
+    }
+
+    fn pseudo(n: usize, salt: u64) -> Vec<f32> {
+        // Deterministic, non-trivial values with some exact zeros (to
+        // exercise the skip-zero fast path).
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(salt);
+                if h.is_multiple_of(17) {
+                    0.0
+                } else {
+                    ((h >> 11) as f32 / (1u64 << 53) as f32) * 4.0 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_matmul_bit_identical_above_cutoff() {
+        // 96×80×72 = 552960 flops ≫ PAR_MATMUL_FLOPS.
+        let (m, k, n) = (96, 80, 72);
+        let a = pseudo(m * k, 1);
+        let b = pseudo(k * n, 2);
+        assert_par_bitwise(|| {
+            let mut c = vec![0.0; m * n];
+            matmul_acc(&a, &b, &mut c, m, k, n);
+            c
+        });
+    }
+
+    #[test]
+    fn par_matmul_at_b_bit_identical() {
+        let (m, k, n) = (90, 64, 70);
+        let a = pseudo(m * k, 3);
+        let b = pseudo(m * n, 4);
+        assert_par_bitwise(|| {
+            let mut c = vec![0.0; k * n];
+            matmul_at_b_acc(&a, &b, &mut c, m, k, n);
+            c
+        });
+    }
+
+    #[test]
+    fn par_matmul_a_bt_bit_identical() {
+        let (m, k, n) = (88, 60, 66);
+        let a = pseudo(m * k, 5);
+        let b = pseudo(n * k, 6);
+        assert_par_bitwise(|| {
+            let mut c = vec![0.0; m * n];
+            matmul_a_bt_acc(&a, &b, &mut c, m, k, n);
+            c
+        });
+    }
+
+    #[test]
+    fn par_batch_matmul_bit_identical() {
+        let (bb, m, k, n) = (12, 20, 24, 18);
+        let a = pseudo(bb * m * k, 7);
+        let b = pseudo(bb * k * n, 8);
+        assert_par_bitwise(|| {
+            let mut c = vec![0.0; bb * m * n];
+            batch_matmul_acc(&a, &b, &mut c, bb, m, k, n);
+            c
+        });
+    }
+
+    #[test]
+    fn par_row_ops_bit_identical() {
+        let (rows, cols) = (256, 96); // 24576 elems > PAR_ROWS_MIN_ELEMS
+        let x = pseudo(rows * cols, 9);
+        assert_par_bitwise(|| {
+            let mut y = vec![0.0; rows * cols];
+            softmax_rows(&x, &mut y, rows, cols);
+            y
+        });
+        assert_par_bitwise(|| {
+            let mut y = vec![0.0; rows * cols];
+            log_softmax_rows(&x, &mut y, rows, cols);
+            y
+        });
+        let gamma = pseudo(cols, 10);
+        let beta = pseudo(cols, 11);
+        assert_par_bitwise(|| {
+            let mut y = vec![0.0; rows * cols];
+            layer_norm_rows(&x, &gamma, &beta, &mut y, rows, cols, 1e-5);
+            y
+        });
+    }
+
+    #[test]
+    fn par_gather_rows_bit_identical() {
+        let cols = 64;
+        let table = pseudo(500 * cols, 12);
+        let rows: Vec<u32> = (0..400u32).map(|i| (i * 37) % 500).collect();
+        assert_par_bitwise(|| {
+            let mut out = vec![0.0; rows.len() * cols];
+            gather_rows(&table, &rows, &mut out, cols);
+            out
+        });
+    }
+
+    #[test]
+    fn small_sizes_stay_on_the_serial_path() {
+        // Below every cutoff: must match the naive reference exactly.
+        let a = pseudo(6, 21);
+        let b = pseudo(12, 22);
+        let mut c = vec![0.0; 8];
+        matmul_acc(&a, &b, &mut c, 2, 3, 4);
+        let expect = naive_matmul(&a, &b, 2, 3, 4);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-5);
         }
     }
 }

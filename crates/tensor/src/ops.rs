@@ -32,10 +32,8 @@ impl Graph {
         let table = &store.get(id).data;
         assert_eq!(table.rank(), 2, "gather_rows needs a 2-D table");
         let cols = table.shape()[1];
-        let mut out = Vec::with_capacity(rows.len() * cols);
-        for &r in rows {
-            out.extend_from_slice(table.row(r as usize));
-        }
+        let mut out = vec![0.0; rows.len() * cols];
+        kernels::gather_rows(table.data(), rows, &mut out, cols);
         self.push(
             Tensor::new(vec![rows.len(), cols], out),
             Op::GatherRows { param: id, rows: rows.to_vec() },
@@ -186,16 +184,7 @@ impl Var {
         assert_eq!(b.rank(), 3);
         let (bb, m, k, n) = shape::batch_matmul_dims(a.shape(), b.shape());
         let mut out = vec![0.0; bb * m * n];
-        for t in 0..bb {
-            kernels::matmul_acc(
-                &a.data()[t * m * k..(t + 1) * m * k],
-                &b.data()[t * k * n..(t + 1) * k * n],
-                &mut out[t * m * n..(t + 1) * m * n],
-                m,
-                k,
-                n,
-            );
-        }
+        kernels::batch_matmul_acc(a.data(), b.data(), &mut out, bb, m, k, n);
         self.graph.push(Tensor::new(vec![bb, m, n], out), Op::BatchMatMul(self.id, other.id))
     }
 
@@ -348,16 +337,7 @@ impl Var {
         assert_eq!(g.numel(), cols);
         assert_eq!(b.numel(), cols);
         let mut out = vec![0.0; x.numel()];
-        for r in 0..rows {
-            let xr = &x.data()[r * cols..(r + 1) * cols];
-            let or = &mut out[r * cols..(r + 1) * cols];
-            let mu: f32 = xr.iter().sum::<f32>() / cols as f32;
-            let var: f32 = xr.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
-            let inv_std = 1.0 / (var + eps).sqrt();
-            for j in 0..cols {
-                or[j] = (xr[j] - mu) * inv_std * g.data()[j] + b.data()[j];
-            }
-        }
+        kernels::layer_norm_rows(x.data(), g.data(), b.data(), &mut out, rows, cols, eps);
         self.graph.push(
             Tensor::new(x.shape().to_vec(), out),
             Op::LayerNorm { x: self.id, gamma: gamma.id, beta: beta.id, eps },

@@ -25,10 +25,10 @@ fn main() {
     let mut ned = NedBase::new(&kb, &corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &corpus.train, &tcfg);
 
-    let boot = evaluate_slices(&corpus.dev, &counts, |ex| {
-        bootleg_model.forward(&kb, ex, false, 0).predictions
+    let boot = evaluate_slices(&corpus.dev, &counts, |ex: &Example| {
+        bootleg_model.infer(&kb, ex).predictions
     });
-    let base = evaluate_slices(&corpus.dev, &counts, |ex| ned.predict_indices(ex));
+    let base = evaluate_slices(&corpus.dev, &counts, |ex: &Example| ned.predict_indices(ex));
 
     println!("{:>10} {:>10} {:>10}", "slice", "NED-Base", "Bootleg");
     for (name, b, o) in [

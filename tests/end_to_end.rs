@@ -39,11 +39,12 @@ fn pipeline() -> Pipeline {
 #[test]
 fn trained_bootleg_beats_popularity_prior() {
     let p = pipeline();
-    let boot = evaluate_slices(&p.corpus.dev, &p.counts, |ex| {
-        p.model.forward(&p.kb, ex, false, 0).predictions
+    let boot = evaluate_slices(&p.corpus.dev, &p.counts, |ex: &Example| {
+        p.model.infer(&p.kb, ex).predictions
     });
-    let prior =
-        evaluate_slices(&p.corpus.dev, &p.counts, |ex| PopularityPrior.predict_indices(ex));
+    let prior = evaluate_slices(&p.corpus.dev, &p.counts, |ex: &Example| {
+        PopularityPrior.predict_indices(ex)
+    });
     assert!(boot.all.gold > 50, "need a populated dev set");
     assert!(
         boot.all.f1() > prior.all.f1(),
