@@ -278,6 +278,83 @@ fn bench_parallel_eval(results: &mut Results) {
     results.set("eval_metrics_identical", true);
 }
 
+/// Observability overhead on the instrumented hot path (PR acceptance:
+/// with tracing off, evaluation regresses < 2%).
+///
+/// `BOOTLEG_METRICS=0` turns every counter update into one relaxed load +
+/// branch and tracing-off spans read no clocks, so the metrics-disabled run
+/// approximates the pre-instrumentation baseline; the ratio against the
+/// default config (metrics on, trace off) bounds what the instrumentation
+/// costs. Min-of-reps on a 1-thread pool keeps scheduler noise out of a
+/// percent-level comparison.
+fn bench_obs_overhead(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, reps) = if smoke { (600usize, 120usize, 3usize) } else { (2_000, 600, 7) };
+    let wb = Workbench::build(
+        KbConfig { n_entities, seed: 31, ..KbConfig::default() },
+        CorpusConfig { n_pages, seed: 32, ..CorpusConfig::default() },
+        true,
+    );
+    let model =
+        BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default());
+    let predict = BootlegPredictor::new(&model, &wb.kb);
+    let dev = &wb.corpus.dev;
+
+    let time_min = |f: &dyn Fn()| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    // A disabled span costs one relaxed atomic load; measure it directly.
+    bootleg_obs::set_trace_enabled(false);
+    let span_iters = 4_000_000u32;
+    let t = Instant::now();
+    for _ in 0..span_iters {
+        black_box(bootleg_obs::span!("bench.noop"));
+    }
+    let span_off_ns = t.elapsed().as_secs_f64() * 1e9 / span_iters as f64;
+    println!("obs/span_disabled_per_call                   {span_off_ns:.2} ns");
+
+    let pool = ThreadPool::new(1);
+    let (off, on) = with_pool(&pool, || {
+        bootleg_obs::set_metrics_enabled(false);
+        black_box(evaluate_slices(dev, &wb.counts, predict)); // warm-up
+        let off = time_min(&|| {
+            black_box(evaluate_slices(dev, &wb.counts, predict));
+        });
+        bootleg_obs::set_metrics_enabled(true);
+        black_box(evaluate_slices(dev, &wb.counts, predict)); // warm-up
+        let on = time_min(&|| {
+            black_box(evaluate_slices(dev, &wb.counts, predict));
+        });
+        (off, on)
+    });
+    let overhead = on / off.max(1e-12) - 1.0;
+    println!("obs/eval_metrics_off                         {}", fmt_time(off));
+    println!("obs/eval_metrics_on_trace_off                {}", fmt_time(on));
+    println!("obs/eval_overhead: {:.2}% (target < 2%)", overhead * 100.0);
+    if smoke {
+        // Smoke workloads are too short for a stable percent-level claim;
+        // just catch catastrophic regressions.
+        assert!(overhead < 0.25, "obs overhead {:.2}% even in smoke mode", overhead * 100.0);
+    } else {
+        assert!(
+            overhead < 0.02,
+            "obs overhead {:.2}% exceeds the 2% acceptance budget",
+            overhead * 100.0
+        );
+    }
+    results.set("obs_span_disabled_ns", span_off_ns);
+    results.set("obs_eval_metrics_off_secs", off);
+    results.set("obs_eval_metrics_on_secs", on);
+    results.set("obs_eval_overhead_frac", overhead);
+}
+
 fn main() {
     // `cargo bench` passes --bench; `cargo test` runs bench targets bare.
     // Skip instantly in the latter case so the test suite stays fast.
@@ -298,5 +375,6 @@ fn main() {
     }
     bench_parallel_kernels(&mut results);
     bench_parallel_eval(&mut results);
+    bench_obs_overhead(&mut results);
     results.write().expect("write results/perf.json");
 }

@@ -1,0 +1,81 @@
+//! Hot-path profile of the Bootleg forward pass through the `bootleg-obs`
+//! observability stack: runs a short train + parallel evaluation with
+//! tracing forced on, prints the flame-style span/metric breakdown, and
+//! exports the full snapshot to `results/metrics.json`
+//! (`BOOTLEG_METRICS_PATH` to override).
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin profile_forward`
+//! Set `BOOTLEG_PERF_SMOKE=1` for the fast CI configuration.
+
+use bootleg_bench::Workbench;
+use bootleg_core::{BootlegConfig, TrainConfig};
+
+fn smoke_mode() -> bool {
+    std::env::var("BOOTLEG_PERF_SMOKE").map(|v| v != "0").unwrap_or(false)
+}
+
+fn main() -> std::io::Result<()> {
+    // Profiling is the whole point of this bin: force tracing and metrics on
+    // unless the operator explicitly configured them.
+    if std::env::var("BOOTLEG_TRACE").is_err() {
+        bootleg_obs::set_trace_enabled(true);
+    }
+    if std::env::var("BOOTLEG_METRICS").is_err() {
+        bootleg_obs::set_metrics_enabled(true);
+    }
+
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, max_sentences) =
+        if smoke { (600usize, 120usize, 48usize) } else { (2_000, 800, 400) };
+
+    println!("== profile_forward ({}) ==", if smoke { "smoke" } else { "full" });
+    let wb = Workbench::build(
+        bootleg_kb::KbConfig { n_entities, seed: 7, ..Default::default() },
+        bootleg_corpus::CorpusConfig { n_pages, seed: 8, ..Default::default() },
+        true,
+    );
+    let model = wb.train_bootleg(
+        BootlegConfig::default(),
+        &TrainConfig { epochs: 1, max_sentences: Some(max_sentences), ..TrainConfig::default() },
+    );
+
+    // Evaluate under an explicit 4-thread pool so worker busy-time shows up
+    // regardless of the machine CI lands on.
+    let pool = bootleg_pool::ThreadPool::new(4);
+    let report = bootleg_pool::with_pool(&pool, || {
+        bootleg_eval::par::par_evaluate(&wb.corpus.dev, &wb.counts, wb.predictor(&model))
+    });
+    println!(
+        "evaluated {} mentions, overall F1 {:.3}\n",
+        report.all.gold,
+        report.all.f1()
+    );
+
+    print!("{}", bootleg_obs::report());
+
+    let path = bootleg_obs::export()?;
+    println!("\nwrote {}", path.display());
+
+    // Self-check: the snapshot the acceptance criteria care about really is
+    // populated. Failing loudly here beats a silently empty metrics file.
+    let get = |name: &str| bootleg_obs::metrics::counter(name).value();
+    assert!(get("kernel.matmul.calls") > 0, "kernel matmul counters must be nonzero");
+    assert!(get("kernel.softmax.calls") > 0, "kernel softmax counters must be nonzero");
+    assert!(get("kernel.gather.calls") > 0, "kernel gather counters must be nonzero");
+    let worker_busy: u64 = (0..pool.threads())
+        .map(|i| get(&format!("pool.worker.{i}.busy_ns")))
+        .sum();
+    assert!(worker_busy > 0, "pool workers must report busy time");
+    for h in ["forward.candgen_ns", "forward.embed_ns", "forward.attention_ns", "forward.score_ns"]
+    {
+        let count = bootleg_obs::metrics::histogram(h).snapshot().count;
+        assert!(count > 0, "{h} must have observations");
+    }
+    let spans = bootleg_obs::trace_aggregate();
+    assert!(
+        spans.iter().any(|(p, _)| p.starts_with("forward")),
+        "span aggregate must contain forward spans"
+    );
+    println!("self-check passed: kernels, pool busy-time, phase histograms, spans all nonzero");
+    Ok(())
+}

@@ -105,10 +105,16 @@ impl Workbench {
         )
         .expect("checkpoint I/O");
         if let Some(step) = outcome.report.resumed_from {
-            eprintln!("[train] resumed from checkpoint at step {step}");
+            bootleg_obs::info!("bench.train.resumed", step = step);
         }
-        for ev in &outcome.report.recovery_events {
-            eprintln!("[train] recovery at step {}: {:?} ({})", ev.step, ev.kind, ev.detail);
+        // Individual recoveries were already logged (and counted) by the
+        // trainer as they happened; summarize here for the bench operator.
+        if !outcome.report.recovery_events.is_empty() {
+            bootleg_obs::warn!(
+                "bench.train.recoveries",
+                count = outcome.report.recovery_events.len(),
+                skipped_updates = outcome.report.skipped_updates(),
+            );
         }
         model
     }

@@ -231,7 +231,7 @@ impl Results {
         let path = dir.join(format!("{}.json", self.name));
         let text = Json::Obj(self.fields).to_text();
         bootleg_tensor::checkpoint::atomic_write(&path, text.as_bytes())?;
-        eprintln!("[results] wrote {}", path.display());
+        bootleg_obs::info!("results.written", path = path.display());
         Ok(path)
     }
 }

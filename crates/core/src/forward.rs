@@ -107,14 +107,17 @@ impl BootlegModel {
         opts: ForwardOptions,
     ) -> ForwardOutput {
         assert!(!ex.mentions.is_empty(), "forward needs at least one mention");
+        let _fwd = bootleg_obs::span!("forward");
         let ForwardOptions { training, seed, .. } = opts;
         let g = Graph::with_mode(training, seed);
         let ps = &self.params;
         let cfg = &self.config;
         let mut mask_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
 
-        // W: contextual sentence matrix (N, H) from the word encoder.
-        let w = self.word_encoder.forward(&g, ps, &ex.tokens);
+        // ---- Candidate generation: flattening + KG adjacency ----
+        // Plain tensors and index maps, no graph nodes and no RNG, so this
+        // phase can run first without perturbing any numerics downstream.
+        let ph = bootleg_obs::trace::phase("candgen", "forward.candgen_ns");
 
         // Flatten all candidates: cand_entities[s], mention_of[s].
         let mut cand_entities: Vec<u32> = Vec::with_capacity(ex.total_candidates());
@@ -130,7 +133,65 @@ impl BootlegModel {
         offsets.push(cand_entities.len());
         let s_total = cand_entities.len();
 
+        // KG adjacency matrices over the flattened candidates: cross-mention
+        // Wikidata connectivity (+ optional co-occurrence / two-hop).
+        let mut kg_mats: Vec<Tensor> = Vec::new();
+        if cfg.use_kg() {
+            let mut k = vec![0.0f32; s_total * s_total];
+            for i in 0..s_total {
+                for j in 0..s_total {
+                    if mention_of[i] != mention_of[j]
+                        && kb
+                            .connected(EntityId(cand_entities[i]), EntityId(cand_entities[j]))
+                            .is_some()
+                    {
+                        k[i * s_total + j] = 1.0;
+                    }
+                }
+            }
+            kg_mats.push(Tensor::new(vec![s_total, s_total], k));
+            if cfg.cooccur_kg {
+                let mut k2 = vec![0.0f32; s_total * s_total];
+                if let Some(cx) = &self.cooccur {
+                    for i in 0..s_total {
+                        for j in 0..s_total {
+                            if mention_of[i] != mention_of[j] {
+                                k2[i * s_total + j] = cx
+                                    .weight(EntityId(cand_entities[i]), EntityId(cand_entities[j]));
+                            }
+                        }
+                    }
+                }
+                kg_mats.push(Tensor::new(vec![s_total, s_total], k2));
+            }
+            if cfg.kg_two_hop {
+                // Extension (§5 future work): candidates that share a common
+                // KG neighbor without being directly linked — the paper's
+                // multi-hop error bucket — get a (weaker) connection.
+                let mut k3 = vec![0.0f32; s_total * s_total];
+                for i in 0..s_total {
+                    for j in 0..s_total {
+                        if mention_of[i] != mention_of[j]
+                            && kb.two_hop_connected(
+                                EntityId(cand_entities[i]),
+                                EntityId(cand_entities[j]),
+                            )
+                        {
+                            k3[i * s_total + j] = 0.5;
+                        }
+                    }
+                }
+                kg_mats.push(Tensor::new(vec![s_total, s_total], k3));
+            }
+        }
+        drop(ph);
+
         // ---- Signal encoding (§3.1) ----
+        let ph = bootleg_obs::trace::phase("embed", "forward.embed_ns");
+
+        // W: contextual sentence matrix (N, H) from the word encoder.
+        let w = self.word_encoder.forward(&g, ps, &ex.tokens);
+
         let mut parts: Vec<Var> = Vec::new();
 
         if cfg.use_entity() {
@@ -246,60 +307,10 @@ impl BootlegModel {
             let enc_var = g.leaf(Tensor::new(vec![s_total, 2 * d], enc));
             e_mat = e_mat.add(&self.pos_proj.forward(&g, ps, &enc_var));
         }
-
-        // ---- KG adjacency matrices over the flattened candidates ----
-        // Cross-mention Wikidata connectivity (+ optional co-occurrence).
-        let mut kg_mats: Vec<Tensor> = Vec::new();
-        if cfg.use_kg() {
-            let mut k = vec![0.0f32; s_total * s_total];
-            for i in 0..s_total {
-                for j in 0..s_total {
-                    if mention_of[i] != mention_of[j]
-                        && kb
-                            .connected(EntityId(cand_entities[i]), EntityId(cand_entities[j]))
-                            .is_some()
-                    {
-                        k[i * s_total + j] = 1.0;
-                    }
-                }
-            }
-            kg_mats.push(Tensor::new(vec![s_total, s_total], k));
-            if cfg.cooccur_kg {
-                let mut k2 = vec![0.0f32; s_total * s_total];
-                if let Some(cx) = &self.cooccur {
-                    for i in 0..s_total {
-                        for j in 0..s_total {
-                            if mention_of[i] != mention_of[j] {
-                                k2[i * s_total + j] = cx
-                                    .weight(EntityId(cand_entities[i]), EntityId(cand_entities[j]));
-                            }
-                        }
-                    }
-                }
-                kg_mats.push(Tensor::new(vec![s_total, s_total], k2));
-            }
-            if cfg.kg_two_hop {
-                // Extension (§5 future work): candidates that share a common
-                // KG neighbor without being directly linked — the paper's
-                // multi-hop error bucket — get a (weaker) connection.
-                let mut k3 = vec![0.0f32; s_total * s_total];
-                for i in 0..s_total {
-                    for j in 0..s_total {
-                        if mention_of[i] != mention_of[j]
-                            && kb.two_hop_connected(
-                                EntityId(cand_entities[i]),
-                                EntityId(cand_entities[j]),
-                            )
-                        {
-                            k3[i * s_total + j] = 0.5;
-                        }
-                    }
-                }
-                kg_mats.push(Tensor::new(vec![s_total, s_total], k3));
-            }
-        }
+        drop(ph);
 
         // ---- Stacked layers (§3.2 end-to-end) ----
+        let ph = bootleg_obs::trace::phase("attention", "forward.attention_ns");
         let mut e_prime = e_mat.clone();
         let mut last_e_ks: Vec<Var> = Vec::new();
         for l in 0..cfg.n_layers {
@@ -330,8 +341,10 @@ impl BootlegModel {
                 }
             };
         }
+        drop(ph);
 
         // ---- Ensemble scoring: S = max(E_k vᵀ, E′ vᵀ) ----
+        let ph = bootleg_obs::trace::phase("score", "forward.score_ns");
         let v = g.dense_param(ps, self.score_v); // (H, 1)
         let s_var = if cfg.ensemble_scoring {
             let mut s = e_prime.matmul(&v); // (S, 1)
@@ -396,6 +409,7 @@ impl BootlegModel {
         } else {
             Vec::new()
         };
+        drop(ph);
 
         ForwardOutput { graph: g, loss, scores, predictions, mention_reprs, candidate_reprs }
     }

@@ -140,6 +140,47 @@ pub enum RecoveryKind {
     Resumed,
 }
 
+impl RecoveryKind {
+    /// The obs event this recovery is logged and counted under
+    /// (`event.<name>` in the metrics registry).
+    pub fn event_name(self) -> &'static str {
+        match self {
+            RecoveryKind::NonFiniteLoss => "train.recovery.non_finite_loss",
+            RecoveryKind::LossSpike => "train.recovery.loss_spike",
+            RecoveryKind::GradExplosion => "train.recovery.grad_explosion",
+            RecoveryKind::LrBackoff => "train.recovery.lr_backoff",
+            RecoveryKind::CheckpointFallback => "train.recovery.checkpoint_fallback",
+            RecoveryKind::Resumed => "train.recovery.resumed",
+        }
+    }
+
+    /// Resumes are normal lifecycle; everything else deserves attention.
+    fn level(self) -> bootleg_obs::Level {
+        match self {
+            RecoveryKind::Resumed => bootleg_obs::Level::Info,
+            _ => bootleg_obs::Level::Warn,
+        }
+    }
+}
+
+/// Records one recovery in the report *and* through the obs event log, so
+/// anomaly-guard trips are counted in `results/metrics.json` even when their
+/// log lines are filtered.
+fn record_recovery(
+    report: &mut TrainReport,
+    step: u64,
+    epoch: usize,
+    kind: RecoveryKind,
+    detail: String,
+) {
+    bootleg_obs::logger::log_event(
+        kind.level(),
+        kind.event_name(),
+        &[("step", &step), ("epoch", &epoch), ("detail", &detail)],
+    );
+    report.recovery_events.push(RecoveryEvent { step, epoch, kind, detail });
+}
+
 /// One recovery action taken during training.
 #[derive(Clone, Debug)]
 pub struct RecoveryEvent {
@@ -363,6 +404,7 @@ pub fn train_resumable(
     checkpoints: Option<&CheckpointConfig>,
     faults: &FaultPlan,
 ) -> io::Result<TrainOutcome> {
+    let _span = bootleg_obs::span!("train");
     let examples: Vec<Example> = sentences.iter().filter_map(Example::training).collect();
     let mut report = TrainReport { n_examples: examples.len(), ..Default::default() };
     if examples.is_empty() {
@@ -379,12 +421,13 @@ pub fn train_resumable(
     if let Some(mgr) = &manager {
         if let Some(loaded) = mgr.load_latest_valid()? {
             for rej in &loaded.rejected {
-                report.recovery_events.push(RecoveryEvent {
-                    step: loaded.checkpoint.step,
-                    epoch: 0,
-                    kind: RecoveryKind::CheckpointFallback,
-                    detail: format!("skipped corrupt checkpoint: {}", rej.reason),
-                });
+                record_recovery(
+                    &mut report,
+                    loaded.checkpoint.step,
+                    0,
+                    RecoveryKind::CheckpointFallback,
+                    format!("skipped corrupt checkpoint: {}", rej.reason),
+                );
             }
             st = restore_checkpoint(&loaded.checkpoint, model, &mut opt)
                 .map_err(|e| bootleg_tensor::checkpoint::with_path(e, &loaded.path))?;
@@ -400,12 +443,13 @@ pub fn train_resumable(
                 ));
             }
             report.resumed_from = Some(loaded.checkpoint.step);
-            report.recovery_events.push(RecoveryEvent {
-                step: st.steps,
-                epoch: st.epoch as usize,
-                kind: RecoveryKind::Resumed,
-                detail: format!("resumed from {}", loaded.path.display()),
-            });
+            record_recovery(
+                &mut report,
+                st.steps,
+                st.epoch as usize,
+                RecoveryKind::Resumed,
+                format!("resumed from {}", loaded.path.display()),
+            );
         }
     }
 
@@ -463,6 +507,13 @@ pub fn train_resumable(
                 model.params.scale_grads(scale);
             }
             let grad_norm = clip_grad_norm(&mut model.params, config.clip);
+            if grad_norm.is_finite() {
+                bootleg_obs::histogram!(
+                    "train.grad_norm",
+                    bootleg_obs::metrics::exp_buckets(1e-3, 2.0, 28)
+                )
+                .observe(grad_norm as f64);
+            }
 
             // Anomaly guards: skip the update rather than poison the model.
             let anomaly = if !batch_mean.is_finite() {
@@ -482,21 +533,17 @@ pub fn train_resumable(
             };
             if let Some((kind, detail)) = anomaly {
                 model.params.zero_grad();
-                report.recovery_events.push(RecoveryEvent {
-                    step: st.steps,
-                    epoch: epoch as usize,
-                    kind,
-                    detail,
-                });
+                record_recovery(&mut report, st.steps, epoch as usize, kind, detail);
                 st.strikes += 1;
                 if st.strikes >= guard.divergence_patience {
                     let new_lr = (opt.lr * guard.lr_backoff).max(guard.min_lr);
-                    report.recovery_events.push(RecoveryEvent {
-                        step: st.steps,
-                        epoch: epoch as usize,
-                        kind: RecoveryKind::LrBackoff,
-                        detail: format!("lr {:.3e} -> {new_lr:.3e}", opt.lr),
-                    });
+                    record_recovery(
+                        &mut report,
+                        st.steps,
+                        epoch as usize,
+                        RecoveryKind::LrBackoff,
+                        format!("lr {:.3e} -> {new_lr:.3e}", opt.lr),
+                    );
                     opt.lr = new_lr;
                     st.strikes = 0;
                 }
@@ -506,6 +553,9 @@ pub fn train_resumable(
             opt.step(&mut model.params);
             model.params.zero_grad();
             st.steps += 1;
+            bootleg_obs::counter!("train.steps").inc();
+            bootleg_obs::gauge!("train.lr").set(opt.lr as f64);
+            bootleg_obs::gauge!("train.batch_loss").set(batch_mean);
             st.strikes = st.strikes.saturating_sub(1);
             st.epoch_loss += batch_loss;
             st.epoch_count += batch_n as u64;
@@ -517,9 +567,11 @@ pub fn train_resumable(
             st.warmup_seen += 1;
 
             if config.log_every > 0 && bi % config.log_every == 0 {
-                eprintln!(
-                    "epoch {epoch} step {bi}: loss {:.4}",
-                    st.epoch_loss / st.epoch_count.max(1) as f64
+                bootleg_obs::info!(
+                    "train.progress",
+                    epoch = epoch,
+                    step = bi,
+                    loss = format_args!("{:.4}", st.epoch_loss / st.epoch_count.max(1) as f64),
                 );
             }
 
@@ -529,6 +581,11 @@ pub fn train_resumable(
                 let due = ck.every_steps > 0 && st.steps.is_multiple_of(ck.every_steps);
                 if due || crash {
                     let path = mgr.save(&make_checkpoint(model, &opt, &st))?;
+                    bootleg_obs::info!(
+                        "train.checkpoint.saved",
+                        step = st.steps,
+                        path = path.display(),
+                    );
                     if let Some(mode) = faults.corruption_at(st.steps) {
                         corrupt_file(&path, mode)?;
                     }
@@ -544,7 +601,15 @@ pub fn train_resumable(
             }
         }
 
-        st.epoch_losses.push((st.epoch_loss / st.epoch_count.max(1) as f64) as f32);
+        let epoch_mean = st.epoch_loss / st.epoch_count.max(1) as f64;
+        bootleg_obs::gauge!("train.epoch_loss").set(epoch_mean);
+        bootleg_obs::debug!(
+            "train.epoch",
+            epoch = epoch,
+            steps = st.steps,
+            loss = format_args!("{epoch_mean:.4}"),
+        );
+        st.epoch_losses.push(epoch_mean as f32);
         st.epoch_loss = 0.0;
         st.epoch_count = 0;
         st.next_batch = 0;

@@ -25,11 +25,14 @@ pub fn par_evaluate(
     counts: &HashMap<EntityId, u32>,
     predict: impl Predictor,
 ) -> SliceReport {
+    let _span = bootleg_obs::span!("par_evaluate");
+    let start = std::time::Instant::now();
     let partials = bootleg_pool::map(sentences, |s| slices::sentence_slices(s, counts, &predict));
     let mut report = SliceReport::default();
     for p in &partials {
         report.merge(p);
     }
+    slices::record_throughput(sentences.len(), start.elapsed());
     report
 }
 
@@ -39,11 +42,13 @@ pub fn par_f1_by_count_bucket(
     counts: &HashMap<EntityId, u32>,
     predict: impl Predictor,
 ) -> Vec<CurvePoint> {
+    let start = std::time::Instant::now();
     let partials = bootleg_pool::map(sentences, |s| slices::sentence_curve(s, counts, &predict));
     let mut points = slices::empty_curve();
     for p in &partials {
         slices::merge_curve(&mut points, p);
     }
+    slices::record_throughput(sentences.len(), start.elapsed());
     points
 }
 
@@ -55,6 +60,7 @@ pub fn par_pattern_slices(
     counts: &HashMap<EntityId, u32>,
     predict: impl Predictor,
 ) -> PatternSliceReport {
+    let start = std::time::Instant::now();
     let idx = patterns::affordance_index(kb, vocab);
     let partials = bootleg_pool::map(sentences, |s| {
         patterns::sentence_patterns(kb, vocab, &idx, counts, s, &predict)
@@ -63,6 +69,7 @@ pub fn par_pattern_slices(
     for p in &partials {
         report.merge(p);
     }
+    slices::record_throughput(sentences.len(), start.elapsed());
     report
 }
 
@@ -76,6 +83,7 @@ pub fn par_error_analysis(
     predict: impl Predictor,
     max_samples: usize,
 ) -> ErrorBuckets {
+    let start = std::time::Instant::now();
     let partials = bootleg_pool::map(sentences, |s| {
         errors::sentence_errors(kb, vocab, s, &predict, max_samples)
     });
@@ -83,6 +91,7 @@ pub fn par_error_analysis(
     for p in &partials {
         out.merge(p, max_samples);
     }
+    slices::record_throughput(sentences.len(), start.elapsed());
     out
 }
 

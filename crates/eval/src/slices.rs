@@ -62,11 +62,24 @@ pub fn evaluate_slices(
     counts: &HashMap<EntityId, u32>,
     predict: impl Predictor,
 ) -> SliceReport {
+    let start = std::time::Instant::now();
     let mut report = SliceReport::default();
     for s in sentences {
         report.merge(&sentence_slices(s, counts, &predict));
     }
+    record_throughput(sentences.len(), start.elapsed());
     report
+}
+
+/// Records evaluation throughput: total sentences scored and the
+/// sentences/sec of the last driver call. Shared by the serial and parallel
+/// drivers — one coarse measurement per call, not per sentence.
+pub(crate) fn record_throughput(n_sentences: usize, elapsed: std::time::Duration) {
+    bootleg_obs::counter!("eval.sentences").add(n_sentences as u64);
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        bootleg_obs::gauge!("eval.sentences_per_sec").set(n_sentences as f64 / secs);
+    }
 }
 
 /// One sentence's contribution to a [`SliceReport`] — the unit of work the

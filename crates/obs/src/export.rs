@@ -1,0 +1,265 @@
+//! Snapshot exporter: the metrics registry plus the trace aggregate as a
+//! JSON document (`results/metrics.json` by default, `BOOTLEG_METRICS_PATH`
+//! to override), written atomically — temp file in the target directory,
+//! fsync, rename, directory fsync — the same crash-safety discipline as the
+//! checkpoint and results writers. Also [`report`], the human-readable
+//! table.
+
+use crate::metrics::{self, HistogramSnapshot};
+use crate::trace;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_num(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn render_histogram(h: &HistogramSnapshot, out: &mut String, pad: &str) {
+    out.push_str("{\n");
+    let _ = writeln!(out, "{pad}  \"count\": {},", h.count);
+    let _ = write!(out, "{pad}  \"sum\": ");
+    json_num(h.sum, out);
+    out.push_str(",\n");
+    let _ = write!(out, "{pad}  \"buckets\": [");
+    for (i, (bound, count)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"le\": ");
+        json_num(*bound, out); // +inf bound renders as null
+        let _ = write!(out, ", \"count\": {count}}}");
+    }
+    out.push_str("]\n");
+    let _ = write!(out, "{pad}}}");
+}
+
+/// The full observability snapshot as pretty-printed JSON: counters, gauges,
+/// histograms, and the span aggregate.
+pub fn metrics_json() -> String {
+    let snap = metrics::snapshot();
+    let spans = trace::trace_aggregate();
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        let _ = write!(out, ": {v}");
+    }
+    out.push_str(if snap.counters.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"gauges\": {");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        out.push_str(": ");
+        json_num(*v, &mut out);
+    }
+    out.push_str(if snap.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"histograms\": {");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        out.push_str(": ");
+        render_histogram(h, &mut out, "    ");
+    }
+    out.push_str(if snap.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"spans\": {");
+    for (i, (path, st)) in spans.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(path, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"total_ns\": {}, \"self_ns\": {}}}",
+            st.count, st.total_ns, st.self_ns
+        );
+    }
+    out.push_str(if spans.is_empty() { "}\n" } else { "\n  }\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Writes `bytes` to `path` atomically: unique temp file in the same
+/// directory → write → fsync → rename → directory fsync.
+fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let stem = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let tmp = dir.join(format!(".{stem}.tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Where [`export`] writes: `BOOTLEG_METRICS_PATH`, else
+/// `results/metrics.json`.
+pub fn metrics_path() -> PathBuf {
+    std::env::var("BOOTLEG_METRICS_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results").join("metrics.json"))
+}
+
+/// Snapshots everything and writes it atomically to `path`.
+pub fn write_metrics(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    atomic_write(path, metrics_json().as_bytes())
+}
+
+/// Snapshots everything and writes it atomically to [`metrics_path`];
+/// returns the path written.
+pub fn export() -> io::Result<PathBuf> {
+    let path = metrics_path();
+    write_metrics(&path)?;
+    Ok(path)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A human-readable table of every counter, gauge, histogram summary, and
+/// the span aggregate (indented by path depth, flame-style).
+pub fn report() -> String {
+    let snap = metrics::snapshot();
+    let spans = trace::trace_aggregate();
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<44} {v:>14}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<44} {v:>14.3}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("== histograms (count / mean / p50 / p99) ==\n");
+        for (name, h) in &snap.histograms {
+            // Only histograms named `*_ns` hold durations; render the rest
+            // as plain numbers.
+            let fmt = |v: f64| if name.ends_with("_ns") { fmt_ns(v) } else { format!("{v:.3}") };
+            let _ = writeln!(
+                out,
+                "  {name:<44} {:>10}   {:>10}  {:>10}  {:>10}",
+                h.count,
+                fmt(h.mean()),
+                fmt(h.quantile(0.5)),
+                fmt(h.quantile(0.99)),
+            );
+        }
+    }
+    if !spans.is_empty() {
+        out.push_str("== spans (calls / total / self) ==\n");
+        for (path, st) in &spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth), name);
+            let _ = writeln!(
+                out,
+                "  {label:<44} {:>10}   {:>10}  {:>10}",
+                st.count,
+                fmt_ns(st.total_ns as f64),
+                fmt_ns(st.self_ns as f64),
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        metrics::counter("test.export.counter").add(7);
+        metrics::gauge("test.export.gauge").set(1.25);
+        metrics::histogram_with("test.export.hist", || vec![10.0]).observe(3.0);
+        let j = metrics_json();
+        assert!(j.contains("\"test.export.counter\": 7"));
+        assert!(j.contains("\"test.export.gauge\": 1.25"));
+        assert!(j.contains("\"test.export.hist\""));
+        assert!(j.contains("{\"le\": 10, \"count\": 1}"));
+        // Braces balance (cheap well-formedness check without a parser).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn write_metrics_is_atomic_and_readable() {
+        let dir = std::env::temp_dir().join(format!("bootleg_obs_{}", std::process::id()));
+        let path = dir.join("metrics.json");
+        metrics::counter("test.export.write").inc();
+        write_metrics(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("test.export.write"));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter(|e| e.as_ref().expect("entry").file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files may survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_renders_sections() {
+        metrics::counter("test.export.report").add(3);
+        let r = report();
+        assert!(r.contains("== counters =="));
+        assert!(r.contains("test.export.report"));
+    }
+}

@@ -1,0 +1,160 @@
+//! # bootleg-obs
+//!
+//! The observability layer of the Bootleg reproduction — dependency-free
+//! (std only), sitting below every other crate so kernels, the thread pool,
+//! training, and evaluation can all report through one registry. Three
+//! pillars:
+//!
+//! * **Metrics** ([`metrics`]): lock-sharded [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s, registered by name. Static handles via the
+//!   [`counter!`] / [`gauge!`] / [`histogram!`] macros make hot-path
+//!   increments one relaxed load + one sharded `fetch_add`; totals are exact
+//!   when incremented from any number of pool workers. `BOOTLEG_METRICS=0`
+//!   turns all recording off.
+//! * **Tracing** ([`trace`]): RAII spans (`span!("forward.embed")`) record
+//!   wall-time and parent/child structure into per-thread buffers, drained
+//!   into a flame-style aggregate (call counts, total/self time). Off by
+//!   default; `BOOTLEG_TRACE=1` enables, `BOOTLEG_TRACE_SAMPLE=N` keeps
+//!   every Nth root span. While off, a span costs one atomic load — no
+//!   clock reads, nothing recorded.
+//! * **Logging** ([`logger`]): level-filtered `key=value` events on stderr
+//!   via [`event!`] / [`error!`] / [`warn!`] / [`info!`] / [`debug!`],
+//!   filtered by `BOOTLEG_LOG` (default `info`). Every event also bumps an
+//!   `event.<name>` counter, so anomaly recoveries and checkpoint events are
+//!   *counted* in metrics even when their log lines are suppressed.
+//!
+//! [`export::export`] snapshots everything to `results/metrics.json`
+//! (atomic write; `BOOTLEG_METRICS_PATH` overrides), and [`report`] renders
+//! the same snapshot as a table.
+//!
+//! [`Counter`]: metrics::Counter
+//! [`Gauge`]: metrics::Gauge
+//! [`Histogram`]: metrics::Histogram
+
+pub mod export;
+pub mod logger;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{export, metrics_json, report};
+pub use logger::{log_enabled, set_max_level, Level};
+pub use metrics::{metrics_enabled, set_metrics_enabled, snapshot, MetricsSnapshot};
+pub use trace::{set_trace_enabled, span, trace_aggregate, trace_enabled, SpanStat};
+
+/// A `&'static` [`Counter`](metrics::Counter) handle for a literal name,
+/// with the registry lookup cached at the call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __OBS_C: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *__OBS_C.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// A `&'static` [`Gauge`](metrics::Gauge) handle, lookup cached at the call
+/// site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __OBS_G: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__OBS_G.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// A `&'static` [`Histogram`](metrics::Histogram) handle, lookup cached at
+/// the call site. The one-argument form uses the default latency buckets;
+/// the two-argument form supplies bucket bounds (evaluated once).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __OBS_H: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__OBS_H.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+    ($name:expr, $bounds:expr) => {{
+        static __OBS_H: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__OBS_H.get_or_init(|| $crate::metrics::histogram_with($name, || $bounds))
+    }};
+}
+
+/// Opens an RAII trace span: `let _g = span!("forward.embed");`. Bind the
+/// guard — an unbound `span!` drops immediately and records ~nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::span($name)
+    };
+}
+
+/// Counts and (level permitting) logs one structured event:
+/// `event!(Level::Warn, "train.recovery", step = 12, kind = "LossSpike")`.
+#[macro_export]
+macro_rules! event {
+    ($lvl:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {{
+        $crate::logger::count_event($name);
+        if $crate::logger::log_enabled($lvl) {
+            $crate::logger::emit(
+                $lvl,
+                $name,
+                &[$((stringify!($k), &$v as &dyn ::std::fmt::Display)),*],
+            );
+        }
+    }};
+}
+
+/// [`event!`] at [`Level::Error`](logger::Level::Error).
+#[macro_export]
+macro_rules! error {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::logger::Level::Error, $name $(, $k = $v)*)
+    };
+}
+
+/// [`event!`] at [`Level::Warn`](logger::Level::Warn).
+#[macro_export]
+macro_rules! warn {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::logger::Level::Warn, $name $(, $k = $v)*)
+    };
+}
+
+/// [`event!`] at [`Level::Info`](logger::Level::Info).
+#[macro_export]
+macro_rules! info {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::logger::Level::Info, $name $(, $k = $v)*)
+    };
+}
+
+/// [`event!`] at [`Level::Debug`](logger::Level::Debug).
+#[macro_export]
+macro_rules! debug {
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        $crate::event!($crate::logger::Level::Debug, $name $(, $k = $v)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macro_handles_resolve_and_record() {
+        counter!("test.lib.macro_counter").add(5);
+        assert_eq!(crate::metrics::counter("test.lib.macro_counter").value(), 5);
+        gauge!("test.lib.macro_gauge").set(9.0);
+        assert_eq!(crate::metrics::gauge("test.lib.macro_gauge").value(), 9.0);
+        histogram!("test.lib.macro_hist", vec![1.0, 2.0]).observe(1.5);
+        assert_eq!(
+            crate::metrics::histogram_with("test.lib.macro_hist", Vec::new).snapshot().count,
+            1
+        );
+    }
+
+    #[test]
+    fn event_macro_counts_under_event_prefix() {
+        crate::event!(crate::logger::Level::Trace, "test.lib.event", step = 3);
+        assert_eq!(crate::metrics::counter("event.test.lib.event").value(), 1);
+    }
+}

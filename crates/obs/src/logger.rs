@@ -1,0 +1,131 @@
+//! The structured logger: level-filtered `key=value` events on stderr.
+//!
+//! The maximum level comes from `BOOTLEG_LOG` (`error`, `warn`, `info`,
+//! `debug`, `trace`, or `off`; default `info`) and can be overridden at
+//! runtime with [`set_max_level`]. Every event is *also* counted in the
+//! metrics registry under `event.<name>` regardless of the level filter, so
+//! rare occurrences (anomaly-guard trips, checkpoint fallbacks) show up in
+//! `results/metrics.json` even when their log lines are filtered out.
+//!
+//! Use through the [`event!`](crate::event) family of macros, or directly
+//! via [`log_event`] when the event name is computed at runtime.
+
+use std::fmt::Display;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-loss conditions.
+    Error = 1,
+    /// Recovered anomalies worth operator attention.
+    Warn = 2,
+    /// Lifecycle events (epochs, checkpoints, results written).
+    Info = 3,
+    /// Progress detail (per-step training lines).
+    Debug = 4,
+    /// Firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// The fixed-width tag printed in log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Parses a `BOOTLEG_LOG` value; `None` means "log nothing".
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None, // includes "off" / "none" / "0"
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<AtomicU8> = OnceLock::new();
+
+fn max_level() -> &'static AtomicU8 {
+    MAX_LEVEL.get_or_init(|| {
+        let lvl = match std::env::var("BOOTLEG_LOG") {
+            Ok(s) => Level::parse(&s).map(|l| l as u8).unwrap_or(0),
+            Err(_) => Level::Info as u8,
+        };
+        AtomicU8::new(lvl)
+    })
+}
+
+/// Whether events at `level` pass the filter.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= max_level().load(Ordering::Relaxed)
+}
+
+/// Overrides the maximum logged level (`None` silences everything).
+pub fn set_max_level(level: Option<Level>) {
+    max_level().store(level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Counts the event in the metrics registry (`event.<name>`), independent of
+/// the level filter.
+pub fn count_event(name: &str) {
+    if !crate::metrics::metrics_enabled() {
+        return;
+    }
+    crate::metrics::counter(&format!("event.{name}")).inc();
+}
+
+/// Writes one `[LEVEL] name key=value ...` line to stderr (no filtering —
+/// callers check [`log_enabled`] first; the macros do).
+pub fn emit(level: Level, name: &str, kvs: &[(&str, &dyn Display)]) {
+    use std::fmt::Write as _;
+    let mut line = String::with_capacity(64);
+    let _ = write!(line, "[{:5}] {name}", level.as_str());
+    for (k, v) in kvs {
+        let _ = write!(line, " {k}={v}");
+    }
+    eprintln!("{line}");
+}
+
+/// Counts and (level permitting) emits one structured event. The non-macro
+/// entry point for runtime-computed event names.
+pub fn log_event(level: Level, name: &str, kvs: &[(&str, &dyn Display)]) {
+    count_event(name);
+    if log_enabled(level) {
+        emit(level, name, kvs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), None);
+        assert_eq!(Level::parse("garbage"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn events_are_counted_even_when_filtered() {
+        // Trace is far above the default max level, so nothing is printed —
+        // but the counter must still move.
+        log_event(Level::Trace, "test.logger.filtered", &[("k", &1)]);
+        log_event(Level::Trace, "test.logger.filtered", &[("k", &2)]);
+        assert_eq!(crate::metrics::counter("event.test.logger.filtered").value(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! The metrics registry: lock-sharded counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handles are `&'static` and registered once by name; the [`counter!`],
+//! [`gauge!`] and [`histogram!`] macros cache the registry lookup in a
+//! per-call-site `OnceLock`, so a hot-path increment costs one relaxed
+//! atomic load (the enable flag) plus one `fetch_add` on a thread-sharded,
+//! cache-line-padded cell. Totals are exact at any thread count: every
+//! mutation is a single atomic RMW, and reads sum the shards.
+//!
+//! The whole registry can be switched off with `BOOTLEG_METRICS=0` (or
+//! [`set_metrics_enabled`]), turning every mutation into a load + branch —
+//! the knob the perf bench uses to measure instrumentation overhead.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Shard count for counters; more than the core counts we target so two
+/// hot threads rarely share a cell.
+const SHARDS: usize = 16;
+
+/// One atomic on its own cache line, so sharded increments never false-share.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+}
+
+static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+
+fn enabled_flag() -> &'static AtomicBool {
+    ENABLED.get_or_init(|| {
+        let on = std::env::var("BOOTLEG_METRICS").map(|v| v != "0").unwrap_or(true);
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether metric mutations are recorded (default: yes, unless
+/// `BOOTLEG_METRICS=0`).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    enabled_flag().load(Ordering::Relaxed)
+}
+
+/// Turns the whole registry on or off at runtime (used by tests and the
+/// overhead bench; overrides the env default).
+pub fn set_metrics_enabled(on: bool) {
+    enabled_flag().store(on, Ordering::Relaxed);
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// This thread's shard slot, assigned round-robin on first use.
+#[inline]
+fn shard_index() -> usize {
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// A monotonically increasing counter, sharded per thread group.
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self { shards: [const { PaddedU64::new() }; SHARDS] }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The merged total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value-wins f64 gauge (also supports additive updates).
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if !metrics_enabled() {
+            return;
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (CAS loop; gauges are not hot-path objects).
+    pub fn add(&self, v: f64) {
+        if !metrics_enabled() {
+            return;
+        }
+        let _ = self.bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+            Some((f64::from_bits(b) + v).to_bits())
+        });
+    }
+
+    /// The current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: per-bucket atomic counts plus exact count/sum.
+pub struct Histogram {
+    /// Ascending upper bounds; an implicit +inf bucket follows the last.
+    bounds: Box<[f64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// `(upper_bound, count)` per bucket; the last bound is `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the bucket
+    /// containing the `q`-quantile observation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for &(bound, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+impl Histogram {
+    fn new(bounds: Vec<f64>) -> Self {
+        let n = bounds.len() + 1;
+        Self {
+            bounds: bounds.into_boxed_slice(),
+            buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if !metrics_enabled() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self.sum_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+            Some((f64::from_bits(b) + v).to_bits())
+        });
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, d: std::time::Duration) {
+        self.observe(d.as_nanos() as f64);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let bound = self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                (bound, c.load(Ordering::Relaxed))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Geometric bucket bounds: `start, start*factor, ...` (`n` bounds).
+pub fn exp_buckets(start: f64, factor: f64, n: usize) -> Vec<f64> {
+    let mut v = Vec::with_capacity(n);
+    let mut b = start;
+    for _ in 0..n {
+        v.push(b);
+        b *= factor;
+    }
+    v
+}
+
+/// Default latency bounds in nanoseconds: 1 µs doubling up to ~8.6 s.
+pub fn default_ns_buckets() -> Vec<f64> {
+    exp_buckets(1e3, 2.0, 24)
+}
+
+struct Registry {
+    counters: Mutex<HashMap<String, &'static Counter>>,
+    gauges: Mutex<HashMap<String, &'static Gauge>>,
+    histograms: Mutex<HashMap<String, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(HashMap::new()),
+        gauges: Mutex::new(HashMap::new()),
+        histograms: Mutex::new(HashMap::new()),
+    })
+}
+
+/// The counter registered under `name` (registered on first use).
+pub fn counter(name: &str) -> &'static Counter {
+    let mut map = registry().counters.lock().expect("obs registry");
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    map.insert(name.to_string(), c);
+    c
+}
+
+/// The gauge registered under `name`.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut map = registry().gauges.lock().expect("obs registry");
+    if let Some(g) = map.get(name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    map.insert(name.to_string(), g);
+    g
+}
+
+/// The histogram registered under `name` with [`default_ns_buckets`].
+pub fn histogram(name: &str) -> &'static Histogram {
+    histogram_with(name, default_ns_buckets)
+}
+
+/// The histogram registered under `name`; `mk_bounds` supplies the bucket
+/// bounds if (and only if) this call performs the first registration.
+pub fn histogram_with(name: &str, mk_bounds: impl FnOnce() -> Vec<f64>) -> &'static Histogram {
+    let mut map = registry().histograms.lock().expect("obs registry");
+    if let Some(h) = map.get(name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new(mk_bounds())));
+    map.insert(name.to_string(), h);
+    h
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshots the whole registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|(k, c)| (k.clone(), c.value()))
+        .collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut gauges: Vec<(String, f64)> = reg
+        .gauges
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|(k, g)| (k.clone(), g.value()))
+        .collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut histograms: Vec<(String, HistogramSnapshot)> = reg
+        .histograms
+        .lock()
+        .expect("obs registry")
+        .iter()
+        .map(|(k, h)| (k.clone(), h.snapshot()))
+        .collect();
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    MetricsSnapshot { counters, gauges, histograms }
+}
+
+/// Zeroes every registered metric (tests and long-lived processes; not
+/// linearizable against concurrent writers).
+pub fn reset_metrics() {
+    let reg = registry();
+    for c in reg.counters.lock().expect("obs registry").values() {
+        c.reset();
+    }
+    for g in reg.gauges.lock().expect("obs registry").values() {
+        g.set(0.0);
+    }
+    for h in reg.histograms.lock().expect("obs registry").values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_reads_back() {
+        let c = counter("test.metrics.counter_basic");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        // Same name returns the same handle.
+        assert_eq!(counter("test.metrics.counter_basic").value(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = gauge("test.metrics.gauge_basic");
+        g.set(2.5);
+        g.add(1.5);
+        assert_eq!(g.value(), 4.0);
+    }
+
+    #[test]
+    fn histogram_buckets_count_and_sum() {
+        let h = histogram_with("test.metrics.hist_basic", || vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 5.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 560.5);
+        assert_eq!(s.buckets, vec![(1.0, 1), (10.0, 2), (100.0, 1), (f64::INFINITY, 1)]);
+        assert_eq!(s.mean(), 112.1);
+        assert_eq!(s.quantile(0.5), 10.0);
+        assert_eq!(s.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn boundary_values_land_in_the_le_bucket() {
+        let h = histogram_with("test.metrics.hist_bound", || vec![1.0, 2.0]);
+        h.observe(1.0); // <= 1.0
+        h.observe(2.0); // <= 2.0
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(1.0, 1), (2.0, 1), (f64::INFINITY, 0)]);
+    }
+
+    #[test]
+    fn snapshot_contains_registered_names_sorted() {
+        counter("test.metrics.snap_a").inc();
+        counter("test.metrics.snap_b").inc();
+        let snap = snapshot();
+        let names: Vec<&str> = snap
+            .counters
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .filter(|n| n.starts_with("test.metrics.snap_"))
+            .collect();
+        assert_eq!(names, vec!["test.metrics.snap_a", "test.metrics.snap_b"]);
+        let mut sorted = snap.counters.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(snap.counters, sorted);
+    }
+
+    #[test]
+    fn exp_buckets_are_geometric() {
+        assert_eq!(exp_buckets(1.0, 2.0, 4), vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(default_ns_buckets().len(), 24);
+    }
+}

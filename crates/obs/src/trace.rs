@@ -1,0 +1,296 @@
+//! Span-based tracing: RAII spans record wall-time and parent/child
+//! structure into per-thread buffers, which drain into a global flame-style
+//! aggregate (call count, total time, self time — keyed by the `/`-joined
+//! span path).
+//!
+//! Tracing is **off by default** and costs one relaxed atomic load per
+//! [`span`] call while off — no clock reads, no allocation, nothing
+//! recorded. Enable with `BOOTLEG_TRACE=1` (or [`set_trace_enabled`]).
+//! `BOOTLEG_TRACE_SAMPLE=N` records every Nth *root* span (children follow
+//! their root's fate), trading resolution for overhead on hot call sites.
+//!
+//! Per-thread buffers flush into the global aggregate whenever a root span
+//! closes, so [`trace_aggregate`] is complete as soon as all open spans have
+//! ended.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
+static SAMPLE: OnceLock<AtomicU32> = OnceLock::new();
+
+fn enabled_flag() -> &'static AtomicBool {
+    ENABLED.get_or_init(|| {
+        let on = std::env::var("BOOTLEG_TRACE").map(|v| v == "1" || v == "true").unwrap_or(false);
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether spans are recorded (default: only with `BOOTLEG_TRACE=1`).
+#[inline]
+pub fn trace_enabled() -> bool {
+    enabled_flag().load(Ordering::Relaxed)
+}
+
+/// Turns tracing on or off at runtime (overrides the env default).
+pub fn set_trace_enabled(on: bool) {
+    enabled_flag().store(on, Ordering::Relaxed);
+}
+
+fn sample_flag() -> &'static AtomicU32 {
+    SAMPLE.get_or_init(|| {
+        let n = std::env::var("BOOTLEG_TRACE_SAMPLE")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
+        AtomicU32::new(n)
+    })
+}
+
+/// Root-span sampling period: 1 records everything, N records every Nth.
+pub fn trace_sample() -> u32 {
+    sample_flag().load(Ordering::Relaxed)
+}
+
+/// Overrides the sampling period at runtime.
+pub fn set_trace_sample(n: u32) {
+    sample_flag().store(n.max(1), Ordering::Relaxed);
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total wall-time including children, in nanoseconds.
+    pub total_ns: u64,
+    /// Wall-time excluding child spans, in nanoseconds.
+    pub self_ns: u64,
+}
+
+/// One open span on this thread's stack.
+struct Frame {
+    path: String,
+    start: Instant,
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct TraceState {
+    stack: Vec<Frame>,
+    /// Completed spans awaiting a flush: `(path, total_ns, self_ns)`.
+    buf: Vec<(String, u64, u64)>,
+    /// Depth of nesting under a sampled-out root (those spans are dropped).
+    skip_depth: u32,
+    /// Root spans started on this thread, for sampling.
+    root_seen: u64,
+}
+
+thread_local! {
+    static STATE: RefCell<TraceState> = RefCell::new(TraceState::default());
+}
+
+fn aggregate() -> &'static Mutex<HashMap<String, SpanStat>> {
+    static AGG: OnceLock<Mutex<HashMap<String, SpanStat>>> = OnceLock::new();
+    AGG.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Flush threshold for the per-thread completed-span buffer; roots flush
+/// unconditionally.
+const FLUSH_AT: usize = 1024;
+
+fn flush(buf: &mut Vec<(String, u64, u64)>) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut agg = aggregate().lock().expect("obs trace aggregate");
+    for (path, total, self_ns) in buf.drain(..) {
+        let st = agg.entry(path).or_default();
+        st.count += 1;
+        st.total_ns += total;
+        st.self_ns += self_ns;
+    }
+}
+
+enum GuardKind {
+    /// Tracing was off at span entry: nothing to undo.
+    Inactive,
+    /// Under a sampled-out root: only unwind the skip depth.
+    Skipped,
+    /// A live frame was pushed; pop and record on drop.
+    Active,
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+pub struct SpanGuard {
+    kind: GuardKind,
+}
+
+/// Opens a span named `name`, nested under the innermost open span on this
+/// thread. Dropping the guard records the span. No-op while tracing is off.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !trace_enabled() {
+        return SpanGuard { kind: GuardKind::Inactive };
+    }
+    STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if st.skip_depth > 0 {
+            st.skip_depth += 1;
+            return SpanGuard { kind: GuardKind::Skipped };
+        }
+        if st.stack.is_empty() {
+            st.root_seen += 1;
+            let period = trace_sample() as u64;
+            if period > 1 && (st.root_seen - 1) % period != 0 {
+                st.skip_depth = 1;
+                return SpanGuard { kind: GuardKind::Skipped };
+            }
+        }
+        let path = match st.stack.last() {
+            Some(parent) => format!("{}/{}", parent.path, name),
+            None => name.to_string(),
+        };
+        st.stack.push(Frame { path, start: Instant::now(), child_ns: 0 });
+        SpanGuard { kind: GuardKind::Active }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        match self.kind {
+            GuardKind::Inactive => {}
+            GuardKind::Skipped => STATE.with(|s| {
+                let mut st = s.borrow_mut();
+                st.skip_depth = st.skip_depth.saturating_sub(1);
+            }),
+            GuardKind::Active => STATE.with(|s| {
+                let mut st = s.borrow_mut();
+                let frame = st.stack.pop().expect("span stack underflow");
+                let total = frame.start.elapsed().as_nanos() as u64;
+                let self_ns = total.saturating_sub(frame.child_ns);
+                if let Some(parent) = st.stack.last_mut() {
+                    parent.child_ns += total;
+                }
+                st.buf.push((frame.path, total, self_ns));
+                if st.stack.is_empty() || st.buf.len() >= FLUSH_AT {
+                    flush(&mut st.buf);
+                }
+            }),
+        }
+    }
+}
+
+/// A span plus a latency histogram observation over the same interval:
+/// the one-liner used to instrument the forward-pass phases. Does nothing
+/// (and reads no clock) while tracing is off.
+pub struct Phase {
+    _span: SpanGuard,
+    timed: Option<(Instant, &'static crate::metrics::Histogram)>,
+}
+
+/// Opens a [`span`] named `span_name` and, on drop, records its duration
+/// into the histogram `hist_name`.
+#[inline]
+pub fn phase(span_name: &'static str, hist_name: &'static str) -> Phase {
+    if !trace_enabled() {
+        return Phase { _span: SpanGuard { kind: GuardKind::Inactive }, timed: None };
+    }
+    Phase {
+        _span: span(span_name),
+        timed: Some((Instant::now(), crate::metrics::histogram(hist_name))),
+    }
+}
+
+impl Drop for Phase {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.timed.take() {
+            hist.observe_ns(start.elapsed());
+        }
+    }
+}
+
+/// The flame-style aggregate: `(path, stat)` sorted by path, so a parent
+/// immediately precedes its children. Complete once all open spans ended.
+pub fn trace_aggregate() -> Vec<(String, SpanStat)> {
+    let mut out: Vec<(String, SpanStat)> = aggregate()
+        .lock()
+        .expect("obs trace aggregate")
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Clears the global aggregate (per-thread buffers flush on root close and
+/// are unaffected).
+pub fn reset_trace() {
+    aggregate().lock().expect("obs trace aggregate").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All global-toggle behaviour lives in ONE test so concurrent test
+    /// threads never race on the enable/sample flags.
+    #[test]
+    fn trace_lifecycle_off_on_nesting_and_sampling() {
+        // --- off: zero spans recorded, zero-cost guards are safe to drop.
+        set_trace_enabled(false);
+        {
+            let _g = span("lifecycle_off_root");
+            let _h = span("lifecycle_off_child");
+        }
+        assert!(
+            !trace_aggregate().iter().any(|(p, _)| p.contains("lifecycle_off")),
+            "disabled tracing must record nothing"
+        );
+
+        // --- on: parent/child structure, counts, and self-vs-total time.
+        set_trace_enabled(true);
+        {
+            let _root = span("lifecycle_root");
+            for _ in 0..3 {
+                let _child = span("lifecycle_child");
+                std::hint::black_box(0u64);
+            }
+        }
+        let agg = trace_aggregate();
+        let get = |p: &str| agg.iter().find(|(q, _)| q == p).map(|(_, s)| *s);
+        let root = get("lifecycle_root").expect("root recorded");
+        let child = get("lifecycle_root/lifecycle_child").expect("child recorded under root");
+        assert_eq!(root.count, 1);
+        assert_eq!(child.count, 3);
+        assert!(root.total_ns >= child.total_ns, "parent total includes children");
+        assert!(root.self_ns <= root.total_ns);
+
+        // --- sampling: every 2nd root on a fresh thread records 2 of 4.
+        set_trace_sample(2);
+        std::thread::spawn(|| {
+            for _ in 0..4 {
+                let _g = span("lifecycle_sampled");
+                let _h = span("lifecycle_sampled_child");
+            }
+        })
+        .join()
+        .expect("sampling thread");
+        let agg = trace_aggregate();
+        let sampled = agg
+            .iter()
+            .find(|(p, _)| p == "lifecycle_sampled")
+            .map(|(_, s)| s.count)
+            .unwrap_or(0);
+        assert_eq!(sampled, 2, "sample period 2 keeps half the roots");
+
+        // --- restore defaults for any later obs activity in this binary.
+        set_trace_sample(1);
+        set_trace_enabled(false);
+        reset_trace();
+    }
+}

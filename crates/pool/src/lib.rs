@@ -37,13 +37,25 @@
 //! The global pool size comes from `BOOTLEG_THREADS` (default: available
 //! parallelism). [`with_pool`] overrides the pool used by the module-level
 //! helpers on the current thread — tests use it to pin exact thread counts.
+//!
+//! ## Observability
+//!
+//! Fork-joins report through `bootleg-obs`: `pool.jobs` /
+//! `pool.serial_fallback` count scheduling decisions, `pool.chunks` and
+//! `pool.chunks_stolen` count chunk claims (total vs claimed by spawned
+//! workers rather than the publishing caller), `pool.worker.{i}.busy_ns` and
+//! `pool.caller.busy_ns` break down busy time per thread, and
+//! `pool.queue_depth` tracks unclaimed chunks of the in-flight job. All of
+//! it is off (a load + branch per update) under `BOOTLEG_METRICS=0`.
 
+use bootleg_obs::{counter, gauge};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 thread_local! {
     /// Set while this thread is executing pool chunks; nested fork-joins
@@ -117,7 +129,7 @@ impl ThreadPool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bootleg-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -143,6 +155,7 @@ impl ThreadPool {
         let grain = grain.max(1);
         let n_chunks = n.div_ceil(grain);
         if self.threads <= 1 || n_chunks <= 1 || IN_POOL_TASK.with(Cell::get) {
+            counter!("pool.serial_fallback").inc();
             f(0, n);
             return;
         }
@@ -157,9 +170,11 @@ impl ThreadPool {
             if st.job.is_some() {
                 // Another thread's fork-join owns the workers; don't queue.
                 drop(st);
+                counter!("pool.serial_fallback").inc();
                 f(0, n);
                 return;
             }
+            counter!("pool.jobs").inc();
             self.shared.next.store(0, Ordering::SeqCst);
             self.shared.completed.store(0, Ordering::SeqCst);
             self.shared.panicked.store(false, Ordering::SeqCst);
@@ -169,7 +184,9 @@ impl ThreadPool {
         }
         // The caller is a worker too.
         IN_POOL_TASK.with(|c| c.set(true));
+        let start = Instant::now();
         run_chunks(&self.shared, &job);
+        counter!("pool.caller.busy_ns").add(start.elapsed().as_nanos() as u64);
         IN_POOL_TASK.with(|c| c.set(false));
         // Wait until every chunk ran AND every worker left the claim loop:
         // only then is it safe to invalidate `task` (and return).
@@ -198,8 +215,11 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
     IN_POOL_TASK.with(|c| c.set(true));
+    // Resolved once per worker thread; `index` is process-global enough for a
+    // per-worker busy-time breakdown (pools are few and long-lived).
+    let busy_ns = bootleg_obs::metrics::counter(&format!("pool.worker.{index}.busy_ns"));
     let mut my_epoch = 0u64;
     loop {
         let job = {
@@ -220,7 +240,10 @@ fn worker_loop(shared: &Shared) {
                 st = shared.job_cv.wait(st).expect("pool wait");
             }
         };
-        run_chunks(shared, &job);
+        let start = Instant::now();
+        let ran = run_chunks(shared, &job);
+        busy_ns.add(start.elapsed().as_nanos() as u64);
+        counter!("pool.chunks_stolen").add(ran as u64);
         let mut st = shared.state.lock().expect("pool lock");
         st.active -= 1;
         if st.active == 0 {
@@ -232,19 +255,25 @@ fn worker_loop(shared: &Shared) {
 /// Claim-and-run loop shared by workers and the publishing caller. A claim
 /// only succeeds while unfinished chunks remain, and an unfinished chunk
 /// keeps `completed < n_chunks`, which keeps the publisher blocked — so the
-/// task borrow is always alive when dereferenced.
-fn run_chunks(shared: &Shared, job: &JobDesc) {
+/// task borrow is always alive when dereferenced. Returns how many chunks
+/// this thread executed (for the steal/busy-time breakdown).
+fn run_chunks(shared: &Shared, job: &JobDesc) -> usize {
+    let mut ran = 0usize;
     loop {
         let c = shared.next.fetch_add(1, Ordering::Relaxed);
         if c >= job.n_chunks {
-            return;
+            counter!("pool.chunks").add(ran as u64);
+            gauge!("pool.queue_depth").set(0.0);
+            return ran;
         }
+        gauge!("pool.queue_depth").set(job.n_chunks.saturating_sub(c + 1) as f64);
         let lo = c * job.chunk;
         let hi = (lo + job.chunk).min(job.n);
         let f = unsafe { &*job.task };
         if catch_unwind(AssertUnwindSafe(|| f(lo, hi))).is_err() {
             shared.panicked.store(true, Ordering::SeqCst);
         }
+        ran += 1;
         shared.completed.fetch_add(1, Ordering::SeqCst);
     }
 }

@@ -1,0 +1,58 @@
+//! Concurrency guarantees of the obs registry under real pool parallelism:
+//! counters and histograms must be *exact* — not approximately right — when
+//! hammered from 8 pool workers at once, and the pool's own instrumentation
+//! must account for every chunk.
+
+use bootleg_pool::ThreadPool;
+
+#[test]
+fn counter_and_histogram_totals_are_exact_across_8_workers() {
+    let pool = ThreadPool::new(8);
+    let n = 10_000usize;
+    let per_item = 3u64;
+
+    let ctr = bootleg_obs::metrics::counter("test.poolconc.counter");
+    let hist =
+        bootleg_obs::metrics::histogram_with("test.poolconc.hist", || vec![2.0, 5.0, 10.0]);
+    pool.parallel_for(n, 16, |lo, hi| {
+        for i in lo..hi {
+            ctr.add(per_item);
+            // Small integer values sum exactly in f64 regardless of the
+            // order threads interleave their CAS updates.
+            hist.observe((i % 7) as f64);
+        }
+    });
+
+    assert_eq!(ctr.value(), n as u64 * per_item, "sharded counter must be exact");
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, n as u64, "histogram count must be exact");
+    let expect_sum: f64 = (0..n).map(|i| (i % 7) as f64).sum();
+    assert_eq!(snap.sum, expect_sum, "histogram sum must be exact");
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, n as u64, "every observation lands in one bucket");
+}
+
+#[test]
+fn pool_instrumentation_accounts_for_every_chunk() {
+    let pool = ThreadPool::new(8);
+    let chunks_before = bootleg_obs::metrics::counter("pool.chunks").value();
+    let jobs_before = bootleg_obs::metrics::counter("pool.jobs").value();
+    let n = 4096usize;
+    let grain = 8usize;
+    let rounds = 5u64;
+    for _ in 0..rounds {
+        pool.parallel_for(n, grain, |lo, hi| {
+            std::hint::black_box(hi - lo);
+        });
+    }
+    let jobs = bootleg_obs::metrics::counter("pool.jobs").value() - jobs_before;
+    let chunks = bootleg_obs::metrics::counter("pool.chunks").value() - chunks_before;
+    // Other tests in this binary may run pool work concurrently, so the
+    // deltas are lower bounds, held exactly when this test runs alone.
+    assert!(jobs >= rounds, "each round publishes one job, saw {jobs}");
+    assert!(
+        chunks >= rounds * (n / grain) as u64,
+        "all {} chunks per round must be counted, saw {chunks}",
+        n / grain
+    );
+}

@@ -13,6 +13,16 @@
 //! would, with the same per-element floating-point accumulation order, so
 //! results are **bit-identical at any thread count** — parallelism here is
 //! purely a scheduling choice, never a numeric one.
+//!
+//! ## Observability
+//!
+//! Each public kernel counts its calls, work volume (`kernel.matmul.flops`,
+//! `kernel.*.rows`), and which path it chose (`.par` when it fanned out to
+//! the pool, `.serial` otherwise) through `bootleg-obs`. A counted `.par`
+//! call can still *execute* serially inside the pool (nested fork-join);
+//! `pool.serial_fallback` accounts for those.
+
+use bootleg_obs::counter;
 
 /// Minimum multiply-accumulate count before a matmul fans out to the pool.
 pub const PAR_MATMUL_FLOPS: usize = 64 * 1024;
@@ -30,13 +40,63 @@ fn rows_per_chunk(target: usize, row_work: usize) -> usize {
     (target / row_work.max(1)).max(1)
 }
 
+/// Counts one matmul-family call: `macs` multiply-accumulates → 2·macs FLOPs.
+#[inline]
+fn obs_matmul(macs: usize, par: bool) {
+    counter!("kernel.matmul.calls").inc();
+    counter!("kernel.matmul.flops").add(2 * macs as u64);
+    if par {
+        counter!("kernel.matmul.par").inc();
+    } else {
+        counter!("kernel.matmul.serial").inc();
+    }
+}
+
+/// Counts one gather call over `rows` output rows.
+#[inline]
+fn obs_gather(rows: usize, par: bool) {
+    counter!("kernel.gather.calls").inc();
+    counter!("kernel.gather.rows").add(rows as u64);
+    if par {
+        counter!("kernel.gather.par").inc();
+    } else {
+        counter!("kernel.gather.serial").inc();
+    }
+}
+
+/// Counts one softmax / log-softmax call over `rows` rows.
+#[inline]
+fn obs_softmax(rows: usize, par: bool) {
+    counter!("kernel.softmax.calls").inc();
+    counter!("kernel.softmax.rows").add(rows as u64);
+    if par {
+        counter!("kernel.softmax.par").inc();
+    } else {
+        counter!("kernel.softmax.serial").inc();
+    }
+}
+
+/// Counts one layer-norm call over `rows` rows.
+#[inline]
+fn obs_layer_norm(rows: usize, par: bool) {
+    counter!("kernel.layer_norm.calls").inc();
+    counter!("kernel.layer_norm.rows").add(rows as u64);
+    if par {
+        counter!("kernel.layer_norm.par").inc();
+    } else {
+        counter!("kernel.layer_norm.serial").inc();
+    }
+}
+
 /// `c += a (m×k) * b (k×n)`; `c` is m×n and must be pre-zeroed by the caller
 /// if plain assignment is wanted.
 pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
-    if m >= 2 && m * k * n >= PAR_MATMUL_FLOPS {
+    let par = m >= 2 && m * k * n >= PAR_MATMUL_FLOPS;
+    obs_matmul(m * k * n, par);
+    if par {
         let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n);
         bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
             let r0 = ci * rows_per;
@@ -71,7 +131,9 @@ pub fn batch_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], bb: usize, m: usize
     debug_assert_eq!(b.len(), bb * k * n);
     debug_assert_eq!(c.len(), bb * m * n);
     let slab = m * n;
-    if bb >= 2 && bb * m * k * n >= PAR_MATMUL_FLOPS {
+    let par = bb >= 2 && bb * m * k * n >= PAR_MATMUL_FLOPS;
+    obs_matmul(bb * m * k * n, par);
+    if par {
         bootleg_pool::parallel_chunks_mut(c, slab, |t, cc| {
             matmul_acc_serial(
                 &a[t * m * k..(t + 1) * m * k],
@@ -102,7 +164,9 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
     debug_assert_eq!(c.len(), k * n);
-    if k >= 2 && m * k * n >= PAR_MATMUL_FLOPS {
+    let par = k >= 2 && m * k * n >= PAR_MATMUL_FLOPS;
+    obs_matmul(m * k * n, par);
+    if par {
         // Split the k output rows; each chunk walks i in the same ascending
         // order as the serial loop, so per-element accumulation order (and
         // thus every bit of the result) is unchanged.
@@ -148,7 +212,9 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    if m >= 2 && m * k * n >= PAR_MATMUL_FLOPS {
+    let par = m >= 2 && m * k * n >= PAR_MATMUL_FLOPS;
+    obs_matmul(m * k * n, par);
+    if par {
         let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n);
         bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
             let r0 = ci * rows_per;
@@ -185,7 +251,9 @@ pub fn gather_rows(table: &[f32], rows: &[u32], out: &mut [f32], cols: usize) {
             orow.copy_from_slice(&table[r * cols..(r + 1) * cols]);
         }
     };
-    if rows.len() >= 2 && out.len() >= PAR_ROWS_MIN_ELEMS {
+    let par = rows.len() >= 2 && out.len() >= PAR_ROWS_MIN_ELEMS;
+    obs_gather(rows.len(), par);
+    if par {
         let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
         bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
             let r0 = ci * rows_per;
@@ -201,7 +269,9 @@ pub fn gather_rows(table: &[f32], rows: &[u32], out: &mut [f32], cols: usize) {
 pub fn softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
     debug_assert_eq!(x.len(), rows * cols);
     debug_assert_eq!(out.len(), rows * cols);
-    if rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS {
+    let par = rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS;
+    obs_softmax(rows, par);
+    if par {
         let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
         bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
             let r0 = ci * rows_per;
@@ -247,7 +317,9 @@ pub fn softmax_rows_backward(y: &[f32], dy: &[f32], dx: &mut [f32], rows: usize,
 
 /// log-softmax over each row, written into `out`.
 pub fn log_softmax_rows(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
-    if rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS {
+    let par = rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS;
+    obs_softmax(rows, par);
+    if par {
         let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
         bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
             let r0 = ci * rows_per;
@@ -297,7 +369,9 @@ pub fn layer_norm_rows(
             }
         }
     };
-    if rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS {
+    let par = rows >= 2 && rows * cols >= PAR_ROWS_MIN_ELEMS;
+    obs_layer_norm(rows, par);
+    if par {
         let rows_per = rows_per_chunk(PAR_ROW_CHUNK_ELEMS, cols);
         bootleg_pool::parallel_chunks_mut(out, rows_per * cols, |ci, oc| {
             let r0 = ci * rows_per;

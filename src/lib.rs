@@ -20,6 +20,8 @@
 //! * [`eval`] — micro-F1, popularity slices, pattern slices, error buckets.
 //! * [`downstream`] — TACRED-analog relation extraction and the
 //!   Overton-style industry task.
+//! * [`obs`] — metrics, RAII tracing spans, and structured logging
+//!   (`BOOTLEG_LOG` / `BOOTLEG_TRACE` / `BOOTLEG_METRICS_PATH`).
 //!
 //! ## Quickstart
 //!
@@ -51,4 +53,5 @@ pub use bootleg_downstream as downstream;
 pub use bootleg_eval as eval;
 pub use bootleg_kb as kb;
 pub use bootleg_nn as nn;
+pub use bootleg_obs as obs;
 pub use bootleg_tensor as tensor;
