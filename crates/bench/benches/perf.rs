@@ -21,7 +21,7 @@ use bootleg_kb::{generate as gen_kb, KbConfig};
 use bootleg_nn::optim::Adam;
 use bootleg_nn::MhaBlock;
 use bootleg_pool::{with_pool, ThreadPool};
-use bootleg_tensor::{init, kernels, Graph, ParamStore};
+use bootleg_tensor::{arena, init, kernels, Graph, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -172,6 +172,140 @@ fn bench_data_pipeline() {
     bench_function("kb/adjacency_24_candidates", || {
         black_box(kb.adjacency(&candidates));
     });
+}
+
+/// Naive vs register-tiled serial kernel throughput on the 96^3 bench shape.
+///
+/// The asserted `kernel_gflops_naive` / `kernel_gflops_tiled` pair measures
+/// the `A·Bᵀ` input-gradient matmul: its naive form is one sequential
+/// dot-product chain per element (latency-bound, cannot vectorize along k
+/// without reassociating), which is exactly the case register tiling fixes.
+/// The forward `A·B` kernel is recorded alongside without an assert — its
+/// naive i-k-j saxpy form auto-vectorizes to near ALU peak, so the tile can
+/// only match it, not beat it (see DESIGN.md). Every pair is asserted
+/// bit-identical before a ratio is reported.
+fn bench_kernel_gflops(results: &mut Results) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (m, k, n) = (96usize, 96usize, 96usize);
+    let a = init::normal(&mut rng, &[m, k], 1.0);
+    let b = init::normal(&mut rng, &[n, k], 1.0);
+    let flops = 2.0 * (m * k * n) as f64;
+    let bit_eq = |x: &[f32], y: &[f32]| x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits());
+
+    let mut out = vec![0.0f32; m * n];
+    let naive_secs = bench_function("kernels/a_bt_96_naive", || {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        kernels::matmul_a_bt_naive(black_box(a.data()), black_box(b.data()), &mut out, m, k, n);
+    });
+    let naive_out = out.clone();
+    let tiled_secs = bench_function("kernels/a_bt_96_tiled", || {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        kernels::matmul_a_bt_tiled(black_box(a.data()), black_box(b.data()), &mut out, m, k, n);
+    });
+    assert!(bit_eq(&naive_out, &out), "tiled a_bt must be bit-identical to naive");
+
+    let gflops_naive = flops / naive_secs.max(1e-12) / 1e9;
+    let gflops_tiled = flops / tiled_secs.max(1e-12) / 1e9;
+    let ratio = gflops_tiled / gflops_naive.max(1e-12);
+    println!(
+        "kernels/a_bt_96 GFLOPs: naive {gflops_naive:.2}, tiled {gflops_tiled:.2} ({ratio:.2}x)"
+    );
+    results.set("kernel_gflops_naive", gflops_naive);
+    results.set("kernel_gflops_tiled", gflops_tiled);
+    results.set("kernel_gflops_ratio", ratio);
+
+    // Forward A·B, recorded for completeness (no assert: naive saxpy is
+    // already near ALU peak, parity is the ceiling here).
+    let b_fwd = init::normal(&mut rng, &[k, n], 1.0);
+    let fwd_naive_secs = bench_function("kernels/matmul_96_naive", || {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        kernels::matmul_acc_naive(black_box(a.data()), black_box(b_fwd.data()), &mut out, m, k, n);
+    });
+    let fwd_out = out.clone();
+    let fwd_tiled_secs = bench_function("kernels/matmul_96_tiled", || {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        kernels::matmul_acc_tiled(black_box(a.data()), black_box(b_fwd.data()), &mut out, m, k, n);
+    });
+    assert!(bit_eq(&fwd_out, &out), "tiled matmul must be bit-identical to naive");
+    results.set("kernel_gflops_fwd_naive", flops / fwd_naive_secs.max(1e-12) / 1e9);
+    results.set("kernel_gflops_fwd_tiled", flops / fwd_tiled_secs.max(1e-12) / 1e9);
+
+    assert!(
+        ratio >= 1.5,
+        "tiled a_bt kernel is {ratio:.2}x naive GFLOPs, below the 1.5x acceptance floor"
+    );
+}
+
+/// Tensor-buffer allocations per evaluated sentence, arena on vs off,
+/// counted via `arena.miss` (every miss is one fresh heap allocation; hits
+/// reuse pooled buffers). After a warm-up pass fills the free-lists the
+/// arena must cut steady-state eval-loop allocations at least 10x, with
+/// bit-identical slice metrics in both modes.
+fn bench_allocs(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages) = if smoke { (600usize, 120usize) } else { (2_000, 600) };
+    let wb = Workbench::build(
+        KbConfig { n_entities, seed: 41, ..KbConfig::default() },
+        CorpusConfig { n_pages, seed: 42, ..CorpusConfig::default() },
+        true,
+    );
+    let model =
+        BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default());
+    let predict = BootlegPredictor::new(&model, &wb.kb);
+    let dev = &wb.corpus.dev;
+    let sentences = dev.len().max(1) as f64;
+    let misses = || bootleg_obs::metrics::counter("arena.miss").value();
+
+    bootleg_obs::set_metrics_enabled(true);
+    let pool = ThreadPool::new(1);
+    let (report_on, on_misses, report_off, off_misses) = with_pool(&pool, || {
+        arena::set_enabled(true);
+        // Warm-up pass populates the free-lists (and the pool worker's).
+        black_box(evaluate_slices(dev, &wb.counts, predict));
+        let snap = |name: &str| bootleg_obs::metrics::counter(name).value();
+        let (t0, h0, d0) = (snap("arena.take"), snap("arena.hit"), snap("arena.drop"));
+        let before = misses();
+        let report_on = evaluate_slices(dev, &wb.counts, predict);
+        let on_misses = misses() - before;
+        if std::env::var("BOOTLEG_ARENA_DEBUG").is_ok() {
+            println!(
+                "arena debug: take {} hit {} miss {} drop {} held {} bytes",
+                snap("arena.take") - t0,
+                snap("arena.hit") - h0,
+                on_misses,
+                snap("arena.drop") - d0,
+                arena::thread_held_bytes()
+            );
+        }
+
+        arena::set_enabled(false);
+        let before = misses();
+        let report_off = evaluate_slices(dev, &wb.counts, predict);
+        let off_misses = misses() - before;
+        arena::set_enabled(true);
+        (report_on, on_misses, report_off, off_misses)
+    });
+    assert_eq!(
+        report_on, report_off,
+        "arena must not change evaluation metrics (bit-identical on/off)"
+    );
+
+    let per_on = on_misses as f64 / sentences;
+    let per_off = off_misses as f64 / sentences;
+    // A fully warmed arena can hit 0 misses; clamp the denominator to one
+    // allocation so the reported ratio stays finite ("at least Nx").
+    let reduction = off_misses as f64 / on_misses.max(1) as f64;
+    println!(
+        "arena/allocs_per_sentence: on {per_on:.2}, off {per_off:.2} ({reduction:.0}x fewer, {} sentences)",
+        dev.len()
+    );
+    results.set("allocs_per_sentence_arena_on", per_on);
+    results.set("allocs_per_sentence_arena_off", per_off);
+    results.set("arena_alloc_reduction", reduction);
+    assert!(
+        reduction >= 10.0,
+        "arena cut eval-loop allocations only {reduction:.1}x, below the 10x acceptance floor"
+    );
 }
 
 /// Kernel-level serial-vs-parallel comparison: one matmul well above the
@@ -373,6 +507,8 @@ fn main() {
         bench_train_step();
         bench_data_pipeline();
     }
+    bench_kernel_gflops(&mut results);
+    bench_allocs(&mut results);
     bench_parallel_kernels(&mut results);
     bench_parallel_eval(&mut results);
     bench_obs_overhead(&mut results);

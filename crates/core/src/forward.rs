@@ -5,7 +5,7 @@ use crate::example::Example;
 use crate::model::BootlegModel;
 use bootleg_kb::{EntityId, KnowledgeBase};
 use bootleg_nn::posenc;
-use bootleg_tensor::{Graph, Tensor, Var};
+use bootleg_tensor::{arena, Graph, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -135,9 +135,11 @@ impl BootlegModel {
 
         // KG adjacency matrices over the flattened candidates: cross-mention
         // Wikidata connectivity (+ optional co-occurrence / two-hop).
+        // Adjacency buffers are written sparsely onto a zeroed base, and the
+        // shapes repeat per sentence — prime arena candidates.
         let mut kg_mats: Vec<Tensor> = Vec::new();
         if cfg.use_kg() {
-            let mut k = vec![0.0f32; s_total * s_total];
+            let mut k = arena::take_zeroed(s_total * s_total);
             for i in 0..s_total {
                 for j in 0..s_total {
                     if mention_of[i] != mention_of[j]
@@ -149,9 +151,9 @@ impl BootlegModel {
                     }
                 }
             }
-            kg_mats.push(Tensor::new(vec![s_total, s_total], k));
+            kg_mats.push(Tensor::new([s_total, s_total], k));
             if cfg.cooccur_kg {
-                let mut k2 = vec![0.0f32; s_total * s_total];
+                let mut k2 = arena::take_zeroed(s_total * s_total);
                 if let Some(cx) = &self.cooccur {
                     for i in 0..s_total {
                         for j in 0..s_total {
@@ -162,13 +164,13 @@ impl BootlegModel {
                         }
                     }
                 }
-                kg_mats.push(Tensor::new(vec![s_total, s_total], k2));
+                kg_mats.push(Tensor::new([s_total, s_total], k2));
             }
             if cfg.kg_two_hop {
                 // Extension (§5 future work): candidates that share a common
                 // KG neighbor without being directly linked — the paper's
                 // multi-hop error bucket — get a (weaker) connection.
-                let mut k3 = vec![0.0f32; s_total * s_total];
+                let mut k3 = arena::take_zeroed(s_total * s_total);
                 for i in 0..s_total {
                     for j in 0..s_total {
                         if mention_of[i] != mention_of[j]
@@ -181,7 +183,7 @@ impl BootlegModel {
                         }
                     }
                 }
-                kg_mats.push(Tensor::new(vec![s_total, s_total], k3));
+                kg_mats.push(Tensor::new([s_total, s_total], k3));
             }
         }
         drop(ph);
@@ -198,13 +200,12 @@ impl BootlegModel {
             let u = g.gather_rows(ps, self.entity_emb, &cand_entities);
             let u = if training && !matches!(cfg.regularization, crate::RegScheme::None) {
                 // 2-D regularization: zero the whole embedding with p(e).
-                let mut mask = Vec::with_capacity(s_total * cfg.entity_dim);
-                for &e in &cand_entities {
+                let mut mask = arena::take(s_total * cfg.entity_dim);
+                for (mrow, &e) in mask.chunks_exact_mut(cfg.entity_dim).zip(&cand_entities) {
                     let keep = mask_rng.gen::<f32>() >= self.reg_p[e as usize];
-                    let v = if keep { 1.0 } else { 0.0 };
-                    mask.extend(std::iter::repeat_n(v, cfg.entity_dim));
+                    mrow.fill(if keep { 1.0 } else { 0.0 });
                 }
-                let mv = g.leaf(Tensor::new(vec![s_total, cfg.entity_dim], mask));
+                let mv = g.leaf(Tensor::new([s_total, cfg.entity_dim], mask));
                 u.mul(&mv)
             } else {
                 u
@@ -299,12 +300,12 @@ impl BootlegModel {
             // projected to H, added to each of the mention's candidates.
             let table = self.word_encoder.pos_table();
             let d = cfg.word_encoder.d_model;
-            let mut enc = Vec::with_capacity(s_total * 2 * d);
-            for &mi in &mention_of {
+            let mut enc = arena::take(s_total * 2 * d);
+            for (erow, &mi) in enc.chunks_exact_mut(2 * d).zip(&mention_of) {
                 let m = &ex.mentions[mi];
-                enc.extend(posenc::mention_span_encoding(table, m.first, m.last));
+                posenc::write_mention_span_encoding(table, m.first, m.last, erow);
             }
-            let enc_var = g.leaf(Tensor::new(vec![s_total, 2 * d], enc));
+            let enc_var = g.leaf(Tensor::new([s_total, 2 * d], enc));
             e_mat = e_mat.add(&self.pos_proj.forward(&g, ps, &enc_var));
         }
         drop(ph);

@@ -31,8 +31,19 @@ pub fn encode_positions(table: &Tensor, positions: &[usize]) -> Tensor {
 
 /// Concatenated encodings of a mention's first and last token, shape `(2d,)`.
 pub fn mention_span_encoding(table: &Tensor, first: usize, last: usize) -> Vec<f32> {
-    let enc = encode_positions(table, &[first, last]);
-    enc.into_data()
+    let mut out = vec![0.0; 2 * table.shape()[1]];
+    write_mention_span_encoding(table, first, last, &mut out);
+    out
+}
+
+/// Writes a mention's span encoding into a caller-provided `(2d,)` slice, so
+/// batch loops can fill one arena buffer instead of allocating per mention.
+pub fn write_mention_span_encoding(table: &Tensor, first: usize, last: usize, out: &mut [f32]) {
+    let max_len = table.shape()[0];
+    let d = table.shape()[1];
+    assert_eq!(out.len(), 2 * d, "span encoding needs a (2d,) output slice");
+    out[..d].copy_from_slice(table.row(first.min(max_len - 1)));
+    out[d..].copy_from_slice(table.row(last.min(max_len - 1)));
 }
 
 #[cfg(test)]

@@ -5,9 +5,10 @@
 //! op constructors live in [`crate::ops`] (as `impl` blocks on [`Graph`] and
 //! [`Var`]); this module owns the node storage and all backward rules.
 
+use crate::arena;
 use crate::kernels;
 use crate::param::{ParamId, ParamStore};
-use crate::shape;
+use crate::shape::{self, Shape};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -77,6 +78,24 @@ pub(crate) struct Inner {
     pub nodes: Vec<Node>,
     pub training: bool,
     pub rng: StdRng,
+}
+
+impl Drop for Inner {
+    /// Returns every node buffer (values, grads, dropout masks) to the
+    /// [`arena`], so the next graph built on this thread — the next sentence
+    /// of a train or eval loop — allocates nothing for tensors of shapes
+    /// already seen.
+    fn drop(&mut self) {
+        for node in self.nodes.drain(..) {
+            arena::release_tensor(node.value);
+            if let Some(g) = node.grad {
+                arena::release_tensor(g);
+            }
+            if let Op::Dropout { mask, .. } = node.op {
+                arena::release(mask);
+            }
+        }
+    }
 }
 
 /// An autograd tape. Cheap to clone (shared handle).
@@ -176,9 +195,10 @@ impl Var {
         self.graph.value(self)
     }
 
-    /// The node's shape.
-    pub fn shape(&self) -> Vec<usize> {
-        self.graph.inner.borrow().nodes[self.id].value.shape().to_vec()
+    /// The node's shape, returned by value on the stack — shape queries in
+    /// the forward pass don't allocate.
+    pub fn shape(&self) -> Shape {
+        self.graph.inner.borrow().nodes[self.id].value.dims()
     }
 
     /// The node's gradient after backward, if populated.
@@ -194,20 +214,33 @@ impl Var {
     }
 }
 
-/// Adds `src` into `nodes[id].grad`, allocating if needed.
+/// Adds `src` into `nodes[id].grad`, drawing a fresh buffer from the arena
+/// if the node has none yet.
 fn accum(nodes: &mut [Node], id: usize, src: &Tensor) {
     let node = &mut nodes[id];
     match &mut node.grad {
         Some(g) => g.add_assign(src),
-        None => node.grad = Some(src.clone()),
+        None => node.grad = Some(arena::clone_tensor(src)),
+    }
+}
+
+/// Like [`accum`] but consumes `src`: installs it directly as the grad when
+/// none exists, otherwise adds and releases its buffer back to the arena.
+fn accum_owned(nodes: &mut [Node], id: usize, src: Tensor) {
+    let node = &mut nodes[id];
+    match &mut node.grad {
+        Some(g) => {
+            g.add_assign(&src);
+            arena::release_tensor(src);
+        }
+        None => node.grad = Some(src),
     }
 }
 
 fn accum_into(nodes: &mut [Node], id: usize, f: impl FnOnce(&mut Tensor)) {
-    let shape = nodes[id].value.shape().to_vec();
     let node = &mut nodes[id];
     if node.grad.is_none() {
-        node.grad = Some(Tensor::zeros(&shape));
+        node.grad = Some(arena::zeros_tensor(&node.value.dims()));
     }
     f(node.grad.as_mut().expect("just set"));
 }
@@ -251,13 +284,13 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
         }
         Op::Mul(a, b) => {
             let (a, b) = (*a, *b);
-            let bv = nodes[b].value.clone();
+            let bv = arena::temp_clone(&nodes[b].value);
             accum_into(nodes, a, |g| {
                 for ((gv, &d), &x) in g.data_mut().iter_mut().zip(dy.data()).zip(bv.data()) {
                     *gv += d * x;
                 }
             });
-            let av = nodes[a].value.clone();
+            let av = arena::temp_clone(&nodes[a].value);
             accum_into(nodes, b, |g| {
                 for ((gv, &d), &x) in g.data_mut().iter_mut().zip(dy.data()).zip(av.data()) {
                     *gv += d * x;
@@ -292,8 +325,8 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
         }
         Op::MatMul(a, b) => {
             let (a, b) = (*a, *b);
-            let av = nodes[a].value.clone();
-            let bv = nodes[b].value.clone();
+            let av = arena::temp_clone(&nodes[a].value);
+            let bv = arena::temp_clone(&nodes[b].value);
             let (m, k) = shape::rows_cols(av.shape());
             let n = bv.shape()[1];
             // dA = dY Bᵀ
@@ -307,8 +340,8 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
         }
         Op::BatchMatMul(a, b) => {
             let (a, b) = (*a, *b);
-            let av = nodes[a].value.clone();
-            let bv = nodes[b].value.clone();
+            let av = arena::temp_clone(&nodes[a].value);
+            let bv = arena::temp_clone(&nodes[b].value);
             let (bb, m, k, n) = shape::batch_matmul_dims(av.shape(), bv.shape());
             accum_into(nodes, a, |g| {
                 for t in 0..bb {
@@ -336,16 +369,15 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::TransposeLast2(x) => {
-            let xs = nodes[*x].value.shape().to_vec();
-            let dt = transpose_last2_data(dy, &shape::transpose_last2(&xs));
-            let g = Tensor::new(xs, dt);
-            accum(nodes, *x, &g);
+            let xs = nodes[*x].value.dims();
+            let dt = transpose_last2_data(dy);
+            accum_owned(nodes, *x, Tensor::new(xs, dt));
         }
         Op::SwapAxes01(x) => {
             // dy has shape (b, a, c) where x was (a, b, c); swap back.
             let ys = dy.shape();
             let (b, a, c) = (ys[0], ys[1], ys[2]);
-            let mut out = vec![0.0; a * b * c];
+            let mut out = arena::take(a * b * c);
             for i in 0..b {
                 for j in 0..a {
                     let src = &dy.data()[(i * a + j) * c..(i * a + j + 1) * c];
@@ -353,12 +385,13 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
                     dst.copy_from_slice(src);
                 }
             }
-            accum(nodes, *x, &Tensor::new(vec![a, b, c], out));
+            accum_owned(nodes, *x, Tensor::new([a, b, c], out));
         }
         Op::Reshape(x) => {
-            let xs = nodes[*x].value.shape().to_vec();
-            let g = Tensor::new(xs, dy.data().to_vec());
-            accum(nodes, *x, &g);
+            let xs = nodes[*x].value.dims();
+            let mut buf = arena::take(dy.numel());
+            buf.copy_from_slice(dy.data());
+            accum_owned(nodes, *x, Tensor::new(xs, buf));
         }
         Op::ConcatLast(parts) => {
             let widths: Vec<usize> =
@@ -405,7 +438,7 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::Relu(x) => {
-            let xv = nodes[*x].value.clone();
+            let xv = arena::temp_clone(&nodes[*x].value);
             accum_into(nodes, *x, |g| {
                 for ((gv, &d), &x0) in g.data_mut().iter_mut().zip(dy.data()).zip(xv.data()) {
                     if x0 > 0.0 {
@@ -415,7 +448,7 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::Gelu(x) => {
-            let xv = nodes[*x].value.clone();
+            let xv = arena::temp_clone(&nodes[*x].value);
             accum_into(nodes, *x, |g| {
                 for ((gv, &d), &x0) in g.data_mut().iter_mut().zip(dy.data()).zip(xv.data()) {
                     *gv += d * kernels::gelu_deriv(x0);
@@ -423,7 +456,7 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::Tanh(x) => {
-            let yv = nodes[id].value.clone();
+            let yv = arena::temp_clone(&nodes[id].value);
             accum_into(nodes, *x, |g| {
                 for ((gv, &d), &y0) in g.data_mut().iter_mut().zip(dy.data()).zip(yv.data()) {
                     *gv += d * (1.0 - y0 * y0);
@@ -431,7 +464,7 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::Sigmoid(x) => {
-            let yv = nodes[id].value.clone();
+            let yv = arena::temp_clone(&nodes[id].value);
             accum_into(nodes, *x, |g| {
                 for ((gv, &d), &y0) in g.data_mut().iter_mut().zip(dy.data()).zip(yv.data()) {
                     *gv += d * y0 * (1.0 - y0);
@@ -439,7 +472,7 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::SoftmaxLast(x) => {
-            let yv = nodes[id].value.clone();
+            let yv = arena::temp_clone(&nodes[id].value);
             let (rows, cols) = shape::rows_cols(yv.shape());
             accum_into(nodes, *x, |g| {
                 kernels::softmax_rows_backward(yv.data(), dy.data(), g.data_mut(), rows, cols);
@@ -447,7 +480,7 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
         }
         Op::LogSoftmaxLast(x) => {
             // y = x - lse(x); dx = dy - softmax(x) * sum(dy) per row
-            let yv = nodes[id].value.clone();
+            let yv = arena::temp_clone(&nodes[id].value);
             let (rows, cols) = shape::rows_cols(yv.shape());
             accum_into(nodes, *x, |g| {
                 for r in 0..rows {
@@ -492,8 +525,8 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
         }
         Op::Maximum(a, b) => {
             let (a, b) = (*a, *b);
-            let av = nodes[a].value.clone();
-            let bv = nodes[b].value.clone();
+            let av = arena::temp_clone(&nodes[a].value);
+            let bv = arena::temp_clone(&nodes[b].value);
             accum_into(nodes, a, |g| {
                 for (i, gv) in g.data_mut().iter_mut().enumerate() {
                     if av.data()[i] >= bv.data()[i] {
@@ -517,14 +550,15 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
             });
         }
         Op::LayerNorm { x, gamma, beta, eps } => {
-            let xv = nodes[*x].value.clone();
-            let gv = nodes[*gamma].value.clone();
+            let xv = arena::temp_clone(&nodes[*x].value);
+            let gv = arena::temp_clone(&nodes[*gamma].value);
             let (rows, cols) = shape::rows_cols(xv.shape());
             let cn = cols as f32;
-            // dbeta / dgamma
-            let mut dgamma = vec![0.0; cols];
-            let mut dbeta = vec![0.0; cols];
-            let mut dx_full = vec![0.0; rows * cols];
+            // dbeta / dgamma accumulate across rows (zeroed); dx is fully
+            // written per row.
+            let mut dgamma = arena::take_zeroed(cols);
+            let mut dbeta = arena::take_zeroed(cols);
+            let mut dx_full = arena::take(rows * cols);
             for r in 0..rows {
                 let xr = &xv.data()[r * cols..(r + 1) * cols];
                 let dyr = &dy.data()[r * cols..(r + 1) * cols];
@@ -551,16 +585,16 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
                     dxr[j] = inv_std * (dxhat - mean_dxhat - xhat * mean_dxhat_xhat);
                 }
             }
-            let xs = xv.shape().to_vec();
-            accum(nodes, *x, &Tensor::new(xs, dx_full));
-            accum(nodes, *gamma, &Tensor::from_slice(&dgamma));
-            accum(nodes, *beta, &Tensor::from_slice(&dbeta));
+            let xs = xv.dims();
+            accum_owned(nodes, *x, Tensor::new(xs, dx_full));
+            accum_owned(nodes, *gamma, Tensor::new([cols], dgamma));
+            accum_owned(nodes, *beta, Tensor::new([cols], dbeta));
         }
         Op::CrossEntropyRows { logits, targets } => {
-            let lv = nodes[*logits].value.clone();
+            let lv = arena::temp_clone(&nodes[*logits].value);
             let (rows, cols) = shape::rows_cols(lv.shape());
             let d = dy.item() / rows as f32;
-            let mut sm = vec![0.0; rows * cols];
+            let mut sm = arena::take(rows * cols);
             kernels::softmax_rows(lv.data(), &mut sm, rows, cols);
             accum_into(nodes, *logits, |g| {
                 for r in 0..rows {
@@ -572,21 +606,24 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
                     gr[targets[r] as usize] -= d;
                 }
             });
+            arena::release(sm);
         }
     }
     nodes[id].op = op;
 }
 
-/// Materialized transpose of the last two axes; `out_shape` is the shape of
-/// the *input* of dy's op (i.e. the target shape).
-fn transpose_last2_data(t: &Tensor, _target: &[usize]) -> Vec<f32> {
+/// Materialized transpose of the last two axes, written through the arena
+/// (every element is assigned, so the recycled buffer needs no zeroing). The
+/// caller owns the returned buffer and is expected to hand it to
+/// [`accum_owned`], which releases it back once accumulated.
+fn transpose_last2_data(t: &Tensor) -> Vec<f32> {
     let s = t.shape();
     let (b, m, n) = match s.len() {
         2 => (1, s[0], s[1]),
         3 => (s[0], s[1], s[2]),
         _ => panic!("transpose rank {s:?}"),
     };
-    let mut out = vec![0.0; t.numel()];
+    let mut out = arena::take(t.numel());
     for t0 in 0..b {
         for i in 0..m {
             for j in 0..n {

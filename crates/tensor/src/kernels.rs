@@ -1,8 +1,38 @@
 //! Raw numeric kernels shared by forward and backward passes.
 //!
-//! All kernels operate on contiguous row-major buffers. The matmul uses i-k-j
-//! loop ordering so the innermost loop streams both `b` and `c` sequentially,
-//! which is the main thing that matters for a small CPU GEMM.
+//! All kernels operate on contiguous row-major buffers.
+//!
+//! ## Micro-kernel tiling
+//!
+//! The matmul family runs register-blocked micro-kernels: output tiles of
+//! [`MR`] rows × [`NR`] columns are loaded into stack arrays the compiler
+//! keeps in SIMD registers, the full k-extent is accumulated into them, and
+//! they are stored back once — so the innermost loop touches no `c` memory
+//! and reuses each loaded `b` row across `MR` output rows. The transposed
+//! backward matmuls additionally pack their strided operand into a
+//! contiguous arena-backed panel (`AᵀB` packs `MR` columns of `a`, `A·Bᵀ`
+//! packs [`BT_NR`] rows of `b` column-interleaved) so the inner loops stream
+//! unit-stride. The seed's i-k-j loops are kept as `matmul_*_naive`
+//! references for the equivalence tests and benchmarks. The largest win is
+//! `A·Bᵀ` (the dx backward): its naive form is one sequential dot-product
+//! chain per element, which cannot vectorize along k without reassociating,
+//! while the tile runs `MR`×`BT_NR` independent chains.
+//!
+//! **Accumulation-order invariant:** every tiled kernel performs, per output
+//! element, exactly the floating-point operations of the naive loop in
+//! exactly the same order — k ascending, separate mul and add (Rust never
+//! contracts to FMA), and the same skip of `a`-operands that equal `0.0`
+//! (adding `+0.0` is *not* a bitwise no-op: it flips a `-0.0` accumulator).
+//! Tiling only changes *which registers* hold the partial sums, never the
+//! arithmetic, so naive, tiled, and pool-chunked results are bit-identical.
+//!
+//! The zero-skip makes the inner loop branchy, which costs real throughput
+//! when `a` is dense; the skipping kernels therefore hoist one "does this
+//! `MR`-row panel of `a` contain any exact zero?" scan out of the tile loop
+//! (cost `1/(2n)` of the panel's flops) and run a fully branchless tile when
+//! it doesn't. Skipping only ever fires on zero operands, so taking the
+//! branchless path on a zero-free panel is arithmetic-identical, not just
+//! bit-identical by accident.
 //!
 //! ## Data parallelism
 //!
@@ -24,10 +54,21 @@
 
 use bootleg_obs::counter;
 
+/// Micro-kernel row blocking: output rows processed per register tile.
+pub const MR: usize = 4;
+/// Micro-kernel column blocking: output columns per register tile. With
+/// baseline SSE2 (16 × 128-bit registers) an `MR`×`NR` f32 tile occupies 8
+/// registers, leaving room for the `b` tile and the broadcast `a` operand.
+pub const NR: usize = 8;
+
 /// Minimum multiply-accumulate count before a matmul fans out to the pool.
 pub const PAR_MATMUL_FLOPS: usize = 64 * 1024;
-/// Target multiply-accumulate count per parallel matmul chunk.
-const PAR_MATMUL_CHUNK_FLOPS: usize = 16 * 1024;
+/// Target multiply-accumulate count per parallel matmul chunk. Sized so a
+/// chunk outlives the pool's enqueue/steal overhead by a comfortable margin:
+/// the tiled micro-kernel retires elements several times faster than the old
+/// naive loop did, so chunks carry 4× the flops they did when this constant
+/// was introduced (16 KiFLOP chunks left workers idling on the queue).
+const PAR_MATMUL_CHUNK_FLOPS: usize = 64 * 1024;
 /// Minimum element count before row-wise kernels (softmax, layer norm,
 /// gather) fan out to the pool.
 pub const PAR_ROWS_MIN_ELEMS: usize = 16 * 1024;
@@ -97,18 +138,23 @@ pub fn matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: us
     let par = m >= 2 && m * k * n >= PAR_MATMUL_FLOPS;
     obs_matmul(m * k * n, par);
     if par {
-        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n);
+        // Round chunks to whole MR row-blocks so only the final chunk can
+        // hit the micro-kernel's row-tail path.
+        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n).next_multiple_of(MR);
         bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
             let r0 = ci * rows_per;
             let rows = cc.len() / n;
-            matmul_acc_serial(&a[r0 * k..(r0 + rows) * k], b, cc, rows, k, n);
+            matmul_acc_tiled(&a[r0 * k..(r0 + rows) * k], b, cc, rows, k, n);
         });
     } else {
-        matmul_acc_serial(a, b, c, m, k, n);
+        matmul_acc_tiled(a, b, c, m, k, n);
     }
 }
 
-fn matmul_acc_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Reference i-k-j scalar loop for `c += a·b`. Bit-identical to
+/// [`matmul_acc_tiled`]; kept for the equivalence property tests and the
+/// `kernel_gflops_naive` baseline benchmark.
+pub fn matmul_acc_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -124,6 +170,79 @@ fn matmul_acc_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
     }
 }
 
+/// Register-blocked `c += a (m×k) · b (k×n)`.
+///
+/// Full [`MR`]×[`NR`] output tiles are accumulated in stack registers; the
+/// k-loop broadcasts one `a` element per row against an `NR`-wide `b` slice,
+/// so each `b` load is reused `MR` times and `c` is touched once per tile.
+/// A hoisted per-panel zero scan picks a branchless tile when the `MR`×k
+/// panel of `a` is zero-free and falls back to the per-row skipping naive
+/// loop when it isn't. Per-element arithmetic (k order, mul/add split,
+/// zero-skip) is exactly the naive loop's — see the module docs on the
+/// accumulation-order invariant.
+pub fn matmul_acc_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut i = 0;
+    while i + MR <= m {
+        if a[i * k..(i + MR) * k].contains(&0.0) {
+            // Zero-skips would fire inside the tile; the naive loop pays one
+            // branch per (row, p) amortized over the whole n-wide row instead
+            // of one per tile column block.
+            matmul_acc_naive(&a[i * k..(i + MR) * k], b, &mut c[i * n..(i + MR) * n], MR, k, n);
+            i += MR;
+            continue;
+        }
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let row = (i + r) * n + j;
+                accr.copy_from_slice(&c[row..row + NR]);
+            }
+            for p in 0..k {
+                let bp = <&[f32; NR]>::try_from(&b[p * n + j..p * n + j + NR]).unwrap();
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * k + p];
+                    for (cv, &bv) in accr.iter_mut().zip(bp.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let row = (i + r) * n + j;
+                c[row..row + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+        if j < n {
+            // Column tail: same register tile at reduced width.
+            let w = n - j;
+            let mut acc = [[0.0f32; NR]; MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let row = (i + r) * n + j;
+                accr[..w].copy_from_slice(&c[row..row + w]);
+            }
+            for p in 0..k {
+                let bp = &b[p * n + j..p * n + n];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * k + p];
+                    for (cv, &bv) in accr[..w].iter_mut().zip(bp.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let row = (i + r) * n + j;
+                c[row..row + w].copy_from_slice(&accr[..w]);
+            }
+        }
+        i += MR;
+    }
+    if i < m {
+        // Row tail (< MR rows): the naive loop is already per-row.
+        matmul_acc_naive(&a[i * k..m * k], b, &mut c[i * n..m * n], m - i, k, n);
+    }
+}
+
 /// `(B, M, K) × (B, K, N)` batched matmul into a pre-zeroed `c` (B, M, N),
 /// parallel over the batch axis above the flop cutoff.
 pub fn batch_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], bb: usize, m: usize, k: usize, n: usize) {
@@ -135,7 +254,7 @@ pub fn batch_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], bb: usize, m: usize
     obs_matmul(bb * m * k * n, par);
     if par {
         bootleg_pool::parallel_chunks_mut(c, slab, |t, cc| {
-            matmul_acc_serial(
+            matmul_acc_tiled(
                 &a[t * m * k..(t + 1) * m * k],
                 &b[t * k * n..(t + 1) * k * n],
                 cc,
@@ -146,7 +265,7 @@ pub fn batch_matmul_acc(a: &[f32], b: &[f32], c: &mut [f32], bb: usize, m: usize
         });
     } else {
         for t in 0..bb {
-            matmul_acc_serial(
+            matmul_acc_tiled(
                 &a[t * m * k..(t + 1) * m * k],
                 &b[t * k * n..(t + 1) * k * n],
                 &mut c[t * slab..(t + 1) * slab],
@@ -170,27 +289,17 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
         // Split the k output rows; each chunk walks i in the same ascending
         // order as the serial loop, so per-element accumulation order (and
         // thus every bit of the result) is unchanged.
-        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, m * n);
+        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, m * n).next_multiple_of(MR);
         bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
-            let p0 = ci * rows_per;
-            let prows = cc.len() / n;
-            for i in 0..m {
-                let arow = &a[i * k..(i + 1) * k];
-                let brow = &b[i * n..(i + 1) * n];
-                for pp in 0..prows {
-                    let av = arow[p0 + pp];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let crow = &mut cc[pp * n..(pp + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                        *cv += av * bv;
-                    }
-                }
-            }
+            matmul_at_b_panel(a, b, cc, m, k, n, ci * rows_per);
         });
-        return;
+    } else {
+        matmul_at_b_panel(a, b, c, m, k, n, 0);
     }
+}
+
+/// Reference loop for `c += aᵀ·b`. Bit-identical to [`matmul_at_b_panel`].
+pub fn matmul_at_b_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let brow = &b[i * n..(i + 1) * n];
@@ -206,6 +315,119 @@ pub fn matmul_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     }
 }
 
+/// Packed-panel micro-kernel for `cpanel += (aᵀ·b)[p0.., ..]` where `cpanel`
+/// holds `cpanel.len() / n` consecutive output rows starting at row `p0`.
+///
+/// The operand `aᵀ` is column-strided in memory (element `(p, i)` lives at
+/// `a[i*k + p]`), so the panel first packs the `MR` active `a` columns into a
+/// contiguous arena-backed buffer (`packed[i*MR + r]`); the k-loop then
+/// streams unit-stride through both operands. Serves both the serial path
+/// (`p0 == 0`, whole output) and the pool's row-chunk closures, which is what
+/// keeps the chunked result bit-identical to the serial one: per element the
+/// i-ascending zero-skipping accumulation of [`matmul_at_b_naive`] is
+/// replayed exactly, only from registers instead of memory.
+pub fn matmul_at_b_panel(
+    a: &[f32],
+    b: &[f32],
+    cpanel: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    p0: usize,
+) {
+    debug_assert_eq!(cpanel.len() % n.max(1), 0);
+    let prows = cpanel.len() / n.max(1);
+    debug_assert!(p0 + prows <= k);
+    let mut packed = crate::arena::take(m * MR);
+    let mut r = 0;
+    while r < prows {
+        let mr = MR.min(prows - r);
+        for i in 0..m {
+            let base = i * k + p0 + r;
+            for q in 0..mr {
+                packed[i * mr + q] = a[base + q];
+            }
+        }
+        if packed[..m * mr].contains(&0.0) {
+            // Zero-skips would fire: run the skipping saxpy over the whole
+            // block instead (one branch per (i, q), amortized over n).
+            for i in 0..m {
+                let brow = &b[i * n..(i + 1) * n];
+                for q in 0..mr {
+                    let av = packed[i * mr + q];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let crow = &mut cpanel[(r + q) * n..(r + q + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            r += mr;
+            continue;
+        }
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for (q, accq) in acc.iter_mut().enumerate().take(mr) {
+                let row = (r + q) * n + j;
+                accq.copy_from_slice(&cpanel[row..row + NR]);
+            }
+            if mr == MR {
+                for i in 0..m {
+                    let ap = <&[f32; MR]>::try_from(&packed[i * MR..i * MR + MR]).unwrap();
+                    let bp = <&[f32; NR]>::try_from(&b[i * n + j..i * n + j + NR]).unwrap();
+                    for (q, accq) in acc.iter_mut().enumerate() {
+                        let av = ap[q];
+                        for (cv, &bv) in accq.iter_mut().zip(bp.iter()) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            } else {
+                for i in 0..m {
+                    let bp = <&[f32; NR]>::try_from(&b[i * n + j..i * n + j + NR]).unwrap();
+                    for (q, accq) in acc.iter_mut().enumerate().take(mr) {
+                        let av = packed[i * mr + q];
+                        for (cv, &bv) in accq.iter_mut().zip(bp.iter()) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            }
+            for (q, accq) in acc.iter().enumerate().take(mr) {
+                let row = (r + q) * n + j;
+                cpanel[row..row + NR].copy_from_slice(accq);
+            }
+            j += NR;
+        }
+        if j < n {
+            let w = n - j;
+            let mut acc = [[0.0f32; NR]; MR];
+            for (q, accq) in acc.iter_mut().enumerate().take(mr) {
+                let row = (r + q) * n + j;
+                accq[..w].copy_from_slice(&cpanel[row..row + w]);
+            }
+            for i in 0..m {
+                let bp = &b[i * n + j..i * n + n];
+                for (q, accq) in acc.iter_mut().enumerate().take(mr) {
+                    let av = packed[i * mr + q];
+                    for (cv, &bv) in accq[..w].iter_mut().zip(bp.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            for (q, accq) in acc.iter().enumerate().take(mr) {
+                let row = (r + q) * n + j;
+                cpanel[row..row + w].copy_from_slice(&accq[..w]);
+            }
+        }
+        r += mr;
+    }
+    crate::arena::release(packed);
+}
+
 /// `c += a (m×k) * bᵀ (n×k, stored n×k)`; result is m×n.
 /// Used for input gradients: dx = dy Wᵀ.
 pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
@@ -215,18 +437,19 @@ pub fn matmul_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, 
     let par = m >= 2 && m * k * n >= PAR_MATMUL_FLOPS;
     obs_matmul(m * k * n, par);
     if par {
-        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n);
+        let rows_per = rows_per_chunk(PAR_MATMUL_CHUNK_FLOPS, k * n).next_multiple_of(MR);
         bootleg_pool::parallel_chunks_mut(c, rows_per * n, |ci, cc| {
             let r0 = ci * rows_per;
             let rows = cc.len() / n;
-            matmul_a_bt_serial(&a[r0 * k..(r0 + rows) * k], b, cc, rows, k, n);
+            matmul_a_bt_tiled(&a[r0 * k..(r0 + rows) * k], b, cc, rows, k, n);
         });
     } else {
-        matmul_a_bt_serial(a, b, c, m, k, n);
+        matmul_a_bt_tiled(a, b, c, m, k, n);
     }
 }
 
-fn matmul_a_bt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Reference loop for `c += a·bᵀ`. Bit-identical to [`matmul_a_bt_tiled`].
+pub fn matmul_a_bt_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -237,6 +460,83 @@ fn matmul_a_bt_serial(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
                 s += av * bv;
             }
             *cv += s;
+        }
+    }
+}
+
+/// Number of `b` rows (output columns) per `A·Bᵀ` register tile.
+pub const BT_NR: usize = 8;
+
+/// Register-blocked `c += a (m×k) · bᵀ (b stored n×k)`.
+///
+/// The naive loop is one sequential dot-product chain per output element —
+/// k-ascending adds with a loop-carried dependency that cannot vectorize
+/// without reassociating. The tile keeps [`MR`]×[`BT_NR`] independent
+/// accumulator chains in registers instead, and first packs the [`BT_NR`]
+/// active `b` rows column-interleaved into an arena-backed panel
+/// (`packed[p*BT_NR + q] = b[(j+q)*k + p]`, cost `1/(2m)` of the block's
+/// flops) so the k-loop loads one contiguous `BT_NR`-wide slice per step
+/// rather than `BT_NR` strided scalars. Each chain is still a strictly
+/// sequential k-ascending sum — identical to the naive local accumulator —
+/// and is added to `c` once at the end, exactly like the naive `*cv += s`.
+/// (The naive loop has no zero-skip here, so neither does the tile.)
+pub fn matmul_a_bt_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut packed = crate::arena::take(k * BT_NR);
+    let mut j = 0;
+    while j + BT_NR <= n {
+        for p in 0..k {
+            for q in 0..BT_NR {
+                packed[p * BT_NR + q] = b[(j + q) * k + p];
+            }
+        }
+        let mut i = 0;
+        while i + MR <= m {
+            let mut acc = [[0.0f32; BT_NR]; MR];
+            for p in 0..k {
+                let bp = <&[f32; BT_NR]>::try_from(&packed[p * BT_NR..p * BT_NR + BT_NR])
+                    .unwrap();
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * k + p];
+                    for (cv, &bv) in accr.iter_mut().zip(bp.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let row = (i + r) * n + j;
+                for (cv, &s) in c[row..row + BT_NR].iter_mut().zip(accr.iter()) {
+                    *cv += s;
+                }
+            }
+            i += MR;
+        }
+        // Row tail (< MR rows): per-row dots against the packed panel.
+        while i < m {
+            let arow = &a[i * k..(i + 1) * k];
+            for q in 0..BT_NR {
+                let mut s = 0.0;
+                for (p, &av) in arow.iter().enumerate() {
+                    s += av * packed[p * BT_NR + q];
+                }
+                c[i * n + j + q] += s;
+            }
+            i += 1;
+        }
+        j += BT_NR;
+    }
+    crate::arena::release(packed);
+    // Column tail (< BT_NR b rows): naive dots straight from `b`.
+    if j < n {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for jj in j..n {
+                let brow = &b[jj * k..(jj + 1) * k];
+                let mut s = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    s += av * bv;
+                }
+                c[i * n + jj] += s;
+            }
         }
     }
 }

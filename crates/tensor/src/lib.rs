@@ -20,6 +20,7 @@
 //! Gradient correctness for every differentiable op is checked against central
 //! finite differences in the test suite (see `gradcheck`).
 
+pub mod arena;
 pub mod checkpoint;
 pub mod gradcheck;
 pub mod graph;
@@ -33,4 +34,5 @@ pub mod tensor;
 
 pub use graph::{Graph, Var};
 pub use param::{Param, ParamId, ParamStore};
+pub use shape::Shape;
 pub use tensor::Tensor;

@@ -2,7 +2,15 @@
 //!
 //! Each method computes the forward value eagerly and records the op on the
 //! tape; backward rules live in [`crate::graph`].
+//!
+//! Ops read their operands by borrowing the tape (no defensive clone of the
+//! input tensors) and draw their output buffers from the [`crate::arena`], so
+//! in steady state a forward pass performs no heap allocation for tensor
+//! data: buffers recycled from previously dropped graphs are reused. Sites
+//! that fully overwrite the output use `arena::take`; sites that accumulate
+//! into it (the matmul family, `mean_rows`) use `arena::take_zeroed`.
 
+use crate::arena;
 use crate::graph::{Graph, Op, Var};
 use crate::kernels;
 use crate::param::{ParamId, ParamStore};
@@ -23,7 +31,7 @@ impl Graph {
 
     /// Brings a small dense parameter onto the tape by value.
     pub fn dense_param(&self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.get(id).data.clone(), Op::DenseParam(id))
+        self.push(arena::clone_tensor(&store.get(id).data), Op::DenseParam(id))
     }
 
     /// Gathers rows of an embedding table; backward scatter-adds into the
@@ -32,10 +40,10 @@ impl Graph {
         let table = &store.get(id).data;
         assert_eq!(table.rank(), 2, "gather_rows needs a 2-D table");
         let cols = table.shape()[1];
-        let mut out = vec![0.0; rows.len() * cols];
+        let mut out = arena::take(rows.len() * cols);
         kernels::gather_rows(table.data(), rows, &mut out, cols);
         self.push(
-            Tensor::new(vec![rows.len(), cols], out),
+            Tensor::new([rows.len(), cols], out),
             Op::GatherRows { param: id, rows: rows.to_vec() },
         )
     }
@@ -43,42 +51,50 @@ impl Graph {
     /// Concatenates along the last axis. All inputs must share leading dims.
     pub fn concat_last(&self, parts: &[&Var]) -> Var {
         assert!(!parts.is_empty());
-        let values: Vec<Tensor> = parts.iter().map(|v| v.value()).collect();
-        let (rows, _) = shape::rows_cols(values[0].shape());
-        let widths: Vec<usize> =
-            values.iter().map(|t| t.shape().last().copied().unwrap_or(1)).collect();
-        for t in &values {
-            assert_eq!(shape::rows_cols(t.shape()).0, rows, "concat_last leading-dim mismatch");
-        }
-        let total: usize = widths.iter().sum();
-        let mut out = Vec::with_capacity(rows * total);
-        for r in 0..rows {
-            for (t, &w) in values.iter().zip(&widths) {
-                out.extend_from_slice(&t.data()[r * w..(r + 1) * w]);
+        let out = {
+            let inner = self.inner.borrow();
+            let values: Vec<&Tensor> = parts.iter().map(|v| &inner.nodes[v.id].value).collect();
+            let (rows, _) = shape::rows_cols(values[0].shape());
+            let widths: Vec<usize> =
+                values.iter().map(|t| t.shape().last().copied().unwrap_or(1)).collect();
+            for t in &values {
+                assert_eq!(shape::rows_cols(t.shape()).0, rows, "concat_last leading-dim mismatch");
             }
-        }
-        let mut new_shape = values[0].shape().to_vec();
-        if new_shape.is_empty() {
-            new_shape = vec![total];
-        } else {
-            *new_shape.last_mut().expect("nonempty") = total;
-        }
-        self.push(Tensor::new(new_shape, out), Op::ConcatLast(parts.iter().map(|v| v.id).collect()))
+            let total: usize = widths.iter().sum();
+            let mut out = arena::take(rows * total);
+            let mut pos = 0;
+            for r in 0..rows {
+                for (t, &w) in values.iter().zip(&widths) {
+                    out[pos..pos + w].copy_from_slice(&t.data()[r * w..(r + 1) * w]);
+                    pos += w;
+                }
+            }
+            Tensor::new(values[0].dims().with_last(total), out)
+        };
+        self.push(out, Op::ConcatLast(parts.iter().map(|v| v.id).collect()))
     }
 
     /// Stacks inputs along axis 0. Rank-1 inputs count as single rows.
     pub fn concat_rows(&self, parts: &[&Var]) -> Var {
         assert!(!parts.is_empty());
-        let values: Vec<Tensor> = parts.iter().map(|v| v.value()).collect();
-        let cols = values[0].shape().last().copied().expect("rank >= 1");
-        let mut rows = 0;
-        let mut out = Vec::new();
-        for t in &values {
-            assert_eq!(t.shape().last().copied().unwrap(), cols, "concat_rows width mismatch");
-            rows += t.numel() / cols;
-            out.extend_from_slice(t.data());
-        }
-        self.push(Tensor::new(vec![rows, cols], out), Op::ConcatRows(parts.iter().map(|v| v.id).collect()))
+        let out = {
+            let inner = self.inner.borrow();
+            let values: Vec<&Tensor> = parts.iter().map(|v| &inner.nodes[v.id].value).collect();
+            let cols = values[0].shape().last().copied().expect("rank >= 1");
+            let mut rows = 0;
+            for t in &values {
+                assert_eq!(t.shape().last().copied().unwrap(), cols, "concat_rows width mismatch");
+                rows += t.numel() / cols;
+            }
+            let mut out = arena::take(rows * cols);
+            let mut pos = 0;
+            for t in &values {
+                out[pos..pos + t.numel()].copy_from_slice(t.data());
+                pos += t.numel();
+            }
+            Tensor::new([rows, cols], out)
+        };
+        self.push(out, Op::ConcatRows(parts.iter().map(|v| v.id).collect()))
     }
 }
 
@@ -86,9 +102,16 @@ macro_rules! unary_op {
     ($name:ident, $variant:ident, $f:expr) => {
         /// Elementwise op.
         pub fn $name(&self) -> Var {
-            let x = self.value();
-            let data = x.data().iter().map(|&v| $f(v)).collect();
-            self.graph.push(Tensor::new(x.shape().to_vec(), data), Op::$variant(self.id))
+            let out = {
+                let inner = self.graph.inner.borrow();
+                let x = &inner.nodes[self.id].value;
+                let mut data = arena::take(x.numel());
+                for (o, &v) in data.iter_mut().zip(x.data()) {
+                    *o = $f(v);
+                }
+                Tensor::new(x.dims(), data)
+            };
+            self.graph.push(out, Op::$variant(self.id))
         }
     };
 }
@@ -97,154 +120,218 @@ impl Var {
     /// Elementwise addition (same shape).
     pub fn add(&self, other: &Var) -> Var {
         self.same_graph(other);
-        let mut out = self.value();
-        out.add_assign(&other.value());
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+            let mut data = arena::take(a.numel());
+            for ((o, &x), &y) in data.iter_mut().zip(a.data()).zip(b.data()) {
+                *o = x + y;
+            }
+            Tensor::new(a.dims(), data)
+        };
         self.graph.push(out, Op::Add(self.id, other.id))
     }
 
     /// Elementwise subtraction (same shape).
     pub fn sub(&self, other: &Var) -> Var {
         self.same_graph(other);
-        let a = self.value();
-        let b = other.value();
-        assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
-        let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
-        self.graph.push(Tensor::new(a.shape().to_vec(), data), Op::Sub(self.id, other.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+            let mut data = arena::take(a.numel());
+            for ((o, &x), &y) in data.iter_mut().zip(a.data()).zip(b.data()) {
+                *o = x - y;
+            }
+            Tensor::new(a.dims(), data)
+        };
+        self.graph.push(out, Op::Sub(self.id, other.id))
     }
 
     /// Elementwise product (same shape).
     pub fn mul(&self, other: &Var) -> Var {
         self.same_graph(other);
-        let a = self.value();
-        let b = other.value();
-        assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
-        let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
-        self.graph.push(Tensor::new(a.shape().to_vec(), data), Op::Mul(self.id, other.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+            let mut data = arena::take(a.numel());
+            for ((o, &x), &y) in data.iter_mut().zip(a.data()).zip(b.data()) {
+                *o = x * y;
+            }
+            Tensor::new(a.dims(), data)
+        };
+        self.graph.push(out, Op::Mul(self.id, other.id))
     }
 
     /// Adds a rank-1 bias, broadcast over all leading dims.
     pub fn add_bias(&self, bias: &Var) -> Var {
         self.same_graph(bias);
-        let x = self.value();
-        let b = bias.value();
-        let n = b.numel();
-        assert_eq!(x.shape().last().copied().unwrap_or(1), n, "bias width mismatch");
-        let data = x.data().iter().enumerate().map(|(i, &v)| v + b.data()[i % n]).collect();
-        self.graph
-            .push(Tensor::new(x.shape().to_vec(), data), Op::AddBias { x: self.id, bias: bias.id })
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let b = &inner.nodes[bias.id].value;
+            let n = b.numel();
+            assert_eq!(x.shape().last().copied().unwrap_or(1), n, "bias width mismatch");
+            let mut data = arena::take(x.numel());
+            for (i, (o, &v)) in data.iter_mut().zip(x.data()).enumerate() {
+                *o = v + b.data()[i % n];
+            }
+            Tensor::new(x.dims(), data)
+        };
+        self.graph.push(out, Op::AddBias { x: self.id, bias: bias.id })
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, c: f32) -> Var {
-        let x = self.value();
-        let data = x.data().iter().map(|&v| v * c).collect();
-        self.graph.push(Tensor::new(x.shape().to_vec(), data), Op::Scale { x: self.id, c })
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let mut data = arena::take(x.numel());
+            for (o, &v) in data.iter_mut().zip(x.data()) {
+                *o = v * c;
+            }
+            Tensor::new(x.dims(), data)
+        };
+        self.graph.push(out, Op::Scale { x: self.id, c })
     }
 
     /// `x + w·I` for a square matrix `x` and scalar variable `w`.
     pub fn add_scaled_identity(&self, w: &Var) -> Var {
         self.same_graph(w);
-        let mut x = self.value();
-        assert_eq!(x.rank(), 2);
-        let n = x.shape()[0];
-        assert_eq!(x.shape()[1], n, "add_scaled_identity needs a square matrix");
-        let wv = w.value().item();
-        for i in 0..n {
-            x.data_mut()[i * n + i] += wv;
-        }
-        self.graph.push(x, Op::AddScaledIdentity { x: self.id, w: w.id })
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            assert_eq!(x.rank(), 2);
+            let n = x.shape()[0];
+            assert_eq!(x.shape()[1], n, "add_scaled_identity needs a square matrix");
+            let wv = inner.nodes[w.id].value.item();
+            let mut out = arena::clone_tensor(x);
+            for i in 0..n {
+                out.data_mut()[i * n + i] += wv;
+            }
+            out
+        };
+        self.graph.push(out, Op::AddScaledIdentity { x: self.id, w: w.id })
     }
 
     /// `a (…, k) × b (k, n)`, flattening `a`'s leading dims.
     pub fn matmul(&self, other: &Var) -> Var {
         self.same_graph(other);
-        let a = self.value();
-        let b = other.value();
-        assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
-        let (m, k) = shape::rows_cols(a.shape());
-        assert_eq!(k, b.shape()[0], "matmul inner-dim mismatch {:?} x {:?}", a.shape(), b.shape());
-        let n = b.shape()[1];
-        let mut out = vec![0.0; m * n];
-        kernels::matmul_acc(a.data(), b.data(), &mut out, m, k, n);
-        let mut os = a.shape().to_vec();
-        if os.is_empty() {
-            os = vec![n];
-        } else {
-            *os.last_mut().expect("nonempty") = n;
-        }
-        self.graph.push(Tensor::new(os, out), Op::MatMul(self.id, other.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(b.rank(), 2, "matmul rhs must be rank 2");
+            let (m, k) = shape::rows_cols(a.shape());
+            assert_eq!(
+                k,
+                b.shape()[0],
+                "matmul inner-dim mismatch {:?} x {:?}",
+                a.shape(),
+                b.shape()
+            );
+            let n = b.shape()[1];
+            let mut out = arena::take_zeroed(m * n);
+            kernels::matmul_acc(a.data(), b.data(), &mut out, m, k, n);
+            Tensor::new(a.dims().with_last(n), out)
+        };
+        self.graph.push(out, Op::MatMul(self.id, other.id))
     }
 
     /// `(B, M, K) × (B, K, N)` batched matmul.
     pub fn batch_matmul(&self, other: &Var) -> Var {
         self.same_graph(other);
-        let a = self.value();
-        let b = other.value();
-        assert_eq!(a.rank(), 3);
-        assert_eq!(b.rank(), 3);
-        let (bb, m, k, n) = shape::batch_matmul_dims(a.shape(), b.shape());
-        let mut out = vec![0.0; bb * m * n];
-        kernels::batch_matmul_acc(a.data(), b.data(), &mut out, bb, m, k, n);
-        self.graph.push(Tensor::new(vec![bb, m, n], out), Op::BatchMatMul(self.id, other.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(a.rank(), 3);
+            assert_eq!(b.rank(), 3);
+            let (bb, m, k, n) = shape::batch_matmul_dims(a.shape(), b.shape());
+            let mut out = arena::take_zeroed(bb * m * n);
+            kernels::batch_matmul_acc(a.data(), b.data(), &mut out, bb, m, k, n);
+            Tensor::new([bb, m, n], out)
+        };
+        self.graph.push(out, Op::BatchMatMul(self.id, other.id))
     }
 
     /// Swaps the last two axes (materialized copy).
     pub fn transpose_last2(&self) -> Var {
-        let x = self.value();
-        let s = x.shape();
-        let (b, m, n) = match s.len() {
-            2 => (1, s[0], s[1]),
-            3 => (s[0], s[1], s[2]),
-            _ => panic!("transpose_last2 rank {s:?}"),
-        };
-        let mut out = vec![0.0; x.numel()];
-        for t in 0..b {
-            for i in 0..m {
-                for j in 0..n {
-                    out[t * m * n + j * m + i] = x.data()[t * m * n + i * n + j];
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let s = x.shape();
+            let (b, m, n) = match s.len() {
+                2 => (1, s[0], s[1]),
+                3 => (s[0], s[1], s[2]),
+                _ => panic!("transpose_last2 rank {s:?}"),
+            };
+            let mut out = arena::take(x.numel());
+            for t in 0..b {
+                for i in 0..m {
+                    for j in 0..n {
+                        out[t * m * n + j * m + i] = x.data()[t * m * n + i * n + j];
+                    }
                 }
             }
-        }
-        self.graph.push(Tensor::new(shape::transpose_last2(s), out), Op::TransposeLast2(self.id))
+            Tensor::new(x.dims().swapped_last2(), out)
+        };
+        self.graph.push(out, Op::TransposeLast2(self.id))
     }
 
     /// Swaps axes 0 and 1 of a rank-3 tensor (materialized copy).
     pub fn swap_axes01(&self) -> Var {
-        let x = self.value();
-        let s = x.shape();
-        assert_eq!(s.len(), 3, "swap_axes01 needs rank 3");
-        let (a, b, c) = (s[0], s[1], s[2]);
-        let mut out = vec![0.0; x.numel()];
-        for i in 0..a {
-            for j in 0..b {
-                let src = &x.data()[(i * b + j) * c..(i * b + j + 1) * c];
-                let dst = &mut out[(j * a + i) * c..(j * a + i + 1) * c];
-                dst.copy_from_slice(src);
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let s = x.shape();
+            assert_eq!(s.len(), 3, "swap_axes01 needs rank 3");
+            let (a, b, c) = (s[0], s[1], s[2]);
+            let mut out = arena::take(x.numel());
+            for i in 0..a {
+                for j in 0..b {
+                    let src = &x.data()[(i * b + j) * c..(i * b + j + 1) * c];
+                    let dst = &mut out[(j * a + i) * c..(j * a + i + 1) * c];
+                    dst.copy_from_slice(src);
+                }
             }
-        }
-        self.graph.push(Tensor::new(vec![b, a, c], out), Op::SwapAxes01(self.id))
+            Tensor::new([b, a, c], out)
+        };
+        self.graph.push(out, Op::SwapAxes01(self.id))
     }
 
     /// Reinterprets the data with a new shape of equal element count.
     pub fn reshape(&self, new_shape: &[usize]) -> Var {
-        let x = self.value();
-        assert_eq!(shape::numel(new_shape), x.numel(), "reshape to incompatible {new_shape:?}");
-        self.graph.push(Tensor::new(new_shape.to_vec(), x.data().to_vec()), Op::Reshape(self.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            assert_eq!(shape::numel(new_shape), x.numel(), "reshape to incompatible {new_shape:?}");
+            let mut data = arena::take(x.numel());
+            data.copy_from_slice(x.data());
+            Tensor::new(new_shape, data)
+        };
+        self.graph.push(out, Op::Reshape(self.id))
     }
 
     /// Gathers rows of a rank-2 tensor (duplicates allowed).
     pub fn select_rows(&self, idx: &[u32]) -> Var {
-        let x = self.value();
-        assert_eq!(x.rank(), 2, "select_rows needs rank 2");
-        let cols = x.shape()[1];
-        let mut out = Vec::with_capacity(idx.len() * cols);
-        for &r in idx {
-            out.extend_from_slice(x.row(r as usize));
-        }
-        self.graph.push(
-            Tensor::new(vec![idx.len(), cols], out),
-            Op::SelectRows { x: self.id, idx: idx.to_vec() },
-        )
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            assert_eq!(x.rank(), 2, "select_rows needs rank 2");
+            let cols = x.shape()[1];
+            let mut out = arena::take(idx.len() * cols);
+            for (orow, &r) in out.chunks_exact_mut(cols).zip(idx) {
+                orow.copy_from_slice(x.row(r as usize));
+            }
+            Tensor::new([idx.len(), cols], out)
+        };
+        self.graph.push(out, Op::SelectRows { x: self.id, idx: idx.to_vec() })
     }
 
     unary_op!(relu, Relu, |v: f32| v.max(0.0));
@@ -254,58 +341,83 @@ impl Var {
 
     /// Softmax over the last axis.
     pub fn softmax_last(&self) -> Var {
-        let x = self.value();
-        let (rows, cols) = shape::rows_cols(x.shape());
-        let mut out = vec![0.0; x.numel()];
-        kernels::softmax_rows(x.data(), &mut out, rows, cols);
-        self.graph.push(Tensor::new(x.shape().to_vec(), out), Op::SoftmaxLast(self.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let (rows, cols) = shape::rows_cols(x.shape());
+            let mut out = arena::take(x.numel());
+            kernels::softmax_rows(x.data(), &mut out, rows, cols);
+            Tensor::new(x.dims(), out)
+        };
+        self.graph.push(out, Op::SoftmaxLast(self.id))
     }
 
     /// Log-softmax over the last axis.
     pub fn log_softmax_last(&self) -> Var {
-        let x = self.value();
-        let (rows, cols) = shape::rows_cols(x.shape());
-        let mut out = vec![0.0; x.numel()];
-        kernels::log_softmax_rows(x.data(), &mut out, rows, cols);
-        self.graph.push(Tensor::new(x.shape().to_vec(), out), Op::LogSoftmaxLast(self.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let (rows, cols) = shape::rows_cols(x.shape());
+            let mut out = arena::take(x.numel());
+            kernels::log_softmax_rows(x.data(), &mut out, rows, cols);
+            Tensor::new(x.dims(), out)
+        };
+        self.graph.push(out, Op::LogSoftmaxLast(self.id))
     }
 
     /// Sum of all elements (scalar).
     pub fn sum_all(&self) -> Var {
-        let s: f32 = self.value().data().iter().sum();
+        let s: f32 = {
+            let inner = self.graph.inner.borrow();
+            inner.nodes[self.id].value.data().iter().sum()
+        };
         self.graph.push(Tensor::scalar(s), Op::SumAll(self.id))
     }
 
     /// Mean of all elements (scalar).
     pub fn mean_all(&self) -> Var {
-        let x = self.value();
-        let s: f32 = x.data().iter().sum::<f32>() / x.numel() as f32;
+        let s: f32 = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            x.data().iter().sum::<f32>() / x.numel() as f32
+        };
         self.graph.push(Tensor::scalar(s), Op::MeanAll(self.id))
     }
 
     /// Mean over rows: `(m, n) -> (n,)`.
     pub fn mean_rows(&self) -> Var {
-        let x = self.value();
-        assert_eq!(x.rank(), 2, "mean_rows needs rank 2");
-        let (m, n) = (x.shape()[0], x.shape()[1]);
-        let mut out = vec![0.0; n];
-        for r in 0..m {
-            for (o, &v) in out.iter_mut().zip(x.row(r)) {
-                *o += v;
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            assert_eq!(x.rank(), 2, "mean_rows needs rank 2");
+            let (m, n) = (x.shape()[0], x.shape()[1]);
+            let mut out = arena::take_zeroed(n);
+            for r in 0..m {
+                for (o, &v) in out.iter_mut().zip(x.row(r)) {
+                    *o += v;
+                }
             }
-        }
-        out.iter_mut().for_each(|v| *v /= m as f32);
-        self.graph.push(Tensor::from_slice(&out), Op::MeanRows(self.id))
+            out.iter_mut().for_each(|v| *v /= m as f32);
+            Tensor::new([n], out)
+        };
+        self.graph.push(out, Op::MeanRows(self.id))
     }
 
     /// Elementwise maximum of two same-shape tensors (ties route to `self`).
     pub fn maximum(&self, other: &Var) -> Var {
         self.same_graph(other);
-        let a = self.value();
-        let b = other.value();
-        assert_eq!(a.shape(), b.shape(), "maximum shape mismatch");
-        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| x.max(y)).collect();
-        self.graph.push(Tensor::new(a.shape().to_vec(), data), Op::Maximum(self.id, other.id))
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(a.shape(), b.shape(), "maximum shape mismatch");
+            let mut data = arena::take(a.numel());
+            for ((o, &x), &y) in data.iter_mut().zip(a.data()).zip(b.data()) {
+                *o = x.max(y);
+            }
+            Tensor::new(a.dims(), data)
+        };
+        self.graph.push(out, Op::Maximum(self.id, other.id))
     }
 
     /// Inverted dropout; identity when the graph is in inference mode or
@@ -314,49 +426,64 @@ impl Var {
         if p <= 0.0 || !self.graph.training() {
             return self.scale(1.0);
         }
-        let x = self.value();
         let keep = 1.0 - p;
-        let mask: Vec<f32> = {
+        let (out, mask) = {
             let mut inner = self.graph.inner.borrow_mut();
-            (0..x.numel())
-                .map(|_| if inner.rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
-                .collect()
+            let inner = &mut *inner;
+            let x = &inner.nodes[self.id].value;
+            let rng = &mut inner.rng;
+            let mut mask = arena::take(x.numel());
+            for mv in mask.iter_mut() {
+                *mv = if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 };
+            }
+            let mut data = arena::take(x.numel());
+            for ((o, &v), &mv) in data.iter_mut().zip(x.data()).zip(mask.iter()) {
+                *o = v * mv;
+            }
+            (Tensor::new(x.dims(), data), mask)
         };
-        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
-        self.graph.push(Tensor::new(x.shape().to_vec(), data), Op::Dropout { x: self.id, mask })
+        self.graph.push(out, Op::Dropout { x: self.id, mask })
     }
 
     /// Layer norm over the last axis with affine `gamma`/`beta` (rank-1 vars).
     pub fn layer_norm(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
         self.same_graph(gamma);
         self.same_graph(beta);
-        let x = self.value();
-        let g = gamma.value();
-        let b = beta.value();
-        let (rows, cols) = shape::rows_cols(x.shape());
-        assert_eq!(g.numel(), cols);
-        assert_eq!(b.numel(), cols);
-        let mut out = vec![0.0; x.numel()];
-        kernels::layer_norm_rows(x.data(), g.data(), b.data(), &mut out, rows, cols, eps);
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let g = &inner.nodes[gamma.id].value;
+            let b = &inner.nodes[beta.id].value;
+            let (rows, cols) = shape::rows_cols(x.shape());
+            assert_eq!(g.numel(), cols);
+            assert_eq!(b.numel(), cols);
+            let mut out = arena::take(x.numel());
+            kernels::layer_norm_rows(x.data(), g.data(), b.data(), &mut out, rows, cols, eps);
+            Tensor::new(x.dims(), out)
+        };
         self.graph.push(
-            Tensor::new(x.shape().to_vec(), out),
+            out,
             Op::LayerNorm { x: self.id, gamma: gamma.id, beta: beta.id, eps },
         )
     }
 
     /// Mean cross-entropy of row logits against integer targets (scalar).
     pub fn cross_entropy_rows(&self, targets: &[u32]) -> Var {
-        let x = self.value();
-        let (rows, cols) = shape::rows_cols(x.shape());
-        assert_eq!(rows, targets.len(), "one target per logit row");
-        let mut ls = vec![0.0; rows * cols];
-        kernels::log_softmax_rows(x.data(), &mut ls, rows, cols);
-        let mut loss = 0.0;
-        for (r, &t) in targets.iter().enumerate() {
-            assert!((t as usize) < cols, "target {t} out of range {cols}");
-            loss -= ls[r * cols + t as usize];
-        }
-        loss /= rows as f32;
+        let loss = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let (rows, cols) = shape::rows_cols(x.shape());
+            assert_eq!(rows, targets.len(), "one target per logit row");
+            let mut ls = arena::take(rows * cols);
+            kernels::log_softmax_rows(x.data(), &mut ls, rows, cols);
+            let mut loss = 0.0;
+            for (r, &t) in targets.iter().enumerate() {
+                assert!((t as usize) < cols, "target {t} out of range {cols}");
+                loss -= ls[r * cols + t as usize];
+            }
+            arena::release(ls);
+            loss / rows as f32
+        };
         self.graph.push(
             Tensor::scalar(loss),
             Op::CrossEntropyRows { logits: self.id, targets: targets.to_vec() },

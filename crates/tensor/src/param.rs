@@ -100,6 +100,12 @@ impl ParamStore {
             if p.dense_touched {
                 p.grad.zero_();
             } else if !p.touched_rows.is_empty() {
+                // The same row is gathered once per occurrence (popular
+                // entities appear in many mentions), so dedup before zeroing
+                // rather than rewriting a row per duplicate. touched_rows is
+                // cleared below, so reordering it is unobservable.
+                p.touched_rows.sort_unstable();
+                p.touched_rows.dedup();
                 let cols = p.grad.shape().last().copied().unwrap_or(1);
                 let rows_total = p.grad.numel() / cols.max(1);
                 for &r in &p.touched_rows {

@@ -1,5 +1,152 @@
 //! Shape utilities for row-major dense tensors of rank 0–3.
 
+use std::fmt;
+use std::ops::Deref;
+
+/// Maximum tensor rank representable by [`Shape`] (one above the rank-3
+/// tensors the library produces, as headroom).
+pub const MAX_RANK: usize = 4;
+
+/// A tensor shape stored inline on the stack.
+///
+/// Tensors in this library are rank 0–3, so a shape is at most a few
+/// `usize`s — heap-allocating a `Vec<usize>` for every tensor (and for every
+/// `Var::shape()` query in the forward pass) was pure allocator traffic.
+/// `Shape` is `Copy`, derefs to `&[usize]`, and compares against slices and
+/// `Vec<usize>` so existing call sites keep working unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// A rank-0 (scalar) shape.
+    pub const fn scalar() -> Self {
+        Self { dims: [0; MAX_RANK], rank: 0 }
+    }
+
+    /// Builds a shape from a slice. Panics above [`MAX_RANK`].
+    pub fn from_slice(dims: &[usize]) -> Self {
+        assert!(dims.len() <= MAX_RANK, "rank {} exceeds MAX_RANK {MAX_RANK}", dims.len());
+        let mut out = Self::scalar();
+        out.dims[..dims.len()].copy_from_slice(dims);
+        out.rank = dims.len() as u8;
+        out
+    }
+
+    /// The dimensions as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Number of elements implied by this shape (scalar = 1).
+    #[inline]
+    pub fn numel(&self) -> usize {
+        numel(self.as_slice())
+    }
+
+    /// The dimensions as a freshly allocated `Vec` (compatibility helper).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.as_slice().to_vec()
+    }
+
+    /// Copy with the final dimension replaced; a rank-0 shape becomes `[d]`.
+    pub fn with_last(mut self, d: usize) -> Shape {
+        if self.rank == 0 {
+            self.dims[0] = d;
+            self.rank = 1;
+        } else {
+            self.dims[self.rank as usize - 1] = d;
+        }
+        self
+    }
+
+    /// Copy with the last two dimensions swapped. Panics for rank < 2.
+    pub fn swapped_last2(mut self) -> Shape {
+        let r = self.rank as usize;
+        assert!(r >= 2, "swapped_last2 needs rank >= 2, got {self:?}");
+        self.dims.swap(r - 2, r - 1);
+        self
+    }
+}
+
+impl Deref for Shape {
+    type Target = [usize];
+
+    #[inline]
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::from_slice(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self::from_slice(&dims)
+    }
+}
+
+impl From<&Vec<usize>> for Shape {
+    fn from(dims: &Vec<usize>) -> Self {
+        Self::from_slice(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Self::from_slice(&dims)
+    }
+}
+
+impl PartialEq<[usize]> for Shape {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[usize]> for Shape {
+    fn eq(&self, other: &&[usize]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[usize; N]> for Shape {
+    fn eq(&self, other: &[usize; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[usize; N]> for Shape {
+    fn eq(&self, other: &&[usize; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<usize>> for Shape {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
 /// Number of elements implied by a shape (empty shape = scalar = 1 element).
 #[inline]
 pub fn numel(shape: &[usize]) -> usize {
@@ -62,6 +209,29 @@ mod tests {
     #[test]
     fn numel_scalar_is_one() {
         assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn shape_roundtrip_and_eq() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(s, vec![2, 3, 4]);
+        assert_eq!(s, [2, 3, 4]);
+        assert_eq!(s[1], 3);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+        assert_eq!(Shape::from(s.to_vec()), s);
+        let scalar = Shape::scalar();
+        assert_eq!(scalar.rank(), 0);
+        assert_eq!(scalar.numel(), 1);
+        assert!(scalar.as_slice().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_rank_overflow_panics() {
+        Shape::from_slice(&[1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -1,23 +1,27 @@
 //! The plain dense tensor value type.
 
-use crate::shape;
+use crate::shape::{self, Shape};
 use std::fmt;
 
 /// A dense, contiguous, row-major `f32` tensor of rank 0–3.
 ///
 /// `Tensor` is a pure value: cloning copies the buffer, and no gradient state
-/// is attached. Autograd is layered on top by [`crate::Graph`].
+/// is attached. Autograd is layered on top by [`crate::Graph`]. The shape is
+/// stored inline ([`Shape`]), so constructing a tensor costs exactly one heap
+/// allocation (the data buffer) — or zero when the buffer comes from the
+/// [`crate::arena`].
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
 }
 
 impl Tensor {
     /// Creates a tensor from a shape and data buffer. Panics if they disagree.
-    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+    pub fn new(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
         assert_eq!(
-            shape::numel(&shape),
+            shape.numel(),
             data.len(),
             "shape {shape:?} does not match data length {}",
             data.len()
@@ -27,22 +31,22 @@ impl Tensor {
 
     /// A tensor of zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![0.0; shape::numel(shape)] }
+        Self { shape: Shape::from_slice(shape), data: vec![0.0; shape::numel(shape)] }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { shape: shape.to_vec(), data: vec![value; shape::numel(shape)] }
+        Self { shape: Shape::from_slice(shape), data: vec![value; shape::numel(shape)] }
     }
 
     /// A rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![], data: vec![value] }
+        Self { shape: Shape::scalar(), data: vec![value] }
     }
 
     /// A rank-1 tensor from a slice.
     pub fn from_slice(values: &[f32]) -> Self {
-        Self { shape: vec![values.len()], data: values.to_vec() }
+        Self { shape: Shape::from([values.len()]), data: values.to_vec() }
     }
 
     /// A rank-2 tensor from rows. All rows must have equal length.
@@ -54,7 +58,7 @@ impl Tensor {
             assert_eq!(row.len(), c, "ragged rows in Tensor::from_rows");
             data.extend_from_slice(row);
         }
-        Self { shape: vec![r, c], data }
+        Self { shape: Shape::from([r, c]), data }
     }
 
     /// The identity matrix of size `n`.
@@ -69,7 +73,13 @@ impl Tensor {
     /// The tensor's shape.
     #[inline]
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
+    }
+
+    /// The tensor's shape as an owned, stack-allocated [`Shape`] copy.
+    #[inline]
+    pub fn dims(&self) -> Shape {
+        self.shape
     }
 
     /// Total number of elements.
@@ -81,7 +91,7 @@ impl Tensor {
     /// Rank (number of dimensions); scalars have rank 0.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.shape.len()
+        self.shape.rank()
     }
 
     /// Immutable view of the underlying buffer.
@@ -133,7 +143,7 @@ impl Tensor {
     /// Reinterprets the buffer with a new shape of equal element count.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         assert_eq!(shape::numel(shape), self.data.len(), "reshape to incompatible {shape:?}");
-        self.shape = shape.to_vec();
+        self.shape = Shape::from_slice(shape);
         self
     }
 

@@ -1,0 +1,125 @@
+//! Property tests: the register-tiled matmul micro-kernels are bit-identical
+//! to the naive reference loops across awkward shapes.
+//!
+//! Shapes are drawn from {1..9, 31..33, 63..65} so every tile-boundary case
+//! is hit: sizes below one tile, exact multiples of `MR`/`NR`/`BT_NR`, and
+//! one-off row/column tails. Operands carry exact zeros (exercising the
+//! zero-skip fast/slow path split) and the output starts from a non-zero
+//! pattern that includes `-0.0` entries — the case the zero-skip exists to
+//! preserve, since accumulating `+0.0` would flip them.
+
+use bootleg_tensor::kernels;
+use proptest::prelude::*;
+
+/// Dimension pool covering sub-tile, tile-aligned, and tail sizes.
+const DIMS: [usize; 15] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 31, 32, 33, 63, 64, 65];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+/// Values in [-2, 2) with exact zeros salted in every `7`th slot.
+fn operand(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            if (i + salt).is_multiple_of(7) {
+                0.0
+            } else {
+                let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(salt as u64);
+                ((h >> 11) as f32 / (1u64 << 53) as f32) * 4.0 - 1.0
+            }
+        })
+        .collect()
+}
+
+/// Non-zero starting output including `-0.0` entries.
+fn initial_c(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| match (i + salt) % 5 {
+            0 => -0.0,
+            1 => 0.25,
+            2 => -1.5,
+            3 => 0.0,
+            _ => 3.0,
+        })
+        .collect()
+}
+
+fn assert_bits_eq(tiled: &[f32], naive: &[f32]) {
+    for (i, (t, n)) in tiled.iter().zip(naive).enumerate() {
+        assert!(
+            t.to_bits() == n.to_bits(),
+            "element {i}: tiled {t} ({:#010x}) vs naive {n} ({:#010x})",
+            t.to_bits(),
+            n.to_bits()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tiled_matmul_bit_identical_to_naive((m, k, n, salt) in (dim(), dim(), dim(), 0usize..1000)) {
+        let a = operand(m * k, salt);
+        let b = operand(k * n, salt + 1);
+        let mut c_tiled = initial_c(m * n, salt);
+        let mut c_naive = c_tiled.clone();
+        kernels::matmul_acc_tiled(&a, &b, &mut c_tiled, m, k, n);
+        kernels::matmul_acc_naive(&a, &b, &mut c_naive, m, k, n);
+        assert_bits_eq(&c_tiled, &c_naive);
+    }
+
+    #[test]
+    fn at_b_panel_bit_identical_to_naive((m, k, n, salt) in (dim(), dim(), dim(), 0usize..1000)) {
+        let a = operand(m * k, salt);
+        let b = operand(m * n, salt + 2);
+        let mut c_panel = initial_c(k * n, salt);
+        let mut c_naive = c_panel.clone();
+        kernels::matmul_at_b_panel(&a, &b, &mut c_panel, m, k, n, 0);
+        kernels::matmul_at_b_naive(&a, &b, &mut c_naive, m, k, n);
+        assert_bits_eq(&c_panel, &c_naive);
+    }
+
+    #[test]
+    fn at_b_panel_chunked_bit_identical((m, k, n, salt) in (dim(), dim(), dim(), 0usize..1000)) {
+        // Split the k output rows the way the pool does and run each chunk
+        // through the panel kernel: must still match the unsplit naive loop.
+        let a = operand(m * k, salt);
+        let b = operand(m * n, salt + 3);
+        let mut c_chunked = initial_c(k * n, salt);
+        let mut c_naive = c_chunked.clone();
+        let rows_per = (k / 3).max(1);
+        let mut p0 = 0;
+        for chunk in c_chunked.chunks_mut(rows_per * n) {
+            kernels::matmul_at_b_panel(&a, &b, chunk, m, k, n, p0);
+            p0 += chunk.len() / n;
+        }
+        kernels::matmul_at_b_naive(&a, &b, &mut c_naive, m, k, n);
+        assert_bits_eq(&c_chunked, &c_naive);
+    }
+
+    #[test]
+    fn a_bt_tiled_bit_identical_to_naive((m, k, n, salt) in (dim(), dim(), dim(), 0usize..1000)) {
+        let a = operand(m * k, salt);
+        let b = operand(n * k, salt + 4);
+        let mut c_tiled = initial_c(m * n, salt);
+        let mut c_naive = c_tiled.clone();
+        kernels::matmul_a_bt_tiled(&a, &b, &mut c_tiled, m, k, n);
+        kernels::matmul_a_bt_naive(&a, &b, &mut c_naive, m, k, n);
+        assert_bits_eq(&c_tiled, &c_naive);
+    }
+
+    #[test]
+    fn dispatched_matmul_bit_identical_to_naive((m, k, n, salt) in (dim(), dim(), dim(), 0usize..1000)) {
+        // The public entry point (which may or may not fan out) must agree
+        // with the naive loop too.
+        let a = operand(m * k, salt);
+        let b = operand(k * n, salt + 5);
+        let mut c_disp = initial_c(m * n, salt);
+        let mut c_naive = c_disp.clone();
+        kernels::matmul_acc(&a, &b, &mut c_disp, m, k, n);
+        kernels::matmul_acc_naive(&a, &b, &mut c_naive, m, k, n);
+        assert_bits_eq(&c_disp, &c_naive);
+    }
+}
