@@ -116,7 +116,10 @@ impl NedBase {
         (g, loss, scores)
     }
 
-    /// Predicts the candidate index for each mention.
+    /// Predicts the candidate index for each mention. Total over any score
+    /// values: NaNs (possible only for poisoned inputs on the serving path)
+    /// compare under the IEEE total order instead of panicking, and an
+    /// empty candidate list falls back to index 0.
     pub fn predict_indices(&self, ex: &Example) -> Vec<usize> {
         let (_, _, scores) = self.forward(ex, false, 0);
         scores
@@ -124,7 +127,7 @@ impl NedBase {
             .map(|s| {
                 s.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })

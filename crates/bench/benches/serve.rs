@@ -1,0 +1,118 @@
+//! Serving-layer overhead bench: the resilient path (admission validation,
+//! deadline stamping, breaker bookkeeping, per-tier `catch_unwind`) versus
+//! calling the model directly, fault-free, recorded to `results/serve.json`.
+//!
+//! PR acceptance: fault-free serving is **bit-identical** to direct
+//! `Predictor::predict` and costs **< 2%** latency on whole-corpus
+//! evaluation. Same self-contained harness as `perf.rs`: min-of-reps on a
+//! 1-thread pool for percent-level claims, `BOOTLEG_PERF_SMOKE=1` for the
+//! fast CI configuration (relaxed threshold — the workload is too short for
+//! a stable percent-level number).
+
+use bootleg_baselines::PopularityPrior;
+use bootleg_bench::{Results, Workbench};
+use bootleg_core::{BootlegConfig, BootlegModel, Example};
+use bootleg_corpus::CorpusConfig;
+use bootleg_eval::{evaluate_slices, BootlegPredictor, Predictor};
+use bootleg_kb::KbConfig;
+use bootleg_pool::{with_pool, ThreadPool};
+use bootleg_serve::{FallbackChain, ModelTier, PredictorTier, ResilientPredictor};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn smoke_mode() -> bool {
+    std::env::var("BOOTLEG_PERF_SMOKE").map(|v| v != "0").unwrap_or(false)
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+fn bench_serve_overhead(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, reps) =
+        if smoke { (600usize, 120usize, 3usize) } else { (2_000, 600, 7) };
+    let wb = Workbench::build(
+        KbConfig { n_entities, seed: 51, ..KbConfig::default() },
+        CorpusConfig { n_pages, seed: 52, ..CorpusConfig::default() },
+        true,
+    );
+    let model =
+        BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default());
+    let direct = BootlegPredictor::new(&model, &wb.kb);
+    let tier0 = ModelTier::new(&model, &wb.kb);
+    let limits = tier0.limits();
+    let chain = FallbackChain::new()
+        .tier(tier0)
+        .tier(PredictorTier::new("prior", PopularityPrior));
+    let resilient = ResilientPredictor::new(&chain, limits);
+    let via_serve = |ex: &Example| resilient.predict(ex);
+    let dev = &wb.corpus.dev;
+    println!("serve workload: {} dev sentences, {} entities", dev.len(), wb.kb.num_entities());
+
+    let time_min = |f: &dyn Fn()| -> f64 {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let pool = ThreadPool::new(1);
+    let (direct_secs, serve_secs, report_direct, report_serve) = with_pool(&pool, || {
+        let report_direct = evaluate_slices(dev, &wb.counts, direct); // warm-up
+        let direct_secs = time_min(&|| {
+            black_box(evaluate_slices(dev, &wb.counts, direct));
+        });
+        let report_serve = evaluate_slices(dev, &wb.counts, via_serve); // warm-up
+        let serve_secs = time_min(&|| {
+            black_box(evaluate_slices(dev, &wb.counts, via_serve));
+        });
+        (direct_secs, serve_secs, report_direct, report_serve)
+    });
+
+    // Fault-free, tier 0 answers everything: the serving armor must be
+    // invisible in the outputs, not just cheap.
+    assert_eq!(
+        report_direct, report_serve,
+        "fault-free serving must be bit-identical to direct inference"
+    );
+
+    let overhead = serve_secs / direct_secs.max(1e-12) - 1.0;
+    println!("serve/eval_direct                            {}", fmt_time(direct_secs));
+    println!("serve/eval_resilient                         {}", fmt_time(serve_secs));
+    println!("serve/overhead: {:.2}% (target < 2%)", overhead * 100.0);
+    if smoke {
+        assert!(overhead < 0.25, "serve overhead {:.2}% even in smoke mode", overhead * 100.0);
+    } else {
+        assert!(
+            overhead < 0.02,
+            "serve overhead {:.2}% exceeds the 2% acceptance budget",
+            overhead * 100.0
+        );
+    }
+    results.set("serve_eval_direct_secs", direct_secs);
+    results.set("serve_eval_resilient_secs", serve_secs);
+    results.set("serve_overhead_frac", overhead);
+    results.set("serve_metrics_identical", true);
+    results.set("serve_sentences", dev.len());
+}
+
+fn main() {
+    if !std::env::args().any(|a| a == "--bench") {
+        println!("serve: skipped (run via `cargo bench` to measure)");
+        return;
+    }
+    let mut results = Results::new("serve");
+    results.set("smoke", smoke_mode());
+    bench_serve_overhead(&mut results);
+    results.write().expect("write results/serve.json");
+}

@@ -30,7 +30,11 @@ pub fn extract_mentions(
     kb: &KnowledgeBase,
     gamma: &CandidateGenerator,
 ) -> Vec<ExtractedMention> {
-    let words: Vec<&str> = tokens.iter().map(|&t| vocab.word(t)).collect();
+    // Token streams on this path come from un-annotated input; an id
+    // outside the vocabulary maps to a sentinel no alias surface contains
+    // rather than panicking mid-request.
+    let words: Vec<&str> =
+        tokens.iter().map(|&t| vocab.get_word(t).unwrap_or("\u{fffd}")).collect();
     let mut taken = vec![false; tokens.len()];
     let mut out = Vec::new();
     for n in (1..=MAX_NGRAM.min(tokens.len())).rev() {
@@ -109,5 +113,18 @@ mod tests {
     fn empty_input_is_fine() {
         let (kb, c, g) = setup();
         assert!(extract_mentions(&[], &c.vocab, &kb, &g).is_empty());
+    }
+
+    #[test]
+    fn out_of_vocab_tokens_do_not_panic() {
+        let (kb, c, g) = setup();
+        let mut tokens = c.train[0].tokens.clone();
+        tokens.push(u32::MAX);
+        tokens.insert(0, c.vocab.len() as u32);
+        // Must extract from the valid tokens and skip the junk ids.
+        let found = extract_mentions(&tokens, &c.vocab, &kb, &g);
+        for m in &found {
+            assert!(m.last < tokens.len());
+        }
     }
 }

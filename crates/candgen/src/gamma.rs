@@ -62,14 +62,17 @@ impl CandidateGenerator {
         Self { by_alias, max_candidates }
     }
 
-    /// The ranked candidates of an alias.
+    /// The ranked candidates of an alias. An alias id outside Γ (possible
+    /// only for request-supplied ids on the inference path) yields an empty
+    /// slice — indistinguishable from a known alias with no candidates,
+    /// which callers already treat as "no mention here".
     pub fn candidates(&self, alias: AliasId) -> &[EntityId] {
-        &self.by_alias[alias.idx()]
+        self.by_alias.get(alias.idx()).map_or(&[], Vec::as_slice)
     }
 
     /// The most likely (top-ranked) candidate — the popularity-prior answer.
     pub fn prior(&self, alias: AliasId) -> Option<EntityId> {
-        self.by_alias[alias.idx()].first().copied()
+        self.candidates(alias).first().copied()
     }
 
     /// Number of aliases covered.
@@ -141,6 +144,15 @@ mod tests {
                 assert!(top >= *counts.get(&(a.id, other)).unwrap_or(&0));
             }
         }
+    }
+
+    #[test]
+    fn unknown_alias_ids_yield_no_candidates() {
+        let (kb, _) = setup();
+        let g = CandidateGenerator::from_kb(&kb, 8);
+        let bogus = AliasId(u32::MAX);
+        assert!(g.candidates(bogus).is_empty());
+        assert_eq!(g.prior(bogus), None);
     }
 
     #[test]

@@ -75,7 +75,171 @@ impl Example {
     pub fn total_candidates(&self) -> usize {
         self.mentions.iter().map(|m| m.candidates.len()).sum()
     }
+
+    /// Checks every invariant the forward pass relies on, against the
+    /// model's actual table sizes. The serving layer calls this at
+    /// admission so a malformed request becomes a typed rejection instead
+    /// of an out-of-bounds panic inside a worker.
+    ///
+    /// Examples produced by [`Example::training`] / [`Example::evaluation`]
+    /// from a generated corpus always validate; this guards externally
+    /// constructed inference requests.
+    pub fn validate(&self, limits: &ValidationLimits) -> Result<(), ExampleDefect> {
+        if self.mentions.is_empty() {
+            return Err(ExampleDefect::NoMentions);
+        }
+        if self.tokens.len() > limits.max_tokens {
+            return Err(ExampleDefect::TooManyTokens {
+                len: self.tokens.len(),
+                max: limits.max_tokens,
+            });
+        }
+        for (position, &token) in self.tokens.iter().enumerate() {
+            if token as usize >= limits.vocab_size {
+                return Err(ExampleDefect::TokenOutOfRange {
+                    position,
+                    token,
+                    vocab: limits.vocab_size,
+                });
+            }
+        }
+        for (mi, m) in self.mentions.iter().enumerate() {
+            if m.first > m.last || m.last >= self.tokens.len() {
+                return Err(ExampleDefect::SpanOutOfRange {
+                    mention: mi,
+                    first: m.first,
+                    last: m.last,
+                    tokens: self.tokens.len(),
+                });
+            }
+            if m.candidates.is_empty() {
+                return Err(ExampleDefect::NoCandidates { mention: mi });
+            }
+            for (ci, &c) in m.candidates.iter().enumerate() {
+                if c.idx() >= limits.n_entities {
+                    return Err(ExampleDefect::CandidateOutOfRange {
+                        mention: mi,
+                        candidate: ci,
+                        id: c.0,
+                        n_entities: limits.n_entities,
+                    });
+                }
+            }
+            if let Some(g) = m.gold {
+                if g as usize >= m.candidates.len() {
+                    return Err(ExampleDefect::GoldOutOfRange {
+                        mention: mi,
+                        gold: g,
+                        candidates: m.candidates.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Bounds an [`Example`] must respect to be safe to feed to a model —
+/// the table sizes the forward pass indexes with request-supplied ids.
+#[derive(Clone, Copy, Debug)]
+pub struct ValidationLimits {
+    /// Entities in the KB / entity-embedding table (candidate ids `< this`).
+    pub n_entities: usize,
+    /// Vocabulary size (token ids `< this`).
+    pub vocab_size: usize,
+    /// Longest sentence the word encoder's positional table covers.
+    pub max_tokens: usize,
+}
+
+/// Why [`Example::validate`] rejected a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExampleDefect {
+    /// The example has no mentions (the forward pass needs at least one).
+    NoMentions,
+    /// The sentence exceeds the positional-encoding table.
+    TooManyTokens {
+        /// Tokens in the request.
+        len: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A token id is outside the vocabulary.
+    TokenOutOfRange {
+        /// Position of the offending token.
+        position: usize,
+        /// The token id.
+        token: u32,
+        /// Vocabulary size.
+        vocab: usize,
+    },
+    /// A mention span is inverted or points past the sentence.
+    SpanOutOfRange {
+        /// Mention index.
+        mention: usize,
+        /// Span start.
+        first: usize,
+        /// Span end (inclusive).
+        last: usize,
+        /// Sentence length.
+        tokens: usize,
+    },
+    /// A mention has an empty candidate list.
+    NoCandidates {
+        /// Mention index.
+        mention: usize,
+    },
+    /// A candidate entity id is outside the KB.
+    CandidateOutOfRange {
+        /// Mention index.
+        mention: usize,
+        /// Candidate position within the mention.
+        candidate: usize,
+        /// The offending entity id.
+        id: u32,
+        /// Number of entities in the KB.
+        n_entities: usize,
+    },
+    /// A gold index points past the candidate list.
+    GoldOutOfRange {
+        /// Mention index.
+        mention: usize,
+        /// The gold index.
+        gold: u32,
+        /// Number of candidates.
+        candidates: usize,
+    },
+}
+
+impl std::fmt::Display for ExampleDefect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoMentions => write!(f, "example has no mentions"),
+            Self::TooManyTokens { len, max } => {
+                write!(f, "sentence has {len} tokens, max supported is {max}")
+            }
+            Self::TokenOutOfRange { position, token, vocab } => {
+                write!(f, "token {token} at position {position} outside vocab of {vocab}")
+            }
+            Self::SpanOutOfRange { mention, first, last, tokens } => write!(
+                f,
+                "mention {mention} span {first}..={last} invalid for {tokens}-token sentence"
+            ),
+            Self::NoCandidates { mention } => {
+                write!(f, "mention {mention} has no candidates")
+            }
+            Self::CandidateOutOfRange { mention, candidate, id, n_entities } => write!(
+                f,
+                "mention {mention} candidate {candidate} (entity {id}) outside KB of {n_entities}"
+            ),
+            Self::GoldOutOfRange { mention, gold, candidates } => write!(
+                f,
+                "mention {mention} gold index {gold} outside its {candidates} candidates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExampleDefect {}
 
 #[cfg(test)]
 mod tests {
@@ -147,5 +311,69 @@ mod tests {
     fn total_candidates_sums() {
         let e = Example::training(&sent()).expect("example");
         assert_eq!(e.total_candidates(), 5);
+    }
+
+    fn limits() -> ValidationLimits {
+        ValidationLimits { n_entities: 16, vocab_size: 32, max_tokens: 48 }
+    }
+
+    #[test]
+    fn wellformed_examples_validate() {
+        let e = Example::training(&sent()).expect("example");
+        assert_eq!(e.validate(&limits()), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_defect() {
+        let base = Example::training(&sent()).expect("example");
+        let lim = limits();
+
+        let empty = Example { tokens: base.tokens.clone(), mentions: Vec::new() };
+        assert_eq!(empty.validate(&lim), Err(ExampleDefect::NoMentions));
+
+        let mut long = base.clone();
+        long.tokens = vec![1; lim.max_tokens + 1];
+        assert!(matches!(long.validate(&lim), Err(ExampleDefect::TooManyTokens { .. })));
+
+        let mut bad_tok = base.clone();
+        bad_tok.tokens[0] = lim.vocab_size as u32;
+        assert!(matches!(bad_tok.validate(&lim), Err(ExampleDefect::TokenOutOfRange { .. })));
+
+        let mut bad_span = base.clone();
+        bad_span.mentions[1].last = bad_span.tokens.len();
+        assert!(matches!(bad_span.validate(&lim), Err(ExampleDefect::SpanOutOfRange { .. })));
+
+        let mut inverted = base.clone();
+        inverted.mentions[0].first = 3;
+        inverted.mentions[0].last = 1;
+        assert!(matches!(inverted.validate(&lim), Err(ExampleDefect::SpanOutOfRange { .. })));
+
+        let mut no_cands = base.clone();
+        no_cands.mentions[2].candidates.clear();
+        assert_eq!(no_cands.validate(&lim), Err(ExampleDefect::NoCandidates { mention: 2 }));
+
+        let mut bad_cand = base.clone();
+        bad_cand.mentions[0].candidates[1] = EntityId(lim.n_entities as u32);
+        assert!(matches!(
+            bad_cand.validate(&lim),
+            Err(ExampleDefect::CandidateOutOfRange { mention: 0, candidate: 1, .. })
+        ));
+
+        let mut bad_gold = base.clone();
+        bad_gold.mentions[0].gold = Some(9);
+        assert!(matches!(bad_gold.validate(&lim), Err(ExampleDefect::GoldOutOfRange { .. })));
+
+        // Every defect renders a human-readable message.
+        for defect in [
+            empty.validate(&lim),
+            long.validate(&lim),
+            bad_tok.validate(&lim),
+            bad_span.validate(&lim),
+            no_cands.validate(&lim),
+            bad_cand.validate(&lim),
+            bad_gold.validate(&lim),
+        ] {
+            assert!(!defect.expect_err("defect").to_string().is_empty());
+        }
     }
 }

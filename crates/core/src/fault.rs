@@ -19,6 +19,23 @@
 //! the optimizer step: a batch whose update is skipped by an anomaly guard
 //! does not advance the step counter, so keying faults on steps would
 //! re-inject the same fault forever.
+//!
+//! ## Inference-side faults
+//!
+//! The serving layer (`bootleg-serve`) injects three further faults, keyed
+//! on the **request sequence number** (1-based admission order):
+//!
+//! * [`Fault::SlowInfer`] — the model tier stalls for a fixed duration
+//!   before running the forward pass (a slow shard / cold cache), so a
+//!   bounded deadline expires deterministically.
+//! * [`Fault::PanicOnExample`] — the model tier panics on this request (a
+//!   poisoned example), exercising `catch_unwind` isolation.
+//! * [`Fault::MalformedExample`] — the serving worker corrupts the request
+//!   payload *after* admission (an out-of-range candidate id), so every
+//!   model-backed tier sees data that validation could not have caught.
+//!
+//! `SlowInfer`/`PanicOnExample` are consulted by the serve model tier;
+//! `MalformedExample` by the serving worker before dispatch.
 
 use std::fs;
 use std::io;
@@ -61,6 +78,24 @@ pub enum Fault {
         at_step: u64,
         /// Kind of damage.
         mode: CorruptionMode,
+    },
+    /// Stall the model tier for `millis` before inferring request `seq`
+    /// (1-based admission order).
+    SlowInfer {
+        /// Request sequence number to stall.
+        seq: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// Panic inside the model tier on request `seq` (1-based).
+    PanicOnExample {
+        /// Request sequence number to poison.
+        seq: u64,
+    },
+    /// Corrupt the payload of request `seq` (1-based) after admission.
+    MalformedExample {
+        /// Request sequence number to corrupt.
+        seq: u64,
     },
 }
 
@@ -116,6 +151,28 @@ impl FaultPlan {
             _ => None,
         })
     }
+
+    /// Stall (in milliseconds) to inject before inferring request `seq`.
+    pub fn slow_infer_at(&self, seq: u64) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::SlowInfer { seq: s, millis } if *s == seq => Some(*millis),
+            _ => None,
+        })
+    }
+
+    /// Should the model tier panic on request `seq`?
+    pub fn panic_on_example(&self, seq: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::PanicOnExample { seq: s } if *s == seq))
+    }
+
+    /// Should request `seq`'s payload be corrupted after admission?
+    pub fn malformed_example_at(&self, seq: u64) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::MalformedExample { seq: s } if *s == seq))
+    }
 }
 
 /// Damages `path` in place according to `mode`. Intentionally *not* atomic:
@@ -155,6 +212,21 @@ mod tests {
         assert_eq!(plan.corruption_at(7), Some(CorruptionMode::FlipByte));
         assert!(FaultPlan::none().is_empty());
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn inference_fault_lookups_match_schedule() {
+        let plan = FaultPlan::none()
+            .with(Fault::SlowInfer { seq: 2, millis: 50 })
+            .with(Fault::PanicOnExample { seq: 4 })
+            .with(Fault::MalformedExample { seq: 6 });
+        assert_eq!(plan.slow_infer_at(2), Some(50));
+        assert_eq!(plan.slow_infer_at(3), None);
+        assert!(plan.panic_on_example(4));
+        assert!(!plan.panic_on_example(2));
+        assert!(plan.malformed_example_at(6));
+        assert!(!plan.malformed_example_at(4));
+        assert!(FaultPlan::none().slow_infer_at(2).is_none());
     }
 
     #[test]

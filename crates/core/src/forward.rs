@@ -8,6 +8,77 @@ use bootleg_nn::posenc;
 use bootleg_tensor::{arena, Graph, Tensor, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A per-request compute budget, checked at forward-pass phase boundaries.
+///
+/// A `Deadline` is a point in wall time; [`Deadline::none`] never expires.
+/// The forward pass checks it after each phase (candgen, embed, each
+/// attention layer, score) so an over-budget request stops at the next
+/// boundary instead of running arbitrarily long — the serving layer turns
+/// the resulting [`ForwardInterrupted`] into a typed deadline error.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (the default for library callers).
+    pub fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// Expires `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self { at: Instant::now().checked_add(budget) }
+    }
+
+    /// Expires `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Self::after(Duration::from_millis(ms))
+    }
+
+    /// A deadline that is already in the past (deterministic expiry for
+    /// tests: the first boundary check fires).
+    pub fn expired_now() -> Self {
+        Self { at: Some(Instant::now()) }
+    }
+
+    /// True once the deadline has passed. A `none` deadline never expires.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Time left before expiry (`None` for an unlimited deadline,
+    /// `Some(ZERO)` once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A forward pass stopped at a phase boundary because its [`Deadline`]
+/// expired. Carries which phase had just finished — the partial diagnostic
+/// the serving layer attaches to `ServeError::DeadlineExceeded`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ForwardInterrupted {
+    /// The last phase that completed before the budget ran out
+    /// (`"candgen"`, `"embed"`, `"attention"`, or `"score"`).
+    pub phase: &'static str,
+}
+
+impl std::fmt::Display for ForwardInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "forward pass exceeded its deadline after the {} phase", self.phase)
+    }
+}
+
+impl std::error::Error for ForwardInterrupted {}
 
 /// What a forward pass should compute beyond scores and predictions.
 ///
@@ -26,17 +97,46 @@ pub struct ForwardOptions {
     /// Materialize per-mention, per-candidate final-layer representations
     /// (needed by the Overton-style downstream system).
     pub candidate_reprs: bool,
+    /// Compute budget, checked at phase boundaries. [`Deadline::none`] for
+    /// library callers; the serving layer threads per-request deadlines
+    /// through here. Use [`BootlegModel::try_forward_with`] to observe
+    /// expiry as a value instead of a panic.
+    pub deadline: Deadline,
 }
 
 impl ForwardOptions {
     /// Prediction/scoring only: no loss node, no candidate representations.
     pub fn inference() -> Self {
-        Self { training: false, seed: 0, build_loss: false, candidate_reprs: false }
+        Self {
+            training: false,
+            seed: 0,
+            build_loss: false,
+            candidate_reprs: false,
+            deadline: Deadline::none(),
+        }
     }
 
     /// The full training tape (what `forward(…, training, seed)` builds).
     pub fn training(seed: u64) -> Self {
-        Self { training: true, seed, build_loss: true, candidate_reprs: true }
+        Self {
+            training: true,
+            seed,
+            build_loss: true,
+            candidate_reprs: true,
+            deadline: Deadline::none(),
+        }
+    }
+
+    /// Attaches a compute budget checked at phase boundaries.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Overrides training mode (dropout + entity-embedding masking).
+    pub fn with_training(mut self, on: bool) -> Self {
+        self.training = on;
+        self
     }
 
     /// Overrides whether candidate representations are materialized.
@@ -84,11 +184,7 @@ impl BootlegModel {
         training: bool,
         seed: u64,
     ) -> ForwardOutput {
-        self.forward_with(
-            kb,
-            ex,
-            ForwardOptions { training, seed, build_loss: true, candidate_reprs: true },
-        )
+        self.forward_with(kb, ex, ForwardOptions::training(seed).with_training(training))
     }
 
     /// Inference-only forward: scores, predictions and mention
@@ -99,13 +195,40 @@ impl BootlegModel {
         self.forward_with(kb, ex, ForwardOptions::inference())
     }
 
-    /// Runs the model on one example, computing exactly what `opts` asks for.
+    /// Inference under a compute budget: like [`BootlegModel::infer`], but
+    /// stops at the next phase boundary once `deadline` expires, returning
+    /// [`ForwardInterrupted`] naming the phase that had just finished.
+    pub fn infer_within(
+        &self,
+        kb: &KnowledgeBase,
+        ex: &Example,
+        deadline: Deadline,
+    ) -> Result<ForwardOutput, ForwardInterrupted> {
+        self.try_forward_with(kb, ex, ForwardOptions::inference().with_deadline(deadline))
+    }
+
+    /// Runs the model on one example, computing exactly what `opts` asks
+    /// for. Panics if `opts.deadline` expires mid-pass — use
+    /// [`BootlegModel::try_forward_with`] to observe expiry as a value.
     pub fn forward_with(
         &self,
         kb: &KnowledgeBase,
         ex: &Example,
         opts: ForwardOptions,
     ) -> ForwardOutput {
+        self.try_forward_with(kb, ex, opts)
+            .unwrap_or_else(|i| panic!("forward_with: {i} (use try_forward_with)"))
+    }
+
+    /// Runs the model on one example, checking `opts.deadline` at each phase
+    /// boundary. On expiry the partially-built tape is dropped (arena
+    /// buffers recycle normally) and the completed phase is reported.
+    pub fn try_forward_with(
+        &self,
+        kb: &KnowledgeBase,
+        ex: &Example,
+        opts: ForwardOptions,
+    ) -> Result<ForwardOutput, ForwardInterrupted> {
         assert!(!ex.mentions.is_empty(), "forward needs at least one mention");
         let _fwd = bootleg_obs::span!("forward");
         let ForwardOptions { training, seed, .. } = opts;
@@ -187,6 +310,9 @@ impl BootlegModel {
             }
         }
         drop(ph);
+        if opts.deadline.expired() {
+            return Err(ForwardInterrupted { phase: "candgen" });
+        }
 
         // ---- Signal encoding (§3.1) ----
         let ph = bootleg_obs::trace::phase("embed", "forward.embed_ns");
@@ -309,12 +435,18 @@ impl BootlegModel {
             e_mat = e_mat.add(&self.pos_proj.forward(&g, ps, &enc_var));
         }
         drop(ph);
+        if opts.deadline.expired() {
+            return Err(ForwardInterrupted { phase: "embed" });
+        }
 
         // ---- Stacked layers (§3.2 end-to-end) ----
         let ph = bootleg_obs::trace::phase("attention", "forward.attention_ns");
         let mut e_prime = e_mat.clone();
         let mut last_e_ks: Vec<Var> = Vec::new();
         for l in 0..cfg.n_layers {
+            if l > 0 && opts.deadline.expired() {
+                return Err(ForwardInterrupted { phase: "attention" });
+            }
             let p2e = self.phrase2ent[l].forward(&g, ps, &e_mat, Some(&w));
             e_prime = if cfg.use_ent2ent {
                 let e2e = self.ent2ent[l].forward(&g, ps, &e_mat, None);
@@ -343,6 +475,9 @@ impl BootlegModel {
             };
         }
         drop(ph);
+        if opts.deadline.expired() {
+            return Err(ForwardInterrupted { phase: "attention" });
+        }
 
         // ---- Ensemble scoring: S = max(E_k vᵀ, E′ vᵀ) ----
         let ph = bootleg_obs::trace::phase("score", "forward.score_ns");
@@ -412,7 +547,7 @@ impl BootlegModel {
         };
         drop(ph);
 
-        ForwardOutput { graph: g, loss, scores, predictions, mention_reprs, candidate_reprs }
+        Ok(ForwardOutput { graph: g, loss, scores, predictions, mention_reprs, candidate_reprs })
     }
 
     /// Predicts the entity for each mention of `ex`.
@@ -540,6 +675,38 @@ mod tests {
         let with_reprs =
             m.forward_with(&kb, &ex, ForwardOptions::inference().with_candidate_reprs(true));
         assert_eq!(full.candidate_reprs, with_reprs.candidate_reprs);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_at_first_boundary() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let err = match m.infer_within(&kb, &ex, Deadline::expired_now()) {
+            Err(e) => e,
+            Ok(_) => panic!("expired deadline must interrupt the forward pass"),
+        };
+        assert_eq!(err.phase, "candgen");
+        assert!(err.to_string().contains("candgen"));
+    }
+
+    #[test]
+    fn unlimited_deadline_is_bit_identical_to_infer() {
+        let (kb, c, m) = setup();
+        let ex = first_example(&c);
+        let a = m.infer(&kb, &ex);
+        let b = m.infer_within(&kb, &ex, Deadline::none()).expect("no deadline");
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.predictions, b.predictions);
+    }
+
+    #[test]
+    fn deadline_accessors_behave() {
+        assert!(!Deadline::none().expired());
+        assert_eq!(Deadline::none().remaining(), None);
+        assert!(Deadline::expired_now().expired());
+        let d = Deadline::after_ms(60_000);
+        assert!(!d.expired());
+        assert!(d.remaining().expect("bounded") > std::time::Duration::from_secs(1));
     }
 
     #[test]

@@ -41,9 +41,9 @@ pub mod train;
 
 pub use compression::compress_entity_embeddings;
 pub use config::{BootlegConfig, ModelVariant};
-pub use example::{ExMention, Example};
+pub use example::{ExMention, Example, ExampleDefect, ValidationLimits};
 pub use explain::{Explanation, Signal};
-pub use forward::{ForwardOptions, ForwardOutput};
+pub use forward::{Deadline, ForwardInterrupted, ForwardOptions, ForwardOutput};
 pub use model::BootlegModel;
 pub use regularization::RegScheme;
 pub use fault::{corrupt_file, CorruptionMode, Fault, FaultPlan};

@@ -91,6 +91,13 @@ impl Vocab {
         &self.words[id as usize]
     }
 
+    /// The surface string of a token id, or `None` when the id is outside
+    /// the vocabulary (checked counterpart of [`Vocab::word`] for
+    /// request-supplied token streams on the inference path).
+    pub fn get_word(&self, id: u32) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
     /// Vocabulary size.
     pub fn len(&self) -> usize {
         self.words.len()

@@ -31,6 +31,13 @@ impl<F: Fn(&Example) -> Vec<usize> + Sync> Predictor for F {
 ///
 /// Runs the inference-only forward pass ([`BootlegModel::infer`]), which
 /// skips loss construction and candidate representations.
+///
+/// **Validated invariant:** `predict` indexes embedding tables with the
+/// example's token and candidate ids, so the example must satisfy
+/// [`Example::validate`] against this model's limits. Corpus-derived
+/// examples always do; externally constructed requests go through the
+/// serving layer (`bootleg-serve`), which validates at admission and
+/// converts residual panics into typed errors.
 #[derive(Clone, Copy, Debug)]
 pub struct BootlegPredictor<'a> {
     /// The model.

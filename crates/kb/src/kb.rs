@@ -73,6 +73,20 @@ impl KnowledgeBase {
         &self.aliases[id.idx()]
     }
 
+    /// The entity record for `id`, or `None` when the id is outside the KB.
+    /// Use on the inference path, where ids come from requests rather than
+    /// from this KB's own tables.
+    pub fn get_entity(&self, id: EntityId) -> Option<&Entity> {
+        self.entities.get(id.idx())
+    }
+
+    /// The alias record for `id`, or `None` when the id is outside the KB
+    /// (checked counterpart of [`KnowledgeBase::alias`] for the inference
+    /// path).
+    pub fn get_alias(&self, id: AliasId) -> Option<&AliasInfo> {
+        self.aliases.get(id.idx())
+    }
+
     /// Looks up an alias by surface form.
     pub fn alias_by_surface(&self, surface: &str) -> Option<AliasId> {
         self.alias_by_surface.get(surface).copied()

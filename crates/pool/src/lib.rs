@@ -38,6 +38,15 @@
 //! parallelism). [`with_pool`] overrides the pool used by the module-level
 //! helpers on the current thread — tests use it to pin exact thread counts.
 //!
+//! ## Panic safety
+//!
+//! A panicking task closure cannot wedge the pool: each chunk runs under
+//! `catch_unwind`, the remaining chunks still execute, every worker leaves
+//! the claim loop, and the *first* panic's original payload is re-raised in
+//! the publishing caller (`resume_unwind`, message and type intact) once the
+//! job has fully drained. Workers survive to serve the next job, and
+//! `pool.panics` counts propagated panics.
+//!
 //! ## Observability
 //!
 //! Fork-joins report through `bootleg-obs`: `pool.jobs` /
@@ -101,6 +110,11 @@ struct Shared {
     completed: AtomicUsize,
     /// A chunk panicked; the owning call re-raises after joining.
     panicked: AtomicBool,
+    /// Payload of the *first* chunk panic of the current job. The owning
+    /// call resumes the unwind with it after all workers quiesce, so the
+    /// caller sees the original panic (message and type intact) instead of
+    /// a generic wrapper — and never a hang or a silently dropped chunk.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 /// A fixed-size pool of worker threads with scoped fork-join calls.
@@ -123,6 +137,7 @@ impl ThreadPool {
             next: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
         });
         let workers = (1..threads)
             .map(|i| {
@@ -197,7 +212,19 @@ impl ThreadPool {
         st.job = None;
         drop(st);
         if self.shared.panicked.swap(false, Ordering::SeqCst) {
-            panic!("bootleg-pool: a parallel task panicked");
+            counter!("pool.panics").inc();
+            let payload = self
+                .shared
+                .panic_payload
+                .lock()
+                .expect("pool panic-payload lock")
+                .take();
+            match payload {
+                // Re-raise the worker's original panic in the caller, as if
+                // the caller's own serial loop had panicked.
+                Some(p) => std::panic::resume_unwind(p),
+                None => panic!("bootleg-pool: a parallel task panicked"),
+            }
         }
     }
 }
@@ -270,7 +297,14 @@ fn run_chunks(shared: &Shared, job: &JobDesc) -> usize {
         let lo = c * job.chunk;
         let hi = (lo + job.chunk).min(job.n);
         let f = unsafe { &*job.task };
-        if catch_unwind(AssertUnwindSafe(|| f(lo, hi))).is_err() {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(lo, hi))) {
+            // Keep the first payload; later panics of the same job are
+            // subsumed (the caller can only re-raise one).
+            let mut slot = shared.panic_payload.lock().expect("pool panic-payload lock");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            drop(slot);
             shared.panicked.store(true, Ordering::SeqCst);
         }
         ran += 1;
@@ -498,6 +532,49 @@ mod tests {
         // Pool stays usable after a panic.
         let out = pool.map(&[1, 2, 3], |&x: &i32| x * 2);
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn panic_payload_reaches_the_caller_intact() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(64, 1, |lo, _| {
+                if lo == 21 {
+                    panic!("boom-{}", 21);
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .expect("string payload");
+        assert_eq!(msg, "boom-21", "original panic message must survive the pool");
+    }
+
+    #[test]
+    fn all_other_chunks_still_run_when_one_panics() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..128).map(|_| AtomicUsize::new(0)).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(128, 1, |lo, hi| {
+                if lo == 64 {
+                    panic!("mid-job panic");
+                }
+                for h in &hits[lo..hi] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Every chunk except the panicking one executed exactly once: the
+        // job drains fully before the panic is re-raised (no lost chunks,
+        // no hang).
+        for (i, h) in hits.iter().enumerate() {
+            let expect = usize::from(i != 64);
+            assert_eq!(h.load(Ordering::Relaxed), expect, "index {i}");
+        }
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! The degraded-mode fallback chain: Bootleg → NED-Base → popularity prior.
+//!
+//! Each tier is guarded by its own [`CircuitBreaker`]. A request walks the
+//! chain top-down: a healthy tier answers (annotated with its tier index),
+//! a panicking tier records a diagnostic and falls through, an open breaker
+//! skips the tier entirely. A deadline expiry is *terminal* — the request
+//! has no budget left for a fallback — but the failure still feeds the
+//! tier's breaker, so sustained timeouts trip it and subsequent traffic
+//! degrades to cheaper tiers instead of queueing behind a slow model.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::clock::{Clock, WallClock};
+use crate::error::{ServeError, ServeOutcome, ServeResponse, TierError, TierFailure};
+use crate::tier::{RequestCx, Tier};
+use bootleg_core::Example;
+use bootleg_obs::counter;
+use std::sync::{Arc, Mutex};
+
+struct Slot<'a> {
+    tier: Box<dyn Tier + 'a>,
+    breaker: Mutex<CircuitBreaker>,
+}
+
+/// An ordered list of breaker-guarded tiers. Tier 0 is the primary model;
+/// later tiers are progressively cheaper and progressively worse.
+pub struct FallbackChain<'a> {
+    slots: Vec<Slot<'a>>,
+    clock: Arc<dyn Clock>,
+    breaker_config: BreakerConfig,
+}
+
+impl<'a> FallbackChain<'a> {
+    /// An empty chain on wall time with breaker tuning from
+    /// [`BreakerConfig::from_env`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(WallClock::new()), BreakerConfig::from_env())
+    }
+
+    /// An empty chain on an explicit clock and breaker tuning (tests use a
+    /// [`VirtualClock`](crate::clock::VirtualClock) here).
+    pub fn with_clock(clock: Arc<dyn Clock>, breaker_config: BreakerConfig) -> Self {
+        Self { slots: Vec::new(), clock, breaker_config }
+    }
+
+    /// Appends a tier (order of insertion is order of fallback).
+    pub fn tier(mut self, tier: impl Tier + 'a) -> Self {
+        self.slots.push(Slot {
+            tier: Box::new(tier),
+            breaker: Mutex::new(CircuitBreaker::new(self.breaker_config)),
+        });
+        self
+    }
+
+    /// Number of tiers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no tiers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The breaker state of tier `i` right now (diagnostics and tests).
+    pub fn breaker_state(&self, i: usize) -> Option<BreakerState> {
+        let slot = self.slots.get(i)?;
+        let now = self.clock.now_ms();
+        Some(slot.breaker.lock().expect("breaker lock").state(now))
+    }
+
+    /// Serves one request through the chain. Exactly one terminal outcome:
+    /// a [`ServeResponse`] from the first tier that answers, or a
+    /// [`ServeError`] when the deadline expires / every tier fails.
+    pub fn predict(&self, ex: &Example, cx: &RequestCx) -> ServeOutcome {
+        if cx.deadline.expired() {
+            return Err(ServeError::DeadlineExceeded { phase: "queue", tiers: Vec::new() });
+        }
+        let mut tiers: Vec<TierError> = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let name = slot.tier.name();
+            let allowed = {
+                let now = self.clock.now_ms();
+                slot.breaker.lock().expect("breaker lock").allow(now)
+            };
+            if !allowed {
+                counter!("serve.breaker_skips").inc();
+                tiers.push(TierError { tier: name, failure: TierFailure::BreakerOpen });
+                continue;
+            }
+            match slot.tier.predict(ex, cx) {
+                Ok(predictions) => {
+                    slot.breaker.lock().expect("breaker lock").on_success();
+                    counter!("serve.tier_served").inc();
+                    if i > 0 {
+                        counter!("serve.degraded").inc();
+                    }
+                    return Ok(ServeResponse {
+                        predictions,
+                        tier: i,
+                        tier_name: name,
+                        degraded: i > 0,
+                    });
+                }
+                Err(failure) => {
+                    let now = self.clock.now_ms();
+                    slot.breaker.lock().expect("breaker lock").on_failure(now);
+                    counter!("serve.tier_failures").inc();
+                    let terminal = matches!(failure, TierFailure::DeadlineExceeded { .. });
+                    let phase = match failure {
+                        TierFailure::DeadlineExceeded { phase } => phase,
+                        _ => "",
+                    };
+                    tiers.push(TierError { tier: name, failure });
+                    if terminal {
+                        // No budget left for a fallback; the breaker update
+                        // above is what degrades *subsequent* traffic.
+                        return Err(ServeError::DeadlineExceeded { phase, tiers });
+                    }
+                }
+            }
+        }
+        Err(ServeError::AllTiersFailed { tiers })
+    }
+}
+
+impl Default for FallbackChain<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::tier::PredictorTier;
+    use bootleg_core::{Deadline, ExMention};
+    use bootleg_kb::EntityId;
+
+    fn example() -> Example {
+        Example::inference(
+            vec![0, 1],
+            vec![ExMention {
+                first: 0,
+                last: 0,
+                candidates: vec![EntityId(0), EntityId(1)],
+                gold: None,
+            }],
+        )
+    }
+
+    fn chain_with_flaky_primary(clock: Arc<VirtualClock>) -> FallbackChain<'static> {
+        let config = BreakerConfig { failure_threshold: 2, cooldown_ms: 100 };
+        FallbackChain::with_clock(clock, config)
+            .tier(PredictorTier::new(
+                "flaky",
+                |_: &Example| -> Vec<usize> { panic!("primary down") },
+            ))
+            .tier(PredictorTier::new("steady", |e: &Example| vec![1; e.mentions.len()]))
+    }
+
+    #[test]
+    fn falls_through_to_the_next_tier_on_panic() {
+        let clock = Arc::new(VirtualClock::new());
+        let chain = chain_with_flaky_primary(clock);
+        let out = chain.predict(&example(), &RequestCx::new(1, Deadline::none()));
+        let resp = out.expect("fallback tier answers");
+        assert_eq!((resp.tier, resp.tier_name, resp.degraded), (1, "steady", true));
+        assert_eq!(resp.predictions, vec![1]);
+    }
+
+    #[test]
+    fn breaker_trips_and_skips_the_flaky_tier() {
+        let clock = Arc::new(VirtualClock::new());
+        let chain = chain_with_flaky_primary(Arc::clone(&clock));
+        let ex = example();
+
+        // Two panics trip the primary's breaker (threshold 2).
+        for seq in 1..=2 {
+            chain.predict(&ex, &RequestCx::new(seq, Deadline::none())).expect("degraded");
+        }
+        assert_eq!(chain.breaker_state(0), Some(BreakerState::Open));
+
+        // While open the flaky tier is skipped: the diagnostic says so.
+        let resp = chain
+            .predict(&ex, &RequestCx::new(3, Deadline::none()))
+            .expect("steady tier still answers");
+        assert_eq!(resp.tier, 1);
+
+        // Past the cooldown a single probe is admitted (and fails again).
+        clock.advance_ms(100);
+        assert_eq!(chain.breaker_state(0), Some(BreakerState::HalfOpen));
+        chain.predict(&ex, &RequestCx::new(4, Deadline::none())).expect("degraded");
+        assert_eq!(chain.breaker_state(0), Some(BreakerState::Open));
+    }
+
+    #[test]
+    fn expired_deadline_is_terminal_before_any_tier() {
+        let clock = Arc::new(VirtualClock::new());
+        let chain = chain_with_flaky_primary(clock);
+        let out = chain.predict(&example(), &RequestCx::new(1, Deadline::expired_now()));
+        match out {
+            Err(ServeError::DeadlineExceeded { phase, tiers }) => {
+                assert_eq!(phase, "queue");
+                assert!(tiers.is_empty());
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_tiers_failed_carries_one_diagnostic_per_tier() {
+        let clock = Arc::new(VirtualClock::new());
+        let config = BreakerConfig { failure_threshold: 3, cooldown_ms: 100 };
+        let chain = FallbackChain::with_clock(clock, config)
+            .tier(PredictorTier::new("a", |_: &Example| -> Vec<usize> { panic!("a down") }))
+            .tier(PredictorTier::new("b", |_: &Example| -> Vec<usize> { panic!("b down") }));
+        let out = chain.predict(&example(), &RequestCx::new(1, Deadline::none()));
+        match out {
+            Err(ServeError::AllTiersFailed { tiers }) => {
+                assert_eq!(tiers.len(), 2);
+                assert_eq!(tiers[0].tier, "a");
+                assert_eq!(tiers[1].tier, "b");
+            }
+            other => panic!("expected AllTiersFailed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Typed outcomes of a served request. Every admitted request terminates in
+//! exactly one of these — an answer from some tier or a `ServeError` — never
+//! a hang and never an unwinding panic.
+
+use bootleg_core::ExampleDefect;
+
+/// Why one tier of the fallback chain failed to answer a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TierFailure {
+    /// The tier panicked; the payload message, captured under
+    /// `catch_unwind`, instead of poisoning the worker.
+    Panicked(String),
+    /// The request's deadline expired inside (or before) the tier; `phase`
+    /// is the last forward-pass phase that completed.
+    DeadlineExceeded {
+        /// Last completed phase (`"queue"`, `"candgen"`, `"embed"`,
+        /// `"attention"`, `"score"`, or `"admission"`).
+        phase: &'static str,
+    },
+    /// The tier's circuit breaker was open; the tier was skipped.
+    BreakerOpen,
+}
+
+impl std::fmt::Display for TierFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panicked(msg) => write!(f, "panicked: {msg}"),
+            Self::DeadlineExceeded { phase } => {
+                write!(f, "deadline exceeded after phase {phase}")
+            }
+            Self::BreakerOpen => write!(f, "circuit breaker open"),
+        }
+    }
+}
+
+/// One tier's failure, annotated with the tier that produced it — the
+/// partial diagnostics attached to terminal errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TierError {
+    /// Name of the failing tier.
+    pub tier: &'static str,
+    /// What went wrong.
+    pub failure: TierFailure,
+}
+
+impl std::fmt::Display for TierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.tier, self.failure)
+    }
+}
+
+/// Terminal failure of a served request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Rejected at admission: the example violates a model invariant
+    /// ([`bootleg_core::Example::validate`]).
+    Rejected(ExampleDefect),
+    /// Shed at admission: the bounded queue was full.
+    Shed {
+        /// Queue depth observed at shed time (== capacity).
+        queue_depth: usize,
+    },
+    /// The request's deadline expired; `phase` is the last phase that
+    /// completed and `tiers` records what each attempted tier reported.
+    DeadlineExceeded {
+        /// Last completed phase.
+        phase: &'static str,
+        /// Per-tier diagnostics accumulated before the budget ran out.
+        tiers: Vec<TierError>,
+    },
+    /// Every tier failed or was skipped; `tiers` holds one entry per tier.
+    AllTiersFailed {
+        /// Per-tier diagnostics.
+        tiers: Vec<TierError>,
+    },
+    /// A panic escaped the fallback chain itself (a serving-layer bug —
+    /// tiers catch their own panics); captured so the request still gets
+    /// a terminal outcome.
+    Internal {
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Rejected(defect) => write!(f, "rejected at admission: {defect}"),
+            Self::Shed { queue_depth } => {
+                write!(f, "shed: queue full at depth {queue_depth}")
+            }
+            Self::DeadlineExceeded { phase, tiers } => {
+                write!(f, "deadline exceeded after phase {phase}")?;
+                for t in tiers {
+                    write!(f, "; {t}")?;
+                }
+                Ok(())
+            }
+            Self::AllTiersFailed { tiers } => {
+                write!(f, "all tiers failed")?;
+                for t in tiers {
+                    write!(f, "; {t}")?;
+                }
+                Ok(())
+            }
+            Self::Internal { message } => write!(f, "internal serving error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful answer, annotated with the tier that served it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeResponse {
+    /// Chosen candidate index per mention.
+    pub predictions: Vec<usize>,
+    /// Index of the serving tier within the chain (0 = primary).
+    pub tier: usize,
+    /// Name of the serving tier.
+    pub tier_name: &'static str,
+    /// True when a non-primary tier answered (degraded mode).
+    pub degraded: bool,
+}
+
+/// The exactly-one terminal outcome of a request.
+pub type ServeOutcome = Result<ServeResponse, ServeError>;
+
+/// Renders a `catch_unwind` payload as a message (panics carry `String` or
+/// `&str` payloads in practice; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_tier_diagnostics() {
+        let err = ServeError::DeadlineExceeded {
+            phase: "embed",
+            tiers: vec![TierError {
+                tier: "bootleg",
+                failure: TierFailure::DeadlineExceeded { phase: "embed" },
+            }],
+        };
+        let text = err.to_string();
+        assert!(text.contains("embed") && text.contains("bootleg"), "{text}");
+
+        let err = ServeError::AllTiersFailed {
+            tiers: vec![
+                TierError { tier: "bootleg", failure: TierFailure::Panicked("boom".into()) },
+                TierError { tier: "prior", failure: TierFailure::BreakerOpen },
+            ],
+        };
+        let text = err.to_string();
+        assert!(text.contains("boom") && text.contains("breaker open"), "{text}");
+    }
+
+    #[test]
+    fn panic_messages_extract_both_payload_kinds() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static".to_string());
+        assert_eq!(panic_message(s.as_ref()), "static");
+        let s: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(panic_message(s.as_ref()), "literal");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(s.as_ref()), "non-string panic payload");
+    }
+}

@@ -1,0 +1,45 @@
+//! Resilient serving for Bootleg inference.
+//!
+//! Research code panics on surprise; serving code cannot. This crate wraps
+//! the inference stack in the standard production armor:
+//!
+//! - **Admission control** — requests are validated against the model's
+//!   actual table sizes ([`bootleg_core::Example::validate`]) and rejected
+//!   with a typed defect instead of panicking a worker; a bounded queue
+//!   sheds overload instead of building unbounded latency.
+//! - **Deadlines** — each request carries a [`Deadline`] checked at forward
+//!   phase boundaries ([`bootleg_core::BootlegModel::infer_within`]), so an
+//!   over-budget request stops mid-pass with partial diagnostics.
+//! - **Panic isolation** — every tier runs under `catch_unwind`; a poisoned
+//!   request takes out nothing but itself.
+//! - **Degraded mode** — a [`FallbackChain`] (Bootleg → NED-Base →
+//!   popularity prior) with per-tier circuit breakers keeps answering,
+//!   progressively worse, while the primary model is down.
+//!
+//! The invariant the chaos tests enforce: **every submitted request gets
+//! exactly one terminal [`ServeOutcome`]** — an answer annotated with its
+//! serving tier, or a typed [`ServeError`]. No hangs, no lost requests, no
+//! unwinding panics.
+//!
+//! Knobs: `BOOTLEG_QUEUE_CAP` (admission-queue capacity, default 64),
+//! `BOOTLEG_DEADLINE_MS` (per-request budget, default unlimited),
+//! `BOOTLEG_BREAKER` (`off` | `<threshold>,<cooldown_ms>`, default `3,1000`),
+//! `BOOTLEG_THREADS` (serving workers).
+
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod chain;
+pub mod clock;
+pub mod error;
+pub mod server;
+pub mod tier;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chain::FallbackChain;
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use error::{ServeError, ServeOutcome, ServeResponse, TierError, TierFailure};
+pub use server::{serve_requests, ResilientPredictor, ServeConfig};
+pub use tier::{ModelTier, PredictorTier, RequestCx, Tier};
+
+pub use bootleg_core::Deadline;

@@ -1,0 +1,377 @@
+//! The bounded-queue serving loop: admission control, load shedding, and
+//! worker isolation.
+//!
+//! [`serve_requests`] drives a batch of requests through a
+//! [`FallbackChain`] with a fixed worker pool and a bounded admission
+//! queue. Every submitted request gets **exactly one** terminal
+//! [`ServeOutcome`]:
+//!
+//! - invalid requests are **rejected** at admission ([`Example::validate`]),
+//! - requests arriving while the queue is full are **shed**,
+//! - admitted requests are answered by some tier of the chain, or fail with
+//!   a typed [`ServeError`](crate::error::ServeError).
+//!
+//! Workers never die: tier panics are caught inside the chain, and a panic
+//! escaping the chain itself (a serving bug) is converted to
+//! [`ServeError::Internal`](crate::error::ServeError::Internal) by a final
+//! `catch_unwind` around the whole request.
+
+use crate::chain::FallbackChain;
+use crate::error::{panic_message, ServeError, ServeOutcome};
+use crate::tier::RequestCx;
+use bootleg_core::fault::FaultPlan;
+use bootleg_core::{Deadline, Example, ValidationLimits};
+use bootleg_eval::Predictor;
+use bootleg_kb::EntityId;
+use bootleg_obs::{counter, gauge};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Serving-loop tuning.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Admission-queue capacity; requests arriving beyond it are shed.
+    pub queue_cap: usize,
+    /// Per-request compute budget, stamped at admission. `None` = unlimited.
+    pub deadline_ms: Option<u64>,
+    /// Injected fault schedule (chaos tests); empty in production.
+    pub chaos: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { workers: default_workers(), queue_cap: 64, deadline_ms: None, chaos: FaultPlan::none() }
+    }
+}
+
+fn default_workers() -> usize {
+    std::env::var("BOOTLEG_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+impl ServeConfig {
+    /// Reads `BOOTLEG_THREADS` (workers), `BOOTLEG_QUEUE_CAP` (default 64),
+    /// and `BOOTLEG_DEADLINE_MS` (default unlimited).
+    pub fn from_env() -> Self {
+        let env_usize = |key: &str| {
+            std::env::var(key).ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+        };
+        Self {
+            workers: default_workers(),
+            queue_cap: env_usize("BOOTLEG_QUEUE_CAP").unwrap_or(64),
+            deadline_ms: std::env::var("BOOTLEG_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&ms| ms > 0),
+            chaos: FaultPlan::none(),
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the queue capacity.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Injects a fault schedule (chaos tests).
+    pub fn with_chaos(mut self, chaos: FaultPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    fn deadline(&self) -> Deadline {
+        self.deadline_ms.map_or(Deadline::none(), Deadline::after_ms)
+    }
+}
+
+/// One queued unit of work: request index + its admission-stamped context.
+struct Job {
+    idx: usize,
+    cx: RequestCx,
+}
+
+struct Queue {
+    jobs: Mutex<(VecDeque<Job>, bool)>, // (queue, producer done)
+    ready: Condvar,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Self { jobs: Mutex::new((VecDeque::new(), false)), ready: Condvar::new() }
+    }
+
+    /// Admits a job unless the queue is at `cap`; returns the observed depth
+    /// on shed.
+    fn try_push(&self, job: Job, cap: usize) -> Result<(), usize> {
+        let mut guard = self.jobs.lock().expect("queue lock");
+        if guard.0.len() >= cap {
+            return Err(guard.0.len());
+        }
+        guard.0.push_back(job);
+        gauge!("serve.queue_depth").set(guard.0.len() as f64);
+        drop(guard);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.jobs.lock().expect("queue lock").1 = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once the queue is drained and closed.
+    fn pop(&self) -> Option<Job> {
+        let mut guard = self.jobs.lock().expect("queue lock");
+        loop {
+            if let Some(job) = guard.0.pop_front() {
+                gauge!("serve.queue_depth").set(guard.0.len() as f64);
+                return Some(job);
+            }
+            if guard.1 {
+                return None;
+            }
+            guard = self.ready.wait(guard).expect("queue lock");
+        }
+    }
+}
+
+/// Corrupts an admitted request in place — the `MalformedExample` fault.
+/// Models payload corruption *past* admission control (bit rot, a buggy
+/// proxy): the candidate id is pushed far outside the KB, so the model and
+/// NED-Base tiers panic on the gather and the chain must degrade.
+fn corrupt(ex: &Example) -> Example {
+    let mut ex = ex.clone();
+    if let Some(m) = ex.mentions.first_mut() {
+        if let Some(c) = m.candidates.first_mut() {
+            *c = EntityId(u32::MAX - 1);
+        }
+    }
+    ex
+}
+
+/// Serves `requests` through `chain` with bounded admission. Returns one
+/// [`ServeOutcome`] per request, in submission order. Sequence numbers are
+/// 1-based submission indices — the key for `cfg.chaos` fault schedules.
+pub fn serve_requests(
+    chain: &FallbackChain<'_>,
+    limits: &ValidationLimits,
+    cfg: &ServeConfig,
+    requests: &[Example],
+) -> Vec<ServeOutcome> {
+    let outcomes: Vec<OnceLock<ServeOutcome>> =
+        (0..requests.len()).map(|_| OnceLock::new()).collect();
+    let queue = Queue::new();
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.workers.max(1) {
+            scope.spawn(|| {
+                while let Some(job) = queue.pop() {
+                    let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx);
+                    outcomes[job.idx]
+                        .set(outcome)
+                        .unwrap_or_else(|_| panic!("request {} answered twice", job.idx));
+                }
+            });
+        }
+
+        // Admission: validate, shed, or enqueue — in submission order.
+        for (idx, ex) in requests.iter().enumerate() {
+            let seq = idx as u64 + 1;
+            if let Err(defect) = ex.validate(limits) {
+                counter!("serve.rejected").inc();
+                set_once(&outcomes[idx], Err(ServeError::Rejected(defect)), idx);
+                continue;
+            }
+            let job = Job { idx, cx: RequestCx::new(seq, cfg.deadline()) };
+            match queue.try_push(job, cfg.queue_cap) {
+                Ok(()) => counter!("serve.admitted").inc(),
+                Err(queue_depth) => {
+                    counter!("serve.shed").inc();
+                    set_once(&outcomes[idx], Err(ServeError::Shed { queue_depth }), idx);
+                }
+            }
+        }
+        queue.close();
+    });
+
+    outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| {
+            slot.into_inner().unwrap_or_else(|| {
+                panic!("request {idx} got no outcome (lost request)")
+            })
+        })
+        .collect()
+}
+
+fn set_once(slot: &OnceLock<ServeOutcome>, outcome: ServeOutcome, idx: usize) {
+    slot.set(outcome).unwrap_or_else(|_| panic!("request {idx} answered twice"));
+}
+
+fn run_one(
+    chain: &FallbackChain<'_>,
+    cfg: &ServeConfig,
+    ex: &Example,
+    cx: &RequestCx,
+) -> ServeOutcome {
+    let malformed = cfg.chaos.malformed_example_at(cx.seq);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if malformed {
+            chain.predict(&corrupt(ex), cx)
+        } else {
+            chain.predict(ex, cx)
+        }
+    }));
+    match result {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            counter!("serve.internal_panics").inc();
+            Err(ServeError::Internal { message: panic_message(payload.as_ref()) })
+        }
+    }
+}
+
+/// Adapts a [`FallbackChain`] into an infallible [`Predictor`] so the
+/// resilient path plugs into every evaluator and benchmark unchanged.
+///
+/// Valid requests flow through the chain (tier 0 answers fault-free, so
+/// outputs are bit-identical to a direct [`Predictor`]); a request the
+/// chain cannot answer at all falls back to candidate 0 per mention — the
+/// popularity-ordered prior, the same "most popular candidate" answer the
+/// last chain tier would give.
+pub struct ResilientPredictor<'a> {
+    chain: &'a FallbackChain<'a>,
+    limits: ValidationLimits,
+    deadline_ms: Option<u64>,
+    seq: AtomicU64,
+}
+
+impl<'a> ResilientPredictor<'a> {
+    /// Wraps a chain for predictor-style use.
+    pub fn new(chain: &'a FallbackChain<'a>, limits: ValidationLimits) -> Self {
+        Self { chain, limits, deadline_ms: None, seq: AtomicU64::new(0) }
+    }
+
+    /// Applies a per-request deadline.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+impl Predictor for ResilientPredictor<'_> {
+    fn predict(&self, ex: &Example) -> Vec<usize> {
+        let fallback = || vec![0; ex.mentions.len()];
+        if ex.validate(&self.limits).is_err() {
+            return fallback();
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let deadline = self.deadline_ms.map_or(Deadline::none(), Deadline::after_ms);
+        match self.chain.predict(ex, &RequestCx::new(seq, deadline)) {
+            Ok(resp) => resp.predictions,
+            Err(_) => fallback(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use crate::clock::VirtualClock;
+    use crate::tier::PredictorTier;
+    use bootleg_core::ExMention;
+    use std::sync::Arc;
+
+    fn limits() -> ValidationLimits {
+        ValidationLimits { n_entities: 100, vocab_size: 100, max_tokens: 64 }
+    }
+
+    fn example() -> Example {
+        Example::inference(
+            vec![0, 1],
+            vec![ExMention {
+                first: 0,
+                last: 0,
+                candidates: vec![EntityId(0), EntityId(1)],
+                gold: None,
+            }],
+        )
+    }
+
+    fn echo_chain() -> FallbackChain<'static> {
+        FallbackChain::with_clock(Arc::new(VirtualClock::new()), BreakerConfig::default())
+            .tier(PredictorTier::new("echo", |e: &Example| vec![1; e.mentions.len()]))
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_outcome() {
+        let chain = echo_chain();
+        let reqs: Vec<Example> = (0..50).map(|_| example()).collect();
+        let cfg = ServeConfig::default().with_workers(4).with_queue_cap(8);
+        let outcomes = serve_requests(&chain, &limits(), &cfg, &reqs);
+        assert_eq!(outcomes.len(), 50);
+        for out in &outcomes {
+            match out {
+                Ok(resp) => assert_eq!(resp.predictions, vec![1]),
+                Err(ServeError::Shed { .. }) => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_admission() {
+        let chain = echo_chain();
+        let mut bad = example();
+        bad.mentions.clear();
+        let cfg = ServeConfig::default().with_workers(2);
+        let outcomes = serve_requests(&chain, &limits(), &cfg, &[bad, example()]);
+        assert!(matches!(outcomes[0], Err(ServeError::Rejected(_))));
+        assert!(outcomes[1].is_ok());
+    }
+
+    #[test]
+    fn config_from_env_reads_all_knobs() {
+        std::env::set_var("BOOTLEG_QUEUE_CAP", "7");
+        std::env::set_var("BOOTLEG_DEADLINE_MS", "123");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.queue_cap, 7);
+        assert_eq!(cfg.deadline_ms, Some(123));
+        std::env::remove_var("BOOTLEG_QUEUE_CAP");
+        std::env::remove_var("BOOTLEG_DEADLINE_MS");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.queue_cap, 64);
+        assert_eq!(cfg.deadline_ms, None);
+    }
+
+    #[test]
+    fn resilient_predictor_answers_everything() {
+        let chain = echo_chain();
+        let p = ResilientPredictor::new(&chain, limits());
+        assert_eq!(p.predict(&example()), vec![1]);
+        let mut bad = example();
+        bad.tokens[0] = 1_000; // outside vocab → validate fails → fallback
+        assert_eq!(p.predict(&bad), vec![0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Serving tiers: the units the fallback chain degrades across.
+//!
+//! A [`Tier`] answers a request or reports a typed [`TierFailure`] — it
+//! never unwinds into the caller. [`ModelTier`] wraps the full Bootleg
+//! model (deadline-aware, `catch_unwind`-isolated, fault-injectable);
+//! [`PredictorTier`] adapts any [`Predictor`] — NED-Base, the popularity
+//! prior — into a panic-isolated fallback tier.
+
+use crate::error::{panic_message, TierFailure};
+use bootleg_core::fault::FaultPlan;
+use bootleg_core::{BootlegModel, Deadline, Example, ValidationLimits};
+use bootleg_eval::Predictor;
+use bootleg_kb::KnowledgeBase;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Per-request context threaded through the chain to every tier.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestCx {
+    /// 1-based submission sequence number (the key for injected faults).
+    pub seq: u64,
+    /// The request's compute budget.
+    pub deadline: Deadline,
+}
+
+impl RequestCx {
+    /// Context for a standalone (non-queued) request.
+    pub fn new(seq: u64, deadline: Deadline) -> Self {
+        Self { seq, deadline }
+    }
+}
+
+/// One rung of the fallback chain.
+pub trait Tier: Sync {
+    /// Short static name, used in diagnostics and metrics.
+    fn name(&self) -> &'static str;
+
+    /// Answers the request or reports a typed failure. Implementations must
+    /// not unwind: panics are caught and converted.
+    fn predict(&self, ex: &Example, cx: &RequestCx) -> Result<Vec<usize>, TierFailure>;
+}
+
+/// The primary tier: the full Bootleg model.
+///
+/// Runs [`BootlegModel::infer_within`] under `catch_unwind`, so a poisoned
+/// example becomes [`TierFailure::Panicked`] and an expired deadline becomes
+/// [`TierFailure::DeadlineExceeded`] with the last completed phase. An
+/// optional [`FaultPlan`] injects `SlowInfer` stalls and `PanicOnExample`
+/// panics keyed on the request sequence number (chaos testing).
+pub struct ModelTier<'a> {
+    model: &'a BootlegModel,
+    kb: &'a KnowledgeBase,
+    faults: FaultPlan,
+}
+
+impl<'a> ModelTier<'a> {
+    /// A fault-free model tier.
+    pub fn new(model: &'a BootlegModel, kb: &'a KnowledgeBase) -> Self {
+        Self { model, kb, faults: FaultPlan::none() }
+    }
+
+    /// Injects a deterministic fault schedule (chaos tests).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The validation limits of the wrapped model — what admission checks
+    /// requests against.
+    pub fn limits(&self) -> ValidationLimits {
+        ValidationLimits {
+            n_entities: self.model.n_entities,
+            vocab_size: self.model.config.word_encoder.vocab,
+            max_tokens: self.model.config.word_encoder.max_len,
+        }
+    }
+}
+
+impl Tier for ModelTier<'_> {
+    fn name(&self) -> &'static str {
+        "bootleg"
+    }
+
+    fn predict(&self, ex: &Example, cx: &RequestCx) -> Result<Vec<usize>, TierFailure> {
+        if let Some(ms) = self.faults.slow_infer_at(cx.seq) {
+            // Injected stall: a slow shard / cold cache in front of the
+            // forward pass.
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        if cx.deadline.expired() {
+            return Err(TierFailure::DeadlineExceeded { phase: "queue" });
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if self.faults.panic_on_example(cx.seq) {
+                panic!("injected panic on request {}", cx.seq);
+            }
+            self.model.infer_within(self.kb, ex, cx.deadline)
+        }));
+        match result {
+            Ok(Ok(out)) => Ok(out.predictions),
+            Ok(Err(interrupted)) => {
+                Err(TierFailure::DeadlineExceeded { phase: interrupted.phase })
+            }
+            Err(payload) => Err(TierFailure::Panicked(panic_message(payload.as_ref()))),
+        }
+    }
+}
+
+/// Adapts any [`Predictor`] into a panic-isolated fallback tier.
+///
+/// Fallback tiers (NED-Base, the popularity prior) are orders of magnitude
+/// cheaper than the primary model, so they deliberately do *not* check the
+/// deadline: a request that blew its budget on the primary tier still gets
+/// a degraded answer if the chain decides to keep going.
+pub struct PredictorTier<P> {
+    name: &'static str,
+    inner: P,
+}
+
+impl<P: Predictor> PredictorTier<P> {
+    /// Names a predictor as a serving tier.
+    pub fn new(name: &'static str, inner: P) -> Self {
+        Self { name, inner }
+    }
+}
+
+impl<P: Predictor> Tier for PredictorTier<P> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn predict(&self, ex: &Example, _cx: &RequestCx) -> Result<Vec<usize>, TierFailure> {
+        catch_unwind(AssertUnwindSafe(|| self.inner.predict(ex)))
+            .map_err(|p| TierFailure::Panicked(panic_message(p.as_ref())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_core::fault::Fault;
+
+    #[test]
+    fn predictor_tier_isolates_panics() {
+        let tier = PredictorTier::new(
+            "exploding",
+            |_: &Example| -> Vec<usize> { panic!("kaboom") },
+        );
+        let ex = Example::inference(vec![0], Vec::new());
+        let cx = RequestCx::new(1, Deadline::none());
+        match tier.predict(&ex, &cx) {
+            Err(TierFailure::Panicked(msg)) => assert_eq!(msg, "kaboom"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert_eq!(tier.name(), "exploding");
+    }
+
+    #[test]
+    fn predictor_tier_passes_through_answers() {
+        let tier = PredictorTier::new("echo", |e: &Example| vec![7; e.mentions.len()]);
+        let ex = Example::inference(vec![0], Vec::new());
+        let cx = RequestCx::new(1, Deadline::none());
+        assert_eq!(tier.predict(&ex, &cx), Ok(vec![]));
+    }
+
+    #[test]
+    fn fault_plan_lookup_is_seq_keyed() {
+        let plan = FaultPlan::none().with(Fault::SlowInfer { seq: 3, millis: 1 });
+        assert_eq!(plan.slow_infer_at(3), Some(1));
+        assert_eq!(plan.slow_infer_at(4), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: adversarially malformed requests against the serving
+//! layer. Whatever garbage arrives — out-of-vocab tokens, inverted spans,
+//! entity ids far outside the KB, empty candidate lists — the serving layer
+//! never unwinds a panic to the caller and gives every request exactly one
+//! typed outcome: a tier answer or a rejection.
+
+use bootleg_baselines::PopularityPrior;
+use bootleg_core::{BootlegConfig, BootlegModel, ExMention, Example};
+use bootleg_corpus::{generate_corpus, CorpusConfig};
+use bootleg_kb::{generate as gen_kb, EntityId, KbConfig};
+use bootleg_serve::{serve_requests, FallbackChain, ModelTier, PredictorTier, ServeConfig, ServeError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a deliberately hostile example: every field is sampled from a
+/// range that straddles the valid/invalid boundary, so the mix contains
+/// well-formed requests, subtly broken ones, and outright garbage.
+fn hostile_example(rng: &mut StdRng, vocab: usize, n_entities: usize) -> Example {
+    let n_tokens = rng.gen_range(0usize..12);
+    // Token ids up to 2x the vocab: roughly half the examples carry at
+    // least one out-of-vocab token.
+    let tokens: Vec<u32> = (0..n_tokens).map(|_| rng.gen_range(0..(vocab as u32 * 2))).collect();
+    let n_mentions = rng.gen_range(0usize..4);
+    let mentions = (0..n_mentions)
+        .map(|_| {
+            let first = rng.gen_range(0usize..14);
+            let last = rng.gen_range(0usize..14);
+            let n_cands = rng.gen_range(0usize..4);
+            let candidates = (0..n_cands)
+                .map(|_| {
+                    // Ids spanning the KB, just past it, and u32::MAX.
+                    match rng.gen_range(0u8..4) {
+                        0..=1 => EntityId(rng.gen_range(0..n_entities as u32)),
+                        2 => EntityId(rng.gen_range(0..(n_entities as u32 * 2))),
+                        _ => EntityId(u32::MAX - rng.gen_range(0..3)),
+                    }
+                })
+                .collect();
+            let gold = rng.gen_range(0u32..6);
+            ExMention { first, last, candidates, gold: (gold < 4).then_some(gold) }
+        })
+        .collect();
+    Example::inference(tokens, mentions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn hostile_batches_never_panic_and_always_terminate(seed in 0u64..10_000, workers in 1usize..5) {
+        let kb = gen_kb(&KbConfig { n_entities: 200, seed: 77, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 30, seed: 77, ..CorpusConfig::default() });
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let model = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default());
+        let tier0 = ModelTier::new(&model, &kb);
+        let limits = tier0.limits();
+        let chain = FallbackChain::new()
+            .tier(tier0)
+            .tier(PredictorTier::new("prior", PopularityPrior));
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reqs: Vec<Example> = (0..24)
+            .map(|_| hostile_example(&mut rng, limits.vocab_size, limits.n_entities))
+            .collect();
+
+        let cfg = ServeConfig::default().with_workers(workers).with_queue_cap(reqs.len());
+        // If any panic escaped the serving layer, this call would unwind or
+        // a worker would die and a request would be lost (serve_requests
+        // panics on a missing outcome). Neither may happen.
+        let outcomes = serve_requests(&chain, &limits, &cfg, &reqs);
+        prop_assert_eq!(outcomes.len(), reqs.len());
+
+        for (idx, outcome) in outcomes.iter().enumerate() {
+            let valid = reqs[idx].validate(&limits).is_ok();
+            match outcome {
+                Ok(resp) => {
+                    prop_assert!(valid, "invalid request {idx} must not reach a tier");
+                    prop_assert_eq!(resp.predictions.len(), reqs[idx].mentions.len());
+                }
+                Err(ServeError::Rejected(_)) => {
+                    prop_assert!(!valid, "valid request {idx} must not be rejected");
+                }
+                other => panic!(
+                    "request {idx} must be answered or rejected, got {other:?} (valid={valid})"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn every_valid_hostile_example_is_answered_by_some_tier(seed in 0u64..10_000) {
+        // Same property through the chain directly (no queue): a valid but
+        // weird example always gets an answer, even when the primary tier
+        // panics internally on it — the prior tier has no preconditions
+        // beyond validation.
+        let kb = gen_kb(&KbConfig { n_entities: 200, seed: 78, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 30, seed: 78, ..CorpusConfig::default() });
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let model = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default());
+        let tier0 = ModelTier::new(&model, &kb);
+        let limits = tier0.limits();
+        let chain = FallbackChain::new()
+            .tier(tier0)
+            .tier(PredictorTier::new("prior", PopularityPrior));
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        for _ in 0..16 {
+            // Valid by construction, but arbitrary: single-token sentences,
+            // overlapping spans, duplicate candidates, goldless mentions —
+            // shapes no corpus generator would emit.
+            let n_tokens = rng.gen_range(1usize..12);
+            let tokens: Vec<u32> =
+                (0..n_tokens).map(|_| rng.gen_range(0..limits.vocab_size as u32)).collect();
+            let mentions: Vec<ExMention> = (0..rng.gen_range(1usize..4))
+                .map(|_| {
+                    let first = rng.gen_range(0..n_tokens);
+                    let last = rng.gen_range(first..n_tokens);
+                    let n_cands = rng.gen_range(1usize..4);
+                    let candidates: Vec<EntityId> = (0..n_cands)
+                        .map(|_| EntityId(rng.gen_range(0..limits.n_entities as u32)))
+                        .collect();
+                    let gold = rng.gen_range(0..n_cands as u32 + 1);
+                    ExMention { first, last, candidates, gold: (gold < n_cands as u32).then_some(gold) }
+                })
+                .collect();
+            let ex = Example::inference(tokens, mentions);
+            prop_assert_eq!(ex.validate(&limits), Ok(()));
+            let cx = bootleg_serve::RequestCx::new(1, bootleg_serve::Deadline::none());
+            let resp = chain.predict(&ex, &cx).expect("valid example must be answered");
+            prop_assert_eq!(resp.predictions.len(), ex.mentions.len());
+        }
+    }
+}

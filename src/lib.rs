@@ -22,6 +22,9 @@
 //!   Overton-style industry task.
 //! * [`obs`] — metrics, RAII tracing spans, and structured logging
 //!   (`BOOTLEG_LOG` / `BOOTLEG_TRACE` / `BOOTLEG_METRICS_PATH`).
+//! * [`serve`] — resilient request serving: admission control, deadlines,
+//!   load shedding, panic isolation, and a breaker-guarded fallback chain
+//!   (Bootleg → NED-Base → popularity prior).
 //!
 //! ## Quickstart
 //!
@@ -54,4 +57,5 @@ pub use bootleg_eval as eval;
 pub use bootleg_kb as kb;
 pub use bootleg_nn as nn;
 pub use bootleg_obs as obs;
+pub use bootleg_serve as serve;
 pub use bootleg_tensor as tensor;
