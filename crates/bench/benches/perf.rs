@@ -14,9 +14,9 @@
 use bootleg_baselines::{NedBase, NedBaseConfig};
 use bootleg_bench::{Results, Workbench};
 use bootleg_candgen::{extract_mentions, CandidateGenerator};
-use bootleg_core::{BootlegConfig, BootlegModel, Example};
+use bootleg_core::{BootlegConfig, BootlegModel, Example, ForwardOptions};
 use bootleg_corpus::{generate_corpus, weaklabel, CorpusConfig};
-use bootleg_eval::{evaluate_slices, par_evaluate, BootlegPredictor};
+use bootleg_eval::{evaluate_slices, par_evaluate, par_evaluate_batched, BootlegPredictor};
 use bootleg_kb::{generate as gen_kb, KbConfig};
 use bootleg_nn::optim::Adam;
 use bootleg_nn::MhaBlock;
@@ -130,7 +130,10 @@ fn bench_inference() {
     let ex: Example =
         corpus.train.iter().find_map(Example::training).expect("training example");
     bench_function("model/bootleg_inference_sentence", || {
-        black_box(model.infer(&kb, &ex).predictions.clone());
+        let outs = model
+            .run(&kb, std::slice::from_ref(&ex), ForwardOptions::inference())
+            .expect("unlimited deadline cannot interrupt");
+        black_box(outs);
     });
     bench_function("model/ned_base_inference_sentence", || {
         black_box(ned.predict_indices(&ex));
@@ -145,7 +148,11 @@ fn bench_train_step() {
     let mut seed = 0u64;
     bench_function("model/bootleg_train_step", || {
         seed += 1;
-        let out = model.forward(&kb, &ex, true, seed);
+        let out = model
+            .run(&kb, std::slice::from_ref(&ex), ForwardOptions::training(seed))
+            .expect("unlimited deadline cannot interrupt")
+            .pop()
+            .expect("one output per example");
         let loss = out.loss.expect("supervised");
         out.graph.backward(&loss, &mut model.params);
         opt.step(&mut model.params);
@@ -263,14 +270,14 @@ fn bench_allocs(results: &mut Results) {
         // Warm-up pass populates the free-lists (and the pool worker's).
         black_box(evaluate_slices(dev, &wb.counts, predict));
         let snap = |name: &str| bootleg_obs::metrics::counter(name).value();
-        let (t0, h0, d0) = (snap("arena.take"), snap("arena.hit"), snap("arena.drop"));
+        let (m0, h0, d0) = (snap("arena.miss"), snap("arena.hit"), snap("arena.drop"));
         let before = misses();
         let report_on = evaluate_slices(dev, &wb.counts, predict);
         let on_misses = misses() - before;
         if std::env::var("BOOTLEG_ARENA_DEBUG").is_ok() {
             println!(
                 "arena debug: take {} hit {} miss {} drop {} held {} bytes",
-                snap("arena.take") - t0,
+                (snap("arena.hit") - h0) + (snap("arena.miss") - m0),
                 snap("arena.hit") - h0,
                 on_misses,
                 snap("arena.drop") - d0,
@@ -412,6 +419,72 @@ fn bench_parallel_eval(results: &mut Results) {
     results.set("eval_metrics_identical", true);
 }
 
+/// Micro-batched vs sequential inference throughput on a 1-thread pool.
+///
+/// Both runs drive the same [`BootlegPredictor`] through
+/// [`par_evaluate_batched`]; at batch 1 every example takes the sequential
+/// single-example engine, at batch 8 each chunk is one ragged batched
+/// forward pass. A single worker thread isolates the batching win itself
+/// (no data parallelism in either run), and the slice reports are asserted
+/// bit-identical before the speedup is recorded.
+///
+/// The model is [`BootlegConfig::serving`] rather than the unit-test
+/// default: at H = 48 / R = 4 a forward pass is a few hundred microseconds
+/// and per-graph overhead swamps compute, so the measurement says nothing
+/// about a deployment-sized model. Acceptance: ≥ 1.5x sentences/sec at
+/// batch 8 (full mode; smoke keeps a relaxed floor).
+fn bench_batch(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, reps) =
+        if smoke { (600usize, 120usize, 3usize) } else { (2_000, 600, 5) };
+    let wb = Workbench::build(
+        KbConfig { n_entities, seed: 51, ..KbConfig::default() },
+        CorpusConfig { n_pages, seed: 52, ..CorpusConfig::default() },
+        true,
+    );
+    let model =
+        BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default().serving());
+    let predict = BootlegPredictor::new(&model, &wb.kb);
+    let dev = &wb.corpus.dev;
+    let sentences = dev.len() as f64;
+
+    let pool = ThreadPool::new(1);
+    let (r1, t1, r8, t8) = with_pool(&pool, || {
+        let r1 = par_evaluate_batched(dev, &wb.counts, predict, 1); // warm-up
+        let r8 = par_evaluate_batched(dev, &wb.counts, predict, 8); // warm-up
+        // Interleave the reps: this box drifts several percent over a
+        // bench's lifetime, so timing one arm fully and then the other
+        // charges the drift to whichever ran second. Alternating reps and
+        // taking each arm's min exposes both to the same conditions.
+        let (mut t1, mut t8) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            let t = Instant::now();
+            black_box(par_evaluate_batched(dev, &wb.counts, predict, 1));
+            t1 = t1.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            black_box(par_evaluate_batched(dev, &wb.counts, predict, 8));
+            t8 = t8.min(t.elapsed().as_secs_f64());
+        }
+        (r1, t1, r8, t8)
+    });
+    assert_eq!(r1, r8, "batched evaluation metrics must be bit-identical to sequential");
+
+    let x1 = sentences / t1.max(1e-12);
+    let x8 = sentences / t8.max(1e-12);
+    let speedup = x8 / x1.max(1e-12);
+    println!("batch/throughput_x1                          {x1:.1} sentences/s");
+    println!("batch/throughput_x8                          {x8:.1} sentences/s");
+    println!("batch/speedup at batch 8: {speedup:.2}x (metrics identical)");
+    results.set("batch_throughput_x1", x1);
+    results.set("batch_throughput_x8", x8);
+    results.set("batch_speedup", speedup);
+    let floor = if smoke { 1.1 } else { 1.5 };
+    assert!(
+        speedup >= floor,
+        "batched inference is {speedup:.2}x sequential, below the {floor}x acceptance floor"
+    );
+}
+
 /// Observability overhead on the instrumented hot path (PR acceptance:
 /// with tracing off, evaluation regresses < 2%).
 ///
@@ -419,8 +492,8 @@ fn bench_parallel_eval(results: &mut Results) {
 /// branch and tracing-off spans read no clocks, so the metrics-disabled run
 /// approximates the pre-instrumentation baseline; the ratio against the
 /// default config (metrics on, trace off) bounds what the instrumentation
-/// costs. Min-of-reps on a 1-thread pool keeps scheduler noise out of a
-/// percent-level comparison.
+/// costs. Min over interleaved reps on a 1-thread pool keeps scheduler
+/// noise and clock drift out of a percent-level comparison.
 fn bench_obs_overhead(results: &mut Results) {
     let smoke = smoke_mode();
     let (n_entities, n_pages, reps) = if smoke { (600usize, 120usize, 3usize) } else { (2_000, 600, 7) };
@@ -433,16 +506,6 @@ fn bench_obs_overhead(results: &mut Results) {
         BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default());
     let predict = BootlegPredictor::new(&model, &wb.kb);
     let dev = &wb.corpus.dev;
-
-    let time_min = |f: &dyn Fn()| -> f64 {
-        (0..reps)
-            .map(|_| {
-                let t = Instant::now();
-                f();
-                t.elapsed().as_secs_f64()
-            })
-            .fold(f64::INFINITY, f64::min)
-    };
 
     // A disabled span costs one relaxed atomic load; measure it directly.
     bootleg_obs::set_trace_enabled(false);
@@ -458,14 +521,21 @@ fn bench_obs_overhead(results: &mut Results) {
     let (off, on) = with_pool(&pool, || {
         bootleg_obs::set_metrics_enabled(false);
         black_box(evaluate_slices(dev, &wb.counts, predict)); // warm-up
-        let off = time_min(&|| {
-            black_box(evaluate_slices(dev, &wb.counts, predict));
-        });
         bootleg_obs::set_metrics_enabled(true);
         black_box(evaluate_slices(dev, &wb.counts, predict)); // warm-up
-        let on = time_min(&|| {
+        // Interleaved reps: clock drift over the bench's lifetime must hit
+        // both arms equally, or it masquerades as instrumentation cost.
+        let (mut off, mut on) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            bootleg_obs::set_metrics_enabled(false);
+            let t = Instant::now();
             black_box(evaluate_slices(dev, &wb.counts, predict));
-        });
+            off = off.min(t.elapsed().as_secs_f64());
+            bootleg_obs::set_metrics_enabled(true);
+            let t = Instant::now();
+            black_box(evaluate_slices(dev, &wb.counts, predict));
+            on = on.min(t.elapsed().as_secs_f64());
+        }
         (off, on)
     });
     let overhead = on / off.max(1e-12) - 1.0;
@@ -500,6 +570,13 @@ fn main() {
     let mut results = Results::new("perf");
     results.set("smoke", smoke);
     results.set("threads_available", bootleg_pool::num_threads());
+    // The percent-level ratio benches (batch speedup, obs overhead) run
+    // first: after ten-plus minutes of sustained load this box throttles,
+    // which shifts the compute-to-fixed-cost ratio the batch floor
+    // measures. Early, the readings match a standalone run of the same
+    // workload; late, they drift several percent against batching.
+    bench_batch(&mut results);
+    bench_obs_overhead(&mut results);
     if !smoke {
         bench_kernels();
         bench_attention();
@@ -511,6 +588,5 @@ fn main() {
     bench_allocs(&mut results);
     bench_parallel_kernels(&mut results);
     bench_parallel_eval(&mut results);
-    bench_obs_overhead(&mut results);
     results.write().expect("write results/perf.json");
 }

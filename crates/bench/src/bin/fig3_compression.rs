@@ -6,8 +6,8 @@
 //! Run: `cargo run --release -p bootleg-bench --bin fig3_compression`
 
 use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
-use bootleg_core::{compress_entity_embeddings, BootlegConfig, Example};
-use bootleg_eval::par_evaluate;
+use bootleg_core::{compress_entity_embeddings, BootlegConfig};
+use bootleg_eval::{par_evaluate, BootlegPredictor};
 
 fn main() -> std::io::Result<()> {
     let wb = Workbench::full(2024);
@@ -22,9 +22,7 @@ fn main() -> std::io::Result<()> {
 
     for k in [100.0, 50.0, 20.0, 10.0, 5.0, 1.0, 0.1f64] {
         let (compressed, kept) = compress_entity_embeddings(&model, k / 100.0);
-        let r = par_evaluate(eval_set, &wb.counts, |ex: &Example| {
-            compressed.infer(&wb.kb, ex).predictions
-        });
+        let r = par_evaluate(eval_set, &wb.counts, BootlegPredictor::new(&compressed, &wb.kb));
         // Storage actually needed: kept rows + one shared row.
         let mb = ((kept + 1) * compressed.config.entity_dim * 4) as f64 / 1_048_576.0;
         let cells = [

@@ -6,7 +6,7 @@
 
 use bootleg_baselines::{train_ned_base, NedBase, NedBaseConfig};
 use bootleg_bench::{full_train_config, row, Results, ResultsTable, Workbench};
-use bootleg_core::{BootlegConfig, Example, ModelVariant};
+use bootleg_core::{BootlegConfig, BootlegModel, Example, ForwardOptions, ModelVariant};
 use bootleg_eval::metrics::Prf;
 use bootleg_kb::stats::{rare_proportion_by_relation, rare_proportion_by_type};
 use bootleg_kb::EntityId;
@@ -14,6 +14,16 @@ use bootleg_kb::EntityId;
 const N_BINS: usize = 5;
 
 type DynPredict<'a> = Box<dyn FnMut(&Example) -> Vec<usize> + 'a>;
+
+/// One sentence through the unified forward entrypoint.
+fn run_one(model: &BootlegModel, kb: &bootleg_kb::KnowledgeBase, ex: &Example) -> Vec<usize> {
+    model
+        .run(kb, std::slice::from_ref(ex), ForwardOptions::inference())
+        .expect("unlimited deadline cannot interrupt")
+        .pop()
+        .expect("one output per example")
+        .predictions
+}
 
 /// Bins evaluable mentions by the max rare-proportion of the gold's
 /// categories and accumulates a PRF per bin.
@@ -103,8 +113,8 @@ fn main() -> std::io::Result<()> {
     println!("Figure 4: error rate vs rare-entity proportion of the gold's category");
     let mut models: Vec<(&str, DynPredict<'_>)> = vec![
         ("NED-Base", Box::new(|ex: &Example| ned.predict_indices(ex))),
-        ("Ent-only", Box::new(|ex: &Example| ent_only.infer(&wb.kb, ex).predictions)),
-        ("Bootleg", Box::new(|ex: &Example| bootleg.infer(&wb.kb, ex).predictions)),
+        ("Ent-only", Box::new(|ex: &Example| run_one(&ent_only, &wb.kb, ex))),
+        ("Bootleg", Box::new(|ex: &Example| run_one(&bootleg, &wb.kb, ex))),
     ];
     let by_relation = print_panel("(Left) by relation", eval_set, &rel_prop, &mut models);
     let by_type = print_panel("(Right) by type", eval_set, &type_prop, &mut models);

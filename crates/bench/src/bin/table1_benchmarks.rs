@@ -17,7 +17,7 @@ use bootleg_candgen::{extract_mentions, CandidateGenerator};
 use bootleg_core::{BootlegConfig, ExMention, Example};
 use bootleg_corpus::benchmarks::{aida_like, kore50_like, rss500_like};
 use bootleg_corpus::{LabelKind, Sentence};
-use bootleg_eval::{Predictor, Prf};
+use bootleg_eval::{BootlegPredictor, Predictor, Prf};
 use bootleg_kb::EntityId;
 
 /// Evaluates a predictor on a benchmark with re-extracted mentions,
@@ -127,12 +127,7 @@ fn main() -> std::io::Result<()> {
                 bench_prf(&wb, &gamma, set, PopularityPrior),
             ),
             ("NED-Base".into(), bench_prf(&wb, &gamma, set, |ex: &Example| ned.predict_indices(ex))),
-            (
-                "Bootleg".into(),
-                bench_prf(&wb, &gamma, set, |ex: &Example| {
-                    bootleg.infer(&wb.kb, ex).predictions
-                }),
-            ),
+            ("Bootleg".into(), bench_prf(&wb, &gamma, set, BootlegPredictor::new(&bootleg, &wb.kb))),
         ];
         for (model, prf) in rows {
             let cells = [

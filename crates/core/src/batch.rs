@@ -1,0 +1,581 @@
+//! Ragged micro-batched inference (PR 7): N examples, one graph, outputs
+//! bit-identical to the sequential pass.
+//!
+//! # Layout
+//!
+//! A batch never pads examples against each other. Candidate rows are
+//! concatenated into one tall `(ΣS_i, ·)` matrix and token rows into
+//! `(ΣN_i, ·)`; every *row-wise* op (matmul against a weight, LayerNorm,
+//! GELU, gather, bias add, the MLPs) runs once on the tall matrix, which is
+//! where the speedup lives — per-op dispatch is amortized over the batch
+//! and the register-tiled kernels see tall matrices instead of skinny ones.
+//! The only cross-row ops — attention softmax/context and the KG adjacency
+//! products — run per example on contiguous row slices, so examples cannot
+//! attend to each other and each slice replays the sequential op sequence
+//! on bitwise-equal inputs.
+//!
+//! The per-candidate type/relation bags *are* padded (to the batch's widest
+//! bag) because additive-attention pooling dominates the embed phase. Pads
+//! sit after the real entries and are erased by a `-inf` additive mask
+//! before the softmax: `exp(-inf) = +0.0` exactly, appending `+0.0` to a
+//! left-to-right sum changes nothing, and the matmul kernels skip
+//! exact-zero weights — so pooled rows are bit-identical to the unpadded
+//! path (see [`bootleg_nn::AddAttn::pool_ragged`]).
+//!
+//! # Deadlines
+//!
+//! Deadlines are per example and checked at the same phase boundaries as
+//! the sequential pass. An expired example is marked
+//! [`ForwardInterrupted`] and *evicted from the result*, not the batch:
+//! its rows keep flowing (they cannot be removed from a built graph), but
+//! the batch only aborts early when every example has expired.
+//!
+//! # Inference only
+//!
+//! Training consumes dropout/masking RNG sequentially per graph, so a
+//! batched training pass cannot reproduce per-example RNG streams.
+//! [`BootlegModel::run`] routes `training` options through the sequential
+//! engine instead.
+
+use crate::example::Example;
+use crate::forward::{Deadline, ForwardInterrupted, ForwardOptions, ForwardOutput};
+use crate::model::BootlegModel;
+use bootleg_kb::{EntityId, KnowledgeBase};
+use bootleg_nn::posenc;
+use bootleg_tensor::{arena, Graph, Tensor, Var};
+
+/// Per-example candidate layout and KG adjacency, built during candgen.
+struct ExLayout {
+    /// Index into the caller's `examples` slice.
+    ei: usize,
+    /// Flattened candidate entity ids (one per candidate row).
+    cand_entities: Vec<u32>,
+    /// Local mention index of each candidate row.
+    mention_of: Vec<usize>,
+    /// Local candidate-row offsets per mention (`len = mentions + 1`).
+    offsets: Vec<usize>,
+    /// KG adjacency matrices over this example's candidate rows.
+    kg_mats: Vec<Tensor>,
+    /// First candidate row of this example in the global stack.
+    s_start: usize,
+    /// First mention of this example in the global mention list.
+    m_start: usize,
+}
+
+impl BootlegModel {
+    /// The unified forward entrypoint: runs the model on a slice of
+    /// examples, batched-first.
+    ///
+    /// - An empty slice returns `Ok(vec![])`.
+    /// - A 1-example slice (or any `training` options) runs the sequential
+    ///   engine and reproduces the historical per-example behavior exactly.
+    /// - Otherwise the examples run as one ragged micro-batch whose outputs
+    ///   are bit-identical to the sequential loop.
+    ///
+    /// The legacy entrypoints (`forward`, `infer`, `forward_with`,
+    /// `try_forward_with`, `infer_within`) remain as thin wrappers over
+    /// this method and the sequential engine.
+    pub fn run(
+        &self,
+        kb: &KnowledgeBase,
+        examples: &[Example],
+        opts: ForwardOptions,
+    ) -> Result<Vec<ForwardOutput>, ForwardInterrupted> {
+        if examples.is_empty() {
+            return Ok(Vec::new());
+        }
+        if opts.training || examples.len() == 1 {
+            return examples.iter().map(|ex| self.try_forward_with(kb, ex, opts)).collect();
+        }
+        let refs: Vec<&Example> = examples.iter().collect();
+        let deadlines = vec![opts.deadline; examples.len()];
+        self.try_forward_batch(kb, &refs, &opts, &deadlines).into_iter().collect()
+    }
+
+    /// Batched inference without a deadline: panics on interruption, which
+    /// cannot happen with [`Deadline::none`].
+    pub fn infer_batch(&self, kb: &KnowledgeBase, examples: &[Example]) -> Vec<ForwardOutput> {
+        self.run(kb, examples, ForwardOptions::inference())
+            .expect("unlimited deadline cannot interrupt")
+    }
+
+    /// Runs N examples as one ragged micro-batch with *per-example*
+    /// deadlines (the serving layer's eviction rule needs them to differ).
+    /// Returns one result per example, in order; an expired example fails
+    /// alone with the phase it reached while the rest of the batch
+    /// completes. Inference-only — panics on `opts.training`.
+    pub fn try_forward_batch(
+        &self,
+        kb: &KnowledgeBase,
+        examples: &[&Example],
+        opts: &ForwardOptions,
+        deadlines: &[Deadline],
+    ) -> Vec<Result<ForwardOutput, ForwardInterrupted>> {
+        assert_eq!(examples.len(), deadlines.len(), "one deadline per example");
+        assert!(!opts.training, "batched forward is inference-only; use run()");
+        if examples.is_empty() {
+            return Vec::new();
+        }
+        if examples.len() == 1 {
+            return vec![self.try_forward_with(
+                kb,
+                examples[0],
+                opts.with_deadline(deadlines[0]),
+            )];
+        }
+        for ex in examples {
+            assert!(!ex.mentions.is_empty(), "forward needs at least one mention");
+        }
+        let _fwd = bootleg_obs::span!("forward_batch");
+        bootleg_obs::counter!("forward.batch_examples").add(examples.len() as u64);
+        let g = Graph::with_mode(false, opts.seed);
+        let ps = &self.params;
+        let cfg = &self.config;
+
+        let mut out: Vec<Option<Result<ForwardOutput, ForwardInterrupted>>> =
+            (0..examples.len()).map(|_| None).collect();
+        let fail = |out: &mut Vec<Option<Result<ForwardOutput, ForwardInterrupted>>>,
+                    ei: usize,
+                    phase: &'static str| {
+            out[ei] = Some(Err(ForwardInterrupted { phase }));
+        };
+
+        // ---- Candidate generation (per example; plain tensors, no graph
+        // nodes) ----  An example whose deadline expires here is excluded
+        // from the batch layout entirely — its rows never enter the graph.
+        let ph = bootleg_obs::trace::phase("candgen", "forward.candgen_ns");
+        let mut included: Vec<ExLayout> = Vec::with_capacity(examples.len());
+        let mut s_total = 0usize;
+        let mut m_total = 0usize;
+        for (ei, ex) in examples.iter().enumerate() {
+            let mut cand_entities: Vec<u32> = Vec::with_capacity(ex.total_candidates());
+            let mut mention_of: Vec<usize> = Vec::new();
+            let mut offsets: Vec<usize> = Vec::with_capacity(ex.mentions.len() + 1);
+            for (mi, m) in ex.mentions.iter().enumerate() {
+                offsets.push(cand_entities.len());
+                for &c in &m.candidates {
+                    cand_entities.push(c.0);
+                    mention_of.push(mi);
+                }
+            }
+            offsets.push(cand_entities.len());
+            let s_i = cand_entities.len();
+
+            let mut kg_mats: Vec<Tensor> = Vec::new();
+            if cfg.use_kg() {
+                let mut k = arena::take_zeroed(s_i * s_i);
+                for i in 0..s_i {
+                    for j in 0..s_i {
+                        if mention_of[i] != mention_of[j]
+                            && kb
+                                .connected(EntityId(cand_entities[i]), EntityId(cand_entities[j]))
+                                .is_some()
+                        {
+                            k[i * s_i + j] = 1.0;
+                        }
+                    }
+                }
+                kg_mats.push(Tensor::new([s_i, s_i], k));
+                if cfg.cooccur_kg {
+                    let mut k2 = arena::take_zeroed(s_i * s_i);
+                    if let Some(cx) = &self.cooccur {
+                        for i in 0..s_i {
+                            for j in 0..s_i {
+                                if mention_of[i] != mention_of[j] {
+                                    k2[i * s_i + j] = cx.weight(
+                                        EntityId(cand_entities[i]),
+                                        EntityId(cand_entities[j]),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    kg_mats.push(Tensor::new([s_i, s_i], k2));
+                }
+                if cfg.kg_two_hop {
+                    let mut k3 = arena::take_zeroed(s_i * s_i);
+                    for i in 0..s_i {
+                        for j in 0..s_i {
+                            if mention_of[i] != mention_of[j]
+                                && kb.two_hop_connected(
+                                    EntityId(cand_entities[i]),
+                                    EntityId(cand_entities[j]),
+                                )
+                            {
+                                k3[i * s_i + j] = 0.5;
+                            }
+                        }
+                    }
+                    kg_mats.push(Tensor::new([s_i, s_i], k3));
+                }
+            }
+            if deadlines[ei].expired() {
+                fail(&mut out, ei, "candgen");
+                continue;
+            }
+            included.push(ExLayout {
+                ei,
+                cand_entities,
+                mention_of,
+                offsets,
+                kg_mats,
+                s_start: s_total,
+                m_start: m_total,
+            });
+            s_total += s_i;
+            m_total += examples[ei].mentions.len();
+        }
+        drop(ph);
+        if included.is_empty() {
+            return out.into_iter().map(|o| o.expect("all failed at candgen")).collect();
+        }
+
+        // Global index maps over the included examples.
+        let cand_spans: Vec<(usize, usize)> =
+            included.iter().map(|l| (l.s_start, l.cand_entities.len())).collect();
+        let mut global_cands: Vec<u32> = Vec::with_capacity(s_total);
+        let mut cand_mention_row: Vec<u32> = Vec::with_capacity(s_total);
+        for l in &included {
+            global_cands.extend_from_slice(&l.cand_entities);
+            cand_mention_row.extend(l.mention_of.iter().map(|&mi| (l.m_start + mi) as u32));
+        }
+
+        // ---- Signal encoding (§3.1), batched ----
+        let ph = bootleg_obs::trace::phase("embed", "forward.embed_ns");
+
+        // W: all sentences through the word encoder in one ragged pass.
+        let sentences: Vec<&[u32]> =
+            included.iter().map(|l| examples[l.ei].tokens.as_slice()).collect();
+        let (w, tok_spans) = {
+            let _s = bootleg_obs::span!("wordenc");
+            self.word_encoder.forward_batch(&g, ps, &sentences)
+        };
+
+        let mut parts: Vec<Var> = Vec::new();
+        if cfg.use_entity() {
+            // No training mask at inference: the gather alone.
+            parts.push(g.gather_rows(ps, self.entity_emb, &global_cands));
+        }
+
+        // Type prediction (Appendix A), batched over all mentions: the
+        // first/last contextual token rows of every mention at once.
+        let mut type_losses: Vec<Option<Var>> = vec![None; examples.len()];
+        let mut mention_type_vec: Option<Var> = None;
+        if let Some(tp) = &self.type_pred {
+            let mut firsts: Vec<u32> = Vec::with_capacity(m_total);
+            let mut lasts: Vec<u32> = Vec::with_capacity(m_total);
+            for (l, &(t_start, _)) in included.iter().zip(&tok_spans) {
+                for m in &examples[l.ei].mentions {
+                    firsts.push((t_start + m.first) as u32);
+                    lasts.push((t_start + m.last) as u32);
+                }
+            }
+            let mention_emb = w.select_rows(&firsts).add(&w.select_rows(&lasts));
+            let logits = tp.mlp.forward(&g, ps, &mention_emb); // (M, 6)
+            let probs = logits.softmax_last();
+            let coarse = g.dense_param(ps, tp.coarse_emb); // (6, coarse_dim)
+            mention_type_vec = Some(probs.matmul(&coarse)); // (M, coarse_dim)
+            // Per-example supervision, kept per example so each output's
+            // loss matches its sequential counterpart bit-for-bit.
+            if opts.build_loss {
+                for l in &included {
+                    let ex = examples[l.ei];
+                    let mut targets = Vec::new();
+                    let mut sup_rows: Vec<u32> = Vec::new();
+                    for (mi, m) in ex.mentions.iter().enumerate() {
+                        if let Some(gi) = m.gold {
+                            let gold_entity = m.candidates[gi as usize];
+                            targets.push(self.entity_coarse[gold_entity.idx()]);
+                            sup_rows.push((l.m_start + mi) as u32);
+                        }
+                    }
+                    if !sup_rows.is_empty() {
+                        let rows = logits.select_rows(&sup_rows);
+                        type_losses[l.ei] = Some(rows.cross_entropy_rows(&targets));
+                    }
+                }
+            }
+        }
+
+        if cfg.use_types() {
+            let _s = bootleg_obs::span!("pool_types");
+            parts.push(self.pool_bags_batched(
+                &g,
+                &global_cands,
+                self.type_emb,
+                &self.entity_types,
+                &self.type_attn,
+            ));
+            if let Some(tv) = &mention_type_vec {
+                // The predicted coarse type of each mention, repeated onto
+                // every one of its candidates.
+                parts.push(tv.select_rows(&cand_mention_row)); // (S, coarse_dim)
+            }
+        }
+
+        if cfg.use_kg() {
+            let _s = bootleg_obs::span!("pool_rels");
+            parts.push(self.pool_bags_batched(
+                &g,
+                &global_cands,
+                self.rel_emb,
+                &self.entity_rels,
+                &self.rel_attn,
+            ));
+        }
+
+        if cfg.title_feature {
+            // `mean_rows` folds a whole bag into one scalar per column —
+            // (Σx)/m has no row-wise decomposition — so titles keep the
+            // sequential per-candidate loop.
+            let title_rows: Vec<Var> = global_cands
+                .iter()
+                .map(|&e| {
+                    let ids = &self.entity_titles[e as usize];
+                    let rows = g.gather_rows(ps, self.word_encoder.emb, ids);
+                    rows.mean_rows().reshape(&[1, cfg.word_encoder.d_model])
+                })
+                .collect();
+            let refs: Vec<&Var> = title_rows.iter().collect();
+            parts.push(g.concat_rows(&refs));
+        }
+
+        let part_refs: Vec<&Var> = parts.iter().collect();
+        let _s2 = bootleg_obs::span!("emb_mlp");
+        let concat = g.concat_last(&part_refs); // (ΣS, mlp_input_dim)
+        let mut e_mat = self.mlp.forward(&g, ps, &concat); // (ΣS, H)
+        drop(_s2);
+
+        if cfg.position_encoding {
+            let table = self.word_encoder.pos_table();
+            let d = cfg.word_encoder.d_model;
+            let mut enc = arena::take(s_total * 2 * d);
+            {
+                let mut erows = enc.chunks_exact_mut(2 * d);
+                for l in &included {
+                    let ex = examples[l.ei];
+                    for &mi in &l.mention_of {
+                        let m = &ex.mentions[mi];
+                        let erow = erows.next().expect("one encoding row per candidate");
+                        posenc::write_mention_span_encoding(table, m.first, m.last, erow);
+                    }
+                }
+            }
+            let enc_var = g.leaf(Tensor::new([s_total, 2 * d], enc));
+            e_mat = e_mat.add(&self.pos_proj.forward(&g, ps, &enc_var));
+        }
+        drop(ph);
+        let mut all_failed = true;
+        for l in &included {
+            if out[l.ei].is_none() && deadlines[l.ei].expired() {
+                fail(&mut out, l.ei, "embed");
+            }
+            all_failed &= out[l.ei].is_some();
+        }
+        if all_failed {
+            return out.into_iter().map(|o| o.expect("all failed by embed")).collect();
+        }
+
+        // ---- Stacked layers (§3.2), ragged ----
+        let ph = bootleg_obs::trace::phase("attention", "forward.attention_ns");
+        let mut e_prime = e_mat.clone();
+        // Per KG matrix, the per-example outputs of the last layer (for the
+        // scoring ensemble): `last_e_ks[j][b]` is example b's `(S_b, H)`.
+        let n_kg = included[0].kg_mats.len();
+        let mut last_e_ks: Vec<Vec<Var>> = Vec::new();
+        for l in 0..cfg.n_layers {
+            if l > 0 {
+                let mut live = false;
+                for lay in &included {
+                    if out[lay.ei].is_none() && deadlines[lay.ei].expired() {
+                        fail(&mut out, lay.ei, "attention");
+                    }
+                    live |= out[lay.ei].is_none();
+                }
+                if !live {
+                    return out
+                        .into_iter()
+                        .map(|o| o.expect("all failed in attention"))
+                        .collect();
+                }
+            }
+            let p2e = self.phrase2ent[l].forward_ragged(
+                &g,
+                ps,
+                &e_mat,
+                Some(&w),
+                &cand_spans,
+                &tok_spans,
+            );
+            e_prime = if cfg.use_ent2ent {
+                let e2e =
+                    self.ent2ent[l].forward_ragged(&g, ps, &e_mat, None, &cand_spans, &cand_spans);
+                p2e.add(&e2e)
+            } else {
+                p2e
+            };
+            last_e_ks.clear();
+            last_e_ks.resize_with(n_kg, Vec::new);
+            let mut per_ex_next: Vec<Var> = Vec::with_capacity(included.len());
+            for (lay, &(s_start, s_len)) in included.iter().zip(&cand_spans) {
+                let rows: Vec<u32> = (s_start..s_start + s_len).map(|r| r as u32).collect();
+                let ep = e_prime.select_rows(&rows); // (S_b, H)
+                let mut eks: Vec<Var> = Vec::with_capacity(n_kg);
+                for (j, kmat) in lay.kg_mats.iter().enumerate() {
+                    let kv = g.leaf(kmat.clone());
+                    let wv = g.dense_param(ps, self.kg_w[l][j]);
+                    let attn = kv.add_scaled_identity(&wv).softmax_last();
+                    eks.push(attn.matmul(&ep).add(&ep));
+                }
+                let next = match eks.len() {
+                    0 => ep,
+                    1 => eks[0].clone(),
+                    n => {
+                        let mut acc = eks[0].clone();
+                        for ek in &eks[1..] {
+                            acc = acc.add(ek);
+                        }
+                        acc.scale(1.0 / n as f32)
+                    }
+                };
+                per_ex_next.push(next);
+                for (j, ek) in eks.into_iter().enumerate() {
+                    last_e_ks[j].push(ek);
+                }
+            }
+            e_mat = if n_kg == 0 {
+                e_prime.clone()
+            } else {
+                let refs: Vec<&Var> = per_ex_next.iter().collect();
+                g.concat_rows(&refs)
+            };
+        }
+        drop(ph);
+        {
+            let mut live = false;
+            for lay in &included {
+                if out[lay.ei].is_none() && deadlines[lay.ei].expired() {
+                    fail(&mut out, lay.ei, "attention");
+                }
+                live |= out[lay.ei].is_none();
+            }
+            if !live {
+                return out.into_iter().map(|o| o.expect("all failed by attention")).collect();
+            }
+        }
+
+        // ---- Ensemble scoring: S = max(E_k vᵀ, E′ vᵀ) ----
+        let ph = bootleg_obs::trace::phase("score", "forward.score_ns");
+        let v = g.dense_param(ps, self.score_v); // (H, 1)
+        let s_var = if cfg.ensemble_scoring {
+            let mut s = e_prime.matmul(&v); // (ΣS, 1)
+            for per_ex in &last_e_ks {
+                let refs: Vec<&Var> = per_ex.iter().collect();
+                let ek = g.concat_rows(&refs); // (ΣS, H)
+                s = s.maximum(&ek.matmul(&v));
+            }
+            s
+        } else {
+            e_mat.matmul(&v)
+        };
+
+        // ---- Per-example unstacking: scores, predictions, losses, reprs ----
+        let final_e = e_mat.value();
+        for lay in &included {
+            if out[lay.ei].is_some() {
+                continue;
+            }
+            let ex = examples[lay.ei];
+            let mut dis_loss: Option<Var> = None;
+            let mut n_supervised = 0usize;
+            let mut scores = Vec::with_capacity(ex.mentions.len());
+            let mut predictions = Vec::with_capacity(ex.mentions.len());
+            for (mi, m) in ex.mentions.iter().enumerate() {
+                let k = m.candidates.len();
+                let rows: Vec<u32> = (lay.s_start + lay.offsets[mi]
+                    ..lay.s_start + lay.offsets[mi + 1])
+                    .map(|r| r as u32)
+                    .collect();
+                let mention_scores = s_var.select_rows(&rows).reshape(&[1, k]);
+                let values = mention_scores.value();
+                scores.push(values.data().to_vec());
+                predictions.push(values.argmax());
+                if opts.build_loss {
+                    if let Some(gi) = m.gold {
+                        let ce = mention_scores.cross_entropy_rows(&[gi]);
+                        n_supervised += 1;
+                        dis_loss = Some(match dis_loss {
+                            Some(acc) => acc.add(&ce),
+                            None => ce,
+                        });
+                    }
+                }
+            }
+            let loss = match (dis_loss, n_supervised) {
+                (Some(lv), n) if n > 0 => {
+                    let lv = lv.scale(1.0 / n as f32);
+                    Some(match type_losses[lay.ei].take() {
+                        Some(tl) => lv.add(&tl),
+                        None => lv,
+                    })
+                }
+                _ => None,
+            };
+            let mention_reprs = predictions
+                .iter()
+                .enumerate()
+                .map(|(mi, &p)| final_e.row(lay.s_start + lay.offsets[mi] + p).to_vec())
+                .collect();
+            let candidate_reprs = if opts.candidate_reprs {
+                ex.mentions
+                    .iter()
+                    .enumerate()
+                    .map(|(mi, m)| {
+                        (0..m.candidates.len())
+                            .map(|j| final_e.row(lay.s_start + lay.offsets[mi] + j).to_vec())
+                            .collect()
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            out[lay.ei] = Some(Ok(ForwardOutput {
+                graph: g.clone(),
+                loss,
+                scores,
+                predictions,
+                mention_reprs,
+                candidate_reprs,
+            }));
+        }
+        drop(ph);
+
+        out.into_iter().map(|o| o.expect("every example resolved")).collect()
+    }
+
+    /// Pools every candidate's embedding bag (types or relations) in one
+    /// padded ragged pass — bit-identical per row to the sequential
+    /// per-candidate `AddAttn::forward` loop.
+    fn pool_bags_batched(
+        &self,
+        g: &Graph,
+        cand_entities: &[u32],
+        emb: bootleg_tensor::ParamId,
+        bags: &[Vec<u32>],
+        attn: &bootleg_nn::AddAttn,
+    ) -> Var {
+        let lens: Vec<usize> = cand_entities.iter().map(|&e| bags[e as usize].len()).collect();
+        let t_max = lens.iter().copied().max().unwrap_or(1).max(1);
+        let mut flat: Vec<u32> = Vec::with_capacity(cand_entities.len() * t_max);
+        for &e in cand_entities {
+            let ids = &bags[e as usize];
+            flat.extend_from_slice(ids);
+            // Pad with the bag's last id: always a valid row, and its
+            // softmax weight is exactly zero, so the choice is inert.
+            let pad = *ids.last().expect("bags are never empty");
+            flat.resize(flat.len() + (t_max - ids.len()), pad);
+        }
+        let bag = g.gather_rows(&self.params, emb, &flat); // (S·t_max, d)
+        attn.pool_ragged(g, &self.params, &bag, &lens, t_max)
+    }
+}

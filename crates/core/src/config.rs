@@ -125,6 +125,23 @@ impl BootlegConfig {
         self
     }
 
+    /// A serving-scale model for throughput measurement: hidden width 128
+    /// and the paper's R = 50 relation bags, sitting between the
+    /// scaled-down unit-test default (H = 48, R = 4) and the paper's
+    /// production H = 512 / R = 50. The inference benches use this preset —
+    /// at test scale the forward pass is so small that per-call overhead,
+    /// not compute, decides every measurement.
+    pub fn serving(mut self) -> Self {
+        self.hidden = 128;
+        self.entity_dim = 128;
+        self.type_dim = 64;
+        self.rel_dim = 64;
+        self.coarse_dim = 32;
+        self.word_encoder.d_model = 128;
+        self.max_relations = 50;
+        self
+    }
+
     /// The benchmark-flavoured model of §4.1/Appendix B: title feature,
     /// sentence co-occurrence KG module, fixed 80% regularization.
     pub fn benchmark(mut self) -> Self {

@@ -174,9 +174,10 @@ pub struct ForwardOutput {
 }
 
 impl BootlegModel {
-    /// Runs the model on one example with the full training tape.
-    /// `training` enables dropout and the 2-D entity-embedding masking;
-    /// `seed` drives both.
+    /// Legacy wrapper: one example with the full training tape. Equivalent
+    /// to [`BootlegModel::run`] with [`ForwardOptions::training`] on a
+    /// 1-example slice; `training` enables dropout and the 2-D
+    /// entity-embedding masking, `seed` drives both.
     pub fn forward(
         &self,
         kb: &KnowledgeBase,
@@ -187,42 +188,61 @@ impl BootlegModel {
         self.forward_with(kb, ex, ForwardOptions::training(seed).with_training(training))
     }
 
-    /// Inference-only forward: scores, predictions and mention
-    /// representations without building the loss node or the per-candidate
-    /// representation matrices. Scores are bit-identical to
-    /// `forward(kb, ex, false, 0)` — loss nodes never feed back into them.
+    /// Legacy wrapper: inference on one example — scores, predictions and
+    /// mention representations without the loss node or per-candidate
+    /// representation matrices. Equivalent to [`BootlegModel::run`] with
+    /// [`ForwardOptions::inference`] on a 1-example slice; batch-capable
+    /// callers should prefer `run`, which amortizes per-op dispatch across
+    /// examples.
     pub fn infer(&self, kb: &KnowledgeBase, ex: &Example) -> ForwardOutput {
         self.forward_with(kb, ex, ForwardOptions::inference())
     }
 
-    /// Inference under a compute budget: like [`BootlegModel::infer`], but
-    /// stops at the next phase boundary once `deadline` expires, returning
-    /// [`ForwardInterrupted`] naming the phase that had just finished.
+    /// Legacy wrapper: inference on one example under a compute budget —
+    /// [`BootlegModel::run`] with a deadline, stopping at the next phase
+    /// boundary once `deadline` expires and returning [`ForwardInterrupted`]
+    /// naming the phase that had just finished.
     pub fn infer_within(
         &self,
         kb: &KnowledgeBase,
         ex: &Example,
         deadline: Deadline,
     ) -> Result<ForwardOutput, ForwardInterrupted> {
-        self.try_forward_with(kb, ex, ForwardOptions::inference().with_deadline(deadline))
+        self.run_one(kb, ex, ForwardOptions::inference().with_deadline(deadline))
     }
 
-    /// Runs the model on one example, computing exactly what `opts` asks
-    /// for. Panics if `opts.deadline` expires mid-pass — use
-    /// [`BootlegModel::try_forward_with`] to observe expiry as a value.
+    /// Legacy wrapper: one example, computing exactly what `opts` asks for.
+    /// Panics if `opts.deadline` expires mid-pass — use
+    /// [`BootlegModel::run`] (or [`BootlegModel::try_forward_with`]) to
+    /// observe expiry as a value.
     pub fn forward_with(
         &self,
         kb: &KnowledgeBase,
         ex: &Example,
         opts: ForwardOptions,
     ) -> ForwardOutput {
-        self.try_forward_with(kb, ex, opts)
-            .unwrap_or_else(|i| panic!("forward_with: {i} (use try_forward_with)"))
+        self.run_one(kb, ex, opts)
+            .unwrap_or_else(|i| panic!("forward_with: {i} (use run/try_forward_with)"))
     }
 
-    /// Runs the model on one example, checking `opts.deadline` at each phase
-    /// boundary. On expiry the partially-built tape is dropped (arena
-    /// buffers recycle normally) and the completed phase is reported.
+    /// [`BootlegModel::run`] on a 1-example slice, unwrapped to a single
+    /// output.
+    fn run_one(
+        &self,
+        kb: &KnowledgeBase,
+        ex: &Example,
+        opts: ForwardOptions,
+    ) -> Result<ForwardOutput, ForwardInterrupted> {
+        let mut outs = self.run(kb, std::slice::from_ref(ex), opts)?;
+        Ok(outs.pop().expect("run returns one output per example"))
+    }
+
+    /// The sequential single-example engine behind [`BootlegModel::run`]:
+    /// checks `opts.deadline` at each phase boundary; on expiry the
+    /// partially-built tape is dropped (arena buffers recycle normally) and
+    /// the completed phase is reported. `run` dispatches 1-example slices
+    /// and all training passes here; multi-example inference slices take
+    /// the ragged batched engine instead.
     pub fn try_forward_with(
         &self,
         kb: &KnowledgeBase,

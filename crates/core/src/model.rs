@@ -255,34 +255,61 @@ impl BootlegModel {
 
     /// The learned (static) entity embedding `uₑ` — consumed by the
     /// KnowBERT-analog downstream baseline, which uses entity knowledge
-    /// without contextual disambiguation.
-    pub fn entity_embedding(&self, e: EntityId) -> Vec<f32> {
+    /// without contextual disambiguation. Borrowed straight from the
+    /// parameter table: no per-call allocation.
+    pub fn entity_embedding(&self, e: EntityId) -> &[f32] {
         let table = &self.params.get(self.entity_emb).data;
         let row = e.idx().min(table.shape()[0] - 1);
-        table.row(row).to_vec()
+        table.row(row)
     }
 
     /// The additive-attention pool `rₑ` over an entity's relation embeddings
     /// (§3.1) — the component that makes an entity's KG participation
     /// decodable by downstream tasks. Zeros when relations are ablated away.
+    /// Allocates the result; feature-extraction loops should prefer
+    /// [`Self::pooled_relation_embedding_into`].
     pub fn pooled_relation_embedding(&self, e: EntityId) -> Vec<f32> {
+        let mut out = vec![0.0; self.config.rel_dim];
+        self.pooled_relation_embedding_into(e, &mut out);
+        out
+    }
+
+    /// Writes `rₑ` into `out` (length `rel_dim`) without allocating the
+    /// result: intermediate tensor buffers come from the arena, so a warm
+    /// call allocates nothing (asserted by `tests/pooled_arena.rs`).
+    pub fn pooled_relation_embedding_into(&self, e: EntityId, out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.rel_dim, "out must have rel_dim elements");
         if !self.config.use_kg() {
-            return vec![0.0; self.config.rel_dim];
+            out.fill(0.0);
+            return;
         }
         let g = bootleg_tensor::Graph::new();
         let bag = g.gather_rows(&self.params, self.rel_emb, &self.entity_rels[e.idx()]);
-        self.rel_attn.forward(&g, &self.params, &bag).value().into_data()
+        self.rel_attn.forward(&g, &self.params, &bag).copy_value_into(out);
     }
 
     /// The additive-attention pool `tₑ` over an entity's type embeddings
-    /// (§3.1). Zeros when types are ablated away.
+    /// (§3.1). Zeros when types are ablated away. Allocates the result;
+    /// feature-extraction loops should prefer
+    /// [`Self::pooled_type_embedding_into`].
     pub fn pooled_type_embedding(&self, e: EntityId) -> Vec<f32> {
+        let mut out = vec![0.0; self.config.type_dim];
+        self.pooled_type_embedding_into(e, &mut out);
+        out
+    }
+
+    /// Writes `tₑ` into `out` (length `type_dim`) without allocating the
+    /// result — the arena-backed counterpart of
+    /// [`Self::pooled_type_embedding`].
+    pub fn pooled_type_embedding_into(&self, e: EntityId, out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.type_dim, "out must have type_dim elements");
         if !self.config.use_types() {
-            return vec![0.0; self.config.type_dim];
+            out.fill(0.0);
+            return;
         }
         let g = bootleg_tensor::Graph::new();
         let bag = g.gather_rows(&self.params, self.type_emb, &self.entity_types[e.idx()]);
-        self.type_attn.forward(&g, &self.params, &bag).value().into_data()
+        self.type_attn.forward(&g, &self.params, &bag).copy_value_into(out);
     }
 
     /// Recomputes the regularization table (e.g. after changing the scheme).

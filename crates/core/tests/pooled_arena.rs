@@ -1,0 +1,50 @@
+//! Arena-counter assertion for the pooled-embedding extractors (PR 7
+//! satellite): after warm-up, `pooled_*_embedding_into` must take every
+//! tensor buffer from the arena — zero `arena.miss` growth — and
+//! `entity_embedding` must borrow straight from the parameter table.
+//!
+//! This file holds a single test on purpose: the `arena.*` counters are
+//! process-global, so sharing a test binary with concurrently-running
+//! tests would make the delta assertions racy.
+
+use bootleg_core::{BootlegConfig, BootlegModel};
+use bootleg_corpus::{generate_corpus, CorpusConfig};
+use bootleg_kb::{generate as gen_kb, EntityId, KbConfig};
+
+#[test]
+fn warm_pooled_embedding_extraction_never_misses_the_arena() {
+    if !bootleg_tensor::arena::enabled() {
+        eprintln!("arena disabled (BOOTLEG_ARENA=0); skipping");
+        return;
+    }
+    bootleg_obs::set_metrics_enabled(true);
+    let kb = gen_kb(&KbConfig { n_entities: 200, seed: 17, ..KbConfig::default() });
+    let c =
+        generate_corpus(&kb, &CorpusConfig { n_pages: 40, seed: 17, ..CorpusConfig::default() });
+    let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+    let m = BootlegModel::new(&kb, &c.vocab, &counts, BootlegConfig::default());
+
+    let mut rel = vec![0.0f32; m.config.rel_dim];
+    let mut ty = vec![0.0f32; m.config.type_dim];
+    // Warm-up: the first pass per bag shape populates the arena buckets.
+    for e in 0..50u32 {
+        m.pooled_relation_embedding_into(EntityId(e), &mut rel);
+        m.pooled_type_embedding_into(EntityId(e), &mut ty);
+    }
+
+    let misses_before = bootleg_obs::metrics::counter("arena.miss").value();
+    for _ in 0..3 {
+        for e in 0..50u32 {
+            m.pooled_relation_embedding_into(EntityId(e), &mut rel);
+            m.pooled_type_embedding_into(EntityId(e), &mut ty);
+            let emb = m.entity_embedding(EntityId(e));
+            assert_eq!(emb.len(), m.config.entity_dim);
+        }
+    }
+    let misses_after = bootleg_obs::metrics::counter("arena.miss").value();
+    assert_eq!(
+        misses_before, misses_after,
+        "warm pooled-embedding extraction must take every buffer from the arena"
+    );
+    assert!(rel.iter().chain(&ty).all(|x| x.is_finite()));
+}

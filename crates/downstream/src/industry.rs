@@ -113,7 +113,10 @@ pub fn bootleg_candidate_features(
     ex: &Example,
 ) -> Vec<Vec<Vec<f32>>> {
     bootleg
-        .forward_with(kb, ex, ForwardOptions::inference().with_candidate_reprs(true))
+        .run(kb, std::slice::from_ref(ex), ForwardOptions::inference().with_candidate_reprs(true))
+        .expect("unlimited deadline cannot interrupt")
+        .pop()
+        .expect("one output per example")
         .candidate_reprs
 }
 

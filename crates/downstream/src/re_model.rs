@@ -66,11 +66,15 @@ fn normalize(v: &mut [f32]) {
 fn knowledge_vector(
     bootleg: &BootlegModel,
     entity: bootleg_kb::EntityId,
-    head: Vec<f32>,
+    head: &[f32],
 ) -> Vec<f32> {
-    let mut v = head;
-    v.extend(bootleg.pooled_relation_embedding(entity));
-    v.extend(bootleg.pooled_type_embedding(entity));
+    let know_dim = bootleg.config.rel_dim + bootleg.config.type_dim;
+    let mut v = Vec::with_capacity(head.len() + know_dim);
+    v.extend_from_slice(head);
+    let base = v.len();
+    v.resize(base + know_dim, 0.0);
+    bootleg.pooled_relation_embedding_into(entity, &mut v[base..base + bootleg.config.rel_dim]);
+    bootleg.pooled_type_embedding_into(entity, &mut v[base + bootleg.config.rel_dim..]);
     normalize(&mut v);
     v
 }
@@ -115,7 +119,7 @@ pub fn extract_features(
         }
         EntityFeatures::Contextual => {
             let dim = 2 * (bootleg.config.hidden + know_dim);
-            let vectors = examples
+            let bexs: Vec<Example> = examples
                 .iter()
                 .map(|ex| {
                     let mentions = vec![
@@ -132,14 +136,23 @@ pub fn extract_features(
                             gold: None,
                         },
                     ];
-                    let bex = Example::inference(ex.tokens.clone(), mentions);
-                    let out = bootleg.infer(kb, &bex);
-                    let subj_pred = bex.mentions[0].candidates[out.predictions[0]];
-                    let obj_pred = bex.mentions[1].candidates[out.predictions[1]];
-                    let mut v =
-                        knowledge_vector(bootleg, subj_pred, out.mention_reprs[0].clone());
-                    v.extend(knowledge_vector(bootleg, obj_pred, out.mention_reprs[1].clone()));
-                    v
+                    Example::inference(ex.tokens.clone(), mentions)
+                })
+                .collect();
+            // Micro-batched feature extraction: chunks of 8 keep each ragged
+            // forward pass (and its graph) bounded while amortizing the
+            // embedding phase across the chunk.
+            let vectors = bexs
+                .chunks(8)
+                .flat_map(|chunk| {
+                    bootleg.infer_batch(kb, chunk).into_iter().zip(chunk).map(|(out, bex)| {
+                        let subj_pred = bex.mentions[0].candidates[out.predictions[0]];
+                        let obj_pred = bex.mentions[1].candidates[out.predictions[1]];
+                        let mut v =
+                            knowledge_vector(bootleg, subj_pred, &out.mention_reprs[0]);
+                        v.extend(knowledge_vector(bootleg, obj_pred, &out.mention_reprs[1]));
+                        v
+                    })
                 })
                 .collect();
             ReFeatures { vectors, dim }

@@ -20,7 +20,10 @@ pub mod slices;
 
 pub use errors::{error_analysis, ErrorBuckets};
 pub use metrics::Prf;
-pub use par::{par_error_analysis, par_evaluate, par_f1_by_count_bucket, par_pattern_slices};
+pub use par::{
+    par_error_analysis, par_evaluate, par_evaluate_batched, par_f1_by_count_bucket,
+    par_pattern_slices,
+};
 pub use patterns::{pattern_slices, PatternSliceReport};
 pub use predictor::{BootlegPredictor, Predictor};
 pub use slices::{evaluate_slices, SliceReport};

@@ -19,21 +19,46 @@ use bootleg_kb::{EntityId, KnowledgeBase};
 use std::collections::HashMap;
 
 /// Parallel [`crate::evaluate_slices`]: popularity-slice PRF over
-/// `sentences`, one pool task per sentence.
+/// `sentences`, one pool task per micro-batch of sentences. The batch size
+/// comes from `BOOTLEG_BATCH_MAX` (default 8); each batch is answered by a
+/// single [`Predictor::predict_batch`] call, so batched predictors run one
+/// ragged forward pass per chunk. Results are bit-identical to the serial
+/// driver at any thread count *and any batch size*.
 pub fn par_evaluate(
     sentences: &[Sentence],
     counts: &HashMap<EntityId, u32>,
     predict: impl Predictor,
 ) -> SliceReport {
+    par_evaluate_batched(sentences, counts, predict, batch_from_env())
+}
+
+/// [`par_evaluate`] with an explicit micro-batch size (benchmarks compare
+/// batch 1 against batch 8 without touching the environment).
+pub fn par_evaluate_batched(
+    sentences: &[Sentence],
+    counts: &HashMap<EntityId, u32>,
+    predict: impl Predictor,
+    batch: usize,
+) -> SliceReport {
     let _span = bootleg_obs::span!("par_evaluate");
     let start = std::time::Instant::now();
-    let partials = bootleg_pool::map(sentences, |s| slices::sentence_slices(s, counts, &predict));
+    let chunks: Vec<&[Sentence]> = sentences.chunks(batch.max(1)).collect();
+    let partials = bootleg_pool::map(&chunks, |c| slices::chunk_slices(c, counts, &predict));
     let mut report = SliceReport::default();
     for p in &partials {
         report.merge(p);
     }
     slices::record_throughput(sentences.len(), start.elapsed());
     report
+}
+
+/// The evaluation micro-batch size: `BOOTLEG_BATCH_MAX`, default 8.
+fn batch_from_env() -> usize {
+    std::env::var("BOOTLEG_BATCH_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
 }
 
 /// Parallel [`crate::slices::f1_by_count_bucket`] (Figure 1 curve).
@@ -112,5 +137,18 @@ mod tests {
         let par = par_evaluate(&c.dev, &counts, predict);
         assert_eq!(serial, par);
         assert!(par.all.gold > 0);
+    }
+
+    #[test]
+    fn batch_size_never_changes_the_report() {
+        let kb = gen_kb(&KbConfig { n_entities: 300, seed: 78, ..KbConfig::default() });
+        let c = generate_corpus(&kb, &CorpusConfig { n_pages: 60, seed: 78, ..CorpusConfig::default() });
+        let counts = bootleg_corpus::stats::entity_counts(&c.train, true);
+        let predict = |ex: &Example| vec![0; ex.mentions.len()];
+        let serial = crate::evaluate_slices(&c.dev, &counts, predict);
+        for batch in [1, 2, 7, 8, 64] {
+            let batched = par_evaluate_batched(&c.dev, &counts, predict, batch);
+            assert_eq!(serial, batched, "batch size {batch}");
+        }
     }
 }

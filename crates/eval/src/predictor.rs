@@ -6,7 +6,7 @@
 //! impl keeps plain closures working everywhere a `Predictor` is expected.
 
 use bootleg_baselines::{NedBase, PopularityPrior};
-use bootleg_core::{BootlegModel, Example};
+use bootleg_core::{BootlegModel, Example, ForwardOptions};
 use bootleg_kb::KnowledgeBase;
 
 /// Anything that disambiguates: one candidate index per mention of `ex`.
@@ -18,6 +18,15 @@ use bootleg_kb::KnowledgeBase;
 pub trait Predictor: Sync {
     /// Returns the chosen candidate index for each mention of `ex`.
     fn predict(&self, ex: &Example) -> Vec<usize>;
+
+    /// Answers a batch of examples, one prediction set per example in
+    /// order. The default loops over [`Predictor::predict`]; predictors
+    /// with a real batched engine ([`BootlegPredictor`]) override it to
+    /// answer the whole slice in one forward pass. Overrides must be
+    /// bit-identical to the sequential default.
+    fn predict_batch(&self, exs: &[Example]) -> Vec<Vec<usize>> {
+        exs.iter().map(|ex| self.predict(ex)).collect()
+    }
 }
 
 /// Plain closures (and fns) are predictors.
@@ -56,6 +65,18 @@ impl<'a> BootlegPredictor<'a> {
 impl Predictor for BootlegPredictor<'_> {
     fn predict(&self, ex: &Example) -> Vec<usize> {
         self.model.infer(self.kb, ex).predictions
+    }
+
+    /// One ragged micro-batch through [`BootlegModel::run`] — bit-identical
+    /// to the sequential default (verified by `batch_parity.rs`), but the
+    /// embedding phase runs once for the whole slice instead of per example.
+    fn predict_batch(&self, exs: &[Example]) -> Vec<Vec<usize>> {
+        self.model
+            .run(self.kb, exs, ForwardOptions::inference())
+            .expect("unlimited deadline cannot interrupt")
+            .into_iter()
+            .map(|out| out.predictions)
+            .collect()
     }
 }
 

@@ -92,8 +92,39 @@ pub(crate) fn sentence_slices<P: Predictor + ?Sized>(
     let mut report = SliceReport::default();
     let Some(ex) = Example::evaluation(s) else { return report };
     let preds = predict.predict(&ex);
+    score_example(&ex, &preds, counts, &mut report);
+    report
+}
+
+/// One chunk's contribution to a [`SliceReport`] — the unit of work the
+/// batched parallel driver fans out. The chunk's evaluable sentences are
+/// answered by a single [`Predictor::predict_batch`] call (one ragged
+/// forward pass for batched predictors), then scored sentence by sentence.
+pub(crate) fn chunk_slices<P: Predictor + ?Sized>(
+    chunk: &[Sentence],
+    counts: &HashMap<EntityId, u32>,
+    predict: &P,
+) -> SliceReport {
+    let exs: Vec<Example> = chunk.iter().filter_map(Example::evaluation).collect();
+    let preds = predict.predict_batch(&exs);
+    assert_eq!(preds.len(), exs.len(), "one prediction set per example");
+    let mut report = SliceReport::default();
+    for (ex, p) in exs.iter().zip(&preds) {
+        score_example(ex, p, counts, &mut report);
+    }
+    report
+}
+
+/// Scores one evaluation example's predictions into `report` — shared by
+/// the per-sentence and per-chunk units so both drivers count identically.
+fn score_example(
+    ex: &Example,
+    preds: &[usize],
+    counts: &HashMap<EntityId, u32>,
+    report: &mut SliceReport,
+) {
     assert_eq!(preds.len(), ex.mentions.len(), "one prediction per mention");
-    for (m, &p) in ex.mentions.iter().zip(&preds) {
+    for (m, &p) in ex.mentions.iter().zip(preds) {
         let gi = m.gold.expect("evaluation mentions carry gold") as usize;
         let gold_entity = m.candidates[gi];
         let slice = PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0));
@@ -101,7 +132,6 @@ pub(crate) fn sentence_slices<P: Predictor + ?Sized>(
         report.all.merge(Prf::closed(hit, 1));
         report.of_mut(slice).merge(Prf::closed(hit, 1));
     }
-    report
 }
 
 /// One point of the Figure-1 curve: an occurrence-count bucket and its F1.

@@ -2,7 +2,7 @@
 
 use crate::linear::Linear;
 use crate::norm::LayerNorm;
-use bootleg_tensor::{Graph, ParamStore, Var};
+use bootleg_tensor::{arena, Graph, ParamStore, Tensor, Var};
 use rand::Rng;
 
 /// The paper's "standard multi-headed attention with a feed-forward layer and
@@ -88,6 +88,76 @@ impl MhaBlock {
         let f = self.ffn2.forward(g, ps, &self.ffn1.forward(g, ps, &h).gelu()).dropout(self.dropout);
         self.ln2.forward(g, ps, &h.add(&f))
     }
+
+    /// Ragged-batched forward over B examples stacked by rows. `x` is the
+    /// row-concatenation of B per-example `(S_i, d)` matrices and `kv` (if
+    /// given) the concatenation of the matching `(N_i, d)` key/value
+    /// matrices; `q_spans[i]` / `kv_spans[i]` are each example's contiguous
+    /// `(start, len)` row ranges.
+    ///
+    /// The projections, output head, FFN and both LayerNorms are row-wise,
+    /// so they run once on the tall concatenated matrices; only the
+    /// attention core (scores / softmax / context) runs per example, on row
+    /// slices, which keeps cross-example attention impossible. Every row of
+    /// the result is bit-identical to calling [`MhaBlock::forward`] on that
+    /// example alone: row-wise kernels accumulate per row regardless of how
+    /// rows are stacked, and the per-example core replays the exact same op
+    /// sequence on bitwise-equal inputs.
+    ///
+    /// Inference-only: the sequential path's `dropout` calls are `scale(1.0)`
+    /// at inference (an exact multiplicative identity), so this path omits
+    /// them; there is no RNG to keep in sync.
+    pub fn forward_ragged(
+        &self,
+        g: &Graph,
+        ps: &ParamStore,
+        x: &Var,
+        kv: Option<&Var>,
+        q_spans: &[(usize, usize)],
+        kv_spans: &[(usize, usize)],
+    ) -> Var {
+        assert_eq!(q_spans.len(), kv_spans.len(), "one kv span per query span");
+        assert!(!q_spans.is_empty(), "ragged attention needs at least one example");
+        let d = self.n_heads * self.d_head;
+        let kv_var = kv.unwrap_or(x);
+
+        // One tall projection each for Q/K/V over every example's rows.
+        let _sp = bootleg_obs::span!("mha_proj");
+        let q_full = self.wq.forward(g, ps, x);
+        let k_full = self.wk.forward(g, ps, kv_var);
+        let v_full = self.wv.forward(g, ps, kv_var);
+        drop(_sp);
+        let _sc = bootleg_obs::span!("mha_cores");
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let mut ctx_parts: Vec<Var> = Vec::with_capacity(q_spans.len());
+        for (&(qs, ql), &(ks, kl)) in q_spans.iter().zip(kv_spans) {
+            let q_rows: Vec<u32> = (qs..qs + ql).map(|r| r as u32).collect();
+            let kv_rows: Vec<u32> = (ks..ks + kl).map(|r| r as u32).collect();
+            let q = q_full
+                .select_rows(&q_rows)
+                .reshape(&[ql, self.n_heads, self.d_head])
+                .swap_axes01();
+            let k = k_full
+                .select_rows(&kv_rows)
+                .reshape(&[kl, self.n_heads, self.d_head])
+                .swap_axes01();
+            let v = v_full
+                .select_rows(&kv_rows)
+                .reshape(&[kl, self.n_heads, self.d_head])
+                .swap_axes01();
+            let attn = q.batch_matmul(&k.transpose_last2()).scale(scale).softmax_last();
+            ctx_parts.push(attn.batch_matmul(&v).swap_axes01().reshape(&[ql, d]));
+        }
+        drop(_sc);
+        let _sm = bootleg_obs::span!("mha_merge");
+        let refs: Vec<&Var> = ctx_parts.iter().collect();
+        let merged = g.concat_rows(&refs);
+
+        let out = self.wo.forward(g, ps, &merged);
+        let h = self.ln1.forward(g, ps, &x.add(&out));
+        let f = self.ffn2.forward(g, ps, &self.ffn1.forward(g, ps, &h).gelu());
+        self.ln2.forward(g, ps, &h.add(&f))
+    }
 }
 
 /// Bahdanau additive attention pooling a bag `(T, d_in)` into `(1, d_in)`:
@@ -119,6 +189,42 @@ impl AddAttn {
         let scores = self.score.forward(g, ps, &self.proj.forward(g, ps, bag).tanh_()); // (T,1)
         let weights = scores.reshape(&[1, t]).softmax_last(); // (1,T)
         weights.matmul(bag) // (1, d_in)
+    }
+
+    /// Pools C padded bags at once: `bag` is `(C·t_max, d_in)` where bag `c`
+    /// occupies rows `c·t_max .. (c+1)·t_max` with its `lens[c]` real rows
+    /// first and arbitrary padding rows after them. Returns `(C, d_in)`.
+    ///
+    /// Padding rows are neutralized with a `-inf` additive mask before the
+    /// softmax: `exp(-inf) = +0.0` exactly, the pads sit *after* the real
+    /// entries so the softmax's left-to-right sum is unchanged, and the
+    /// matmul kernels skip exact-zero weights, so row `c` of the result is
+    /// bit-identical to [`AddAttn::forward`] on the unpadded bag.
+    pub fn pool_ragged(
+        &self,
+        g: &Graph,
+        ps: &ParamStore,
+        bag: &Var,
+        lens: &[usize],
+        t_max: usize,
+    ) -> Var {
+        let c = lens.len();
+        let d_in = bag.shape()[1];
+        assert_eq!(bag.shape()[0], c * t_max, "bag must have C·t_max rows");
+        let scores = self.score.forward(g, ps, &self.proj.forward(g, ps, bag).tanh_()); // (C·t_max, 1)
+        let mut mask = arena::take_zeroed(c * t_max);
+        for (mrow, &len) in mask.chunks_exact_mut(t_max).zip(lens) {
+            debug_assert!(len >= 1 && len <= t_max, "bag length {len} outside 1..={t_max}");
+            for m in &mut mrow[len..] {
+                *m = f32::NEG_INFINITY;
+            }
+        }
+        let mask = g.leaf(Tensor::new([c, t_max], mask));
+        let weights = scores.reshape(&[c, t_max]).add(&mask).softmax_last(); // (C, t_max)
+        weights
+            .reshape(&[c, 1, t_max])
+            .batch_matmul(&bag.reshape(&[c, t_max, d_in])) // (C, 1, d_in)
+            .reshape(&[c, d_in])
     }
 }
 

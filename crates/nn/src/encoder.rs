@@ -81,6 +81,37 @@ impl WordEncoder {
         h
     }
 
+    /// Encodes B sentences in one ragged batch. Returns the row-concatenated
+    /// `(ΣN_i, d_model)` contextual matrix plus each sentence's `(start, len)`
+    /// row span into it. Inference-only (see [`MhaBlock::forward_ragged`]);
+    /// each sentence's rows are bit-identical to [`WordEncoder::forward`] on
+    /// that sentence alone.
+    pub fn forward_batch(
+        &self,
+        g: &Graph,
+        ps: &ParamStore,
+        sentences: &[&[u32]],
+    ) -> (Var, Vec<(usize, usize)>) {
+        assert!(!sentences.is_empty(), "cannot encode an empty batch");
+        let total: usize = sentences.iter().map(|s| s.len()).sum();
+        let mut tokens: Vec<u32> = Vec::with_capacity(total);
+        let mut positions: Vec<usize> = Vec::with_capacity(total);
+        let mut spans = Vec::with_capacity(sentences.len());
+        for s in sentences {
+            assert!(!s.is_empty(), "cannot encode an empty sentence");
+            spans.push((tokens.len(), s.len()));
+            tokens.extend_from_slice(s);
+            positions.extend(0..s.len());
+        }
+        let words = g.gather_rows(ps, self.emb, &tokens);
+        let pos = g.leaf(posenc::encode_positions(&self.pos_table, &positions).scale_copy(0.5));
+        let mut h = words.add(&pos);
+        for layer in &self.layers {
+            h = layer.forward_ragged(g, ps, &h, None, &spans, &spans);
+        }
+        (h, spans)
+    }
+
     /// The encoder's configuration.
     pub fn config(&self) -> &WordEncoderConfig {
         &self.config

@@ -68,58 +68,121 @@ impl<'a> FallbackChain<'a> {
         Some(slot.breaker.lock().expect("breaker lock").state(now))
     }
 
+    /// The chain's time source — the server's micro-batcher shares it so
+    /// collection windows and breaker cooldowns run on the same clock.
+    pub(crate) fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
     /// Serves one request through the chain. Exactly one terminal outcome:
     /// a [`ServeResponse`] from the first tier that answers, or a
     /// [`ServeError`] when the deadline expires / every tier fails.
     pub fn predict(&self, ex: &Example, cx: &RequestCx) -> ServeOutcome {
-        if cx.deadline.expired() {
-            return Err(ServeError::DeadlineExceeded { phase: "queue", tiers: Vec::new() });
-        }
-        let mut tiers: Vec<TierError> = Vec::new();
-        for (i, slot) in self.slots.iter().enumerate() {
+        self.predict_batch(std::slice::from_ref(&ex), std::slice::from_ref(cx))
+            .pop()
+            .expect("one outcome per request")
+    }
+
+    /// Serves a micro-batch through the chain, one terminal outcome per
+    /// request in order. The batch walks the tiers together: each tier
+    /// answers the still-unresolved subset in one [`Tier::predict_batch`]
+    /// call, then the failures fall through to the next tier. Breaker
+    /// admission and bookkeeping stay per-request — every admitted request
+    /// charges its own `allow`/`on_success`/`on_failure`, so a half-open
+    /// breaker still admits a single probe and a batch of failures trips
+    /// the breaker exactly as fast as the same requests served one at a
+    /// time. A deadline expiry is terminal for that request only; its
+    /// batch-mates keep falling through.
+    pub fn predict_batch(&self, exs: &[&Example], cxs: &[RequestCx]) -> Vec<ServeOutcome> {
+        assert_eq!(exs.len(), cxs.len(), "one context per request");
+        let n = exs.len();
+        let mut outcomes: Vec<Option<ServeOutcome>> = (0..n).map(|_| None).collect();
+        let mut diags: Vec<Vec<TierError>> = vec![Vec::new(); n];
+        let mut active: Vec<usize> = (0..n)
+            .filter(|&i| {
+                if cxs[i].deadline.expired() {
+                    outcomes[i] = Some(Err(ServeError::DeadlineExceeded {
+                        phase: "queue",
+                        tiers: Vec::new(),
+                    }));
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        for (ti, slot) in self.slots.iter().enumerate() {
+            if active.is_empty() {
+                break;
+            }
             let name = slot.tier.name();
-            let allowed = {
-                let now = self.clock.now_ms();
-                slot.breaker.lock().expect("breaker lock").allow(now)
-            };
-            if !allowed {
-                counter!("serve.breaker_skips").inc();
-                tiers.push(TierError { tier: name, failure: TierFailure::BreakerOpen });
-                continue;
-            }
-            match slot.tier.predict(ex, cx) {
-                Ok(predictions) => {
-                    slot.breaker.lock().expect("breaker lock").on_success();
-                    counter!("serve.tier_served").inc();
-                    if i > 0 {
-                        counter!("serve.degraded").inc();
-                    }
-                    return Ok(ServeResponse {
-                        predictions,
-                        tier: i,
-                        tier_name: name,
-                        degraded: i > 0,
-                    });
-                }
-                Err(failure) => {
+            let mut admitted: Vec<usize> = Vec::with_capacity(active.len());
+            for &i in &active {
+                let allowed = {
                     let now = self.clock.now_ms();
-                    slot.breaker.lock().expect("breaker lock").on_failure(now);
-                    counter!("serve.tier_failures").inc();
-                    let terminal = matches!(failure, TierFailure::DeadlineExceeded { .. });
-                    let phase = match failure {
-                        TierFailure::DeadlineExceeded { phase } => phase,
-                        _ => "",
-                    };
-                    tiers.push(TierError { tier: name, failure });
-                    if terminal {
-                        // No budget left for a fallback; the breaker update
-                        // above is what degrades *subsequent* traffic.
-                        return Err(ServeError::DeadlineExceeded { phase, tiers });
+                    slot.breaker.lock().expect("breaker lock").allow(now)
+                };
+                if allowed {
+                    admitted.push(i);
+                } else {
+                    counter!("serve.breaker_skips").inc();
+                    diags[i].push(TierError { tier: name, failure: TierFailure::BreakerOpen });
+                }
+            }
+            if !admitted.is_empty() {
+                let batch_exs: Vec<&Example> = admitted.iter().map(|&i| exs[i]).collect();
+                let batch_cxs: Vec<RequestCx> = admitted.iter().map(|&i| cxs[i]).collect();
+                let results = slot.tier.predict_batch(&batch_exs, &batch_cxs);
+                assert_eq!(results.len(), admitted.len(), "one result per admitted request");
+                for (&i, result) in admitted.iter().zip(results) {
+                    match result {
+                        Ok(predictions) => {
+                            slot.breaker.lock().expect("breaker lock").on_success();
+                            counter!("serve.tier_served").inc();
+                            if ti > 0 {
+                                counter!("serve.degraded").inc();
+                            }
+                            outcomes[i] = Some(Ok(ServeResponse {
+                                predictions,
+                                tier: ti,
+                                tier_name: name,
+                                degraded: ti > 0,
+                            }));
+                        }
+                        Err(failure) => {
+                            let now = self.clock.now_ms();
+                            slot.breaker.lock().expect("breaker lock").on_failure(now);
+                            counter!("serve.tier_failures").inc();
+                            let terminal =
+                                matches!(failure, TierFailure::DeadlineExceeded { .. });
+                            let phase = match failure {
+                                TierFailure::DeadlineExceeded { phase } => phase,
+                                _ => "",
+                            };
+                            diags[i].push(TierError { tier: name, failure });
+                            if terminal {
+                                // No budget left for a fallback; the breaker
+                                // update above is what degrades *subsequent*
+                                // traffic.
+                                outcomes[i] = Some(Err(ServeError::DeadlineExceeded {
+                                    phase,
+                                    tiers: std::mem::take(&mut diags[i]),
+                                }));
+                            }
+                        }
                     }
                 }
+            }
+            active.retain(|&i| outcomes[i].is_none());
+        }
+        for i in 0..n {
+            if outcomes[i].is_none() {
+                outcomes[i] = Some(Err(ServeError::AllTiersFailed {
+                    tiers: std::mem::take(&mut diags[i]),
+                }));
             }
         }
-        Err(ServeError::AllTiersFailed { tiers })
+        outcomes.into_iter().map(|o| o.expect("every request resolved")).collect()
     }
 }
 

@@ -11,6 +11,14 @@ use std::time::Instant;
 pub trait Clock: Send + Sync {
     /// Milliseconds elapsed since the clock's epoch.
     fn now_ms(&self) -> u64;
+
+    /// Microseconds elapsed since the clock's epoch — the micro-batcher's
+    /// collection window is measured in µs. Defaults to millisecond
+    /// resolution (`now_ms() * 1000`) so virtual clocks stay consistent;
+    /// [`WallClock`] overrides it with real microsecond precision.
+    fn now_us(&self) -> u64 {
+        self.now_ms().saturating_mul(1000)
+    }
 }
 
 /// Real wall time, measured from construction.
@@ -35,6 +43,10 @@ impl Default for WallClock {
 impl Clock for WallClock {
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
     }
 }
 
@@ -74,6 +86,7 @@ mod tests {
         assert_eq!(c.now_ms(), 250);
         c.advance_ms(1);
         assert_eq!(c.now_ms(), 251);
+        assert_eq!(c.now_us(), 251_000, "default now_us tracks now_ms");
     }
 
     #[test]

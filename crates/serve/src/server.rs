@@ -11,12 +11,23 @@
 //! - admitted requests are answered by some tier of the chain, or fail with
 //!   a typed [`ServeError`](crate::error::ServeError).
 //!
+//! Workers drain the queue in **micro-batches**: each worker collects up to
+//! [`ServeConfig::batch_max`] jobs, waiting at most
+//! [`ServeConfig::batch_wait_us`] µs for stragglers once it holds the first
+//! one, then answers the whole batch through one
+//! [`FallbackChain::predict_batch`] call (one ragged forward pass on the
+//! model tier). A request whose deadline expires while its batch is forming
+//! is evicted at formation — answered `DeadlineExceeded` on the spot — so a
+//! stale request never spends model budget or delays its batch-mates.
+//!
 //! Workers never die: tier panics are caught inside the chain, and a panic
 //! escaping the chain itself (a serving bug) is converted to
 //! [`ServeError::Internal`](crate::error::ServeError::Internal) by a final
-//! `catch_unwind` around the whole request.
+//! `catch_unwind`, with the batch retried one request at a time so the
+//! defect attaches to the request that caused it.
 
 use crate::chain::FallbackChain;
+use crate::clock::Clock;
 use crate::error::{panic_message, ServeError, ServeOutcome};
 use crate::tier::RequestCx;
 use bootleg_core::fault::FaultPlan;
@@ -38,13 +49,25 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Per-request compute budget, stamped at admission. `None` = unlimited.
     pub deadline_ms: Option<u64>,
+    /// Largest micro-batch a worker answers in one forward pass.
+    pub batch_max: usize,
+    /// How long a worker holding a partial batch waits for stragglers, in
+    /// microseconds. `0` = never wait: serve whatever is already queued.
+    pub batch_wait_us: u64,
     /// Injected fault schedule (chaos tests); empty in production.
     pub chaos: FaultPlan,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { workers: default_workers(), queue_cap: 64, deadline_ms: None, chaos: FaultPlan::none() }
+        Self {
+            workers: default_workers(),
+            queue_cap: 64,
+            deadline_ms: None,
+            batch_max: 8,
+            batch_wait_us: 200,
+            chaos: FaultPlan::none(),
+        }
     }
 }
 
@@ -58,7 +81,8 @@ fn default_workers() -> usize {
 
 impl ServeConfig {
     /// Reads `BOOTLEG_THREADS` (workers), `BOOTLEG_QUEUE_CAP` (default 64),
-    /// and `BOOTLEG_DEADLINE_MS` (default unlimited).
+    /// `BOOTLEG_DEADLINE_MS` (default unlimited), `BOOTLEG_BATCH_MAX`
+    /// (default 8), and `BOOTLEG_BATCH_WAIT_US` (default 200).
     pub fn from_env() -> Self {
         let env_usize = |key: &str| {
             std::env::var(key).ok().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
@@ -70,6 +94,11 @@ impl ServeConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .filter(|&ms| ms > 0),
+            batch_max: env_usize("BOOTLEG_BATCH_MAX").unwrap_or(8),
+            batch_wait_us: std::env::var("BOOTLEG_BATCH_WAIT_US")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(200),
             chaos: FaultPlan::none(),
         }
     }
@@ -89,6 +118,18 @@ impl ServeConfig {
     /// Sets the per-request deadline.
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Overrides the micro-batch size cap (`1` disables batching).
+    pub fn with_batch_max(mut self, max: usize) -> Self {
+        self.batch_max = max.max(1);
+        self
+    }
+
+    /// Overrides the straggler-collection window, in microseconds.
+    pub fn with_batch_wait_us(mut self, us: u64) -> Self {
+        self.batch_wait_us = us;
         self
     }
 
@@ -138,19 +179,43 @@ impl Queue {
         self.ready.notify_all();
     }
 
-    /// Blocks for the next job; `None` once the queue is drained and closed.
-    fn pop(&self) -> Option<Job> {
+    /// Blocks for the first job, then greedily collects up to `max` jobs.
+    /// With a partial batch in hand it keeps waiting for stragglers until
+    /// `wait_us` µs have elapsed on `clock` since the first job was taken,
+    /// the batch fills, or the queue closes — whichever comes first.
+    /// Returns `None` once the queue is drained and closed.
+    fn pop_batch(&self, max: usize, wait_us: u64, clock: &dyn Clock) -> Option<Vec<Job>> {
         let mut guard = self.jobs.lock().expect("queue lock");
         loop {
-            if let Some(job) = guard.0.pop_front() {
-                gauge!("serve.queue_depth").set(guard.0.len() as f64);
-                return Some(job);
+            if !guard.0.is_empty() {
+                break;
             }
             if guard.1 {
                 return None;
             }
             guard = self.ready.wait(guard).expect("queue lock");
         }
+        let t0 = clock.now_us();
+        let mut batch = Vec::with_capacity(max.min(guard.0.len()).max(1));
+        loop {
+            while batch.len() < max {
+                match guard.0.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+            let elapsed = clock.now_us().saturating_sub(t0);
+            if batch.len() >= max || guard.1 || wait_us == 0 || elapsed >= wait_us {
+                break;
+            }
+            // Straggler window. Bounded waits (≤200 µs real time) so a
+            // virtual clock advanced from another thread is re-checked
+            // promptly even though it never signals the condvar.
+            let wait = std::time::Duration::from_micros((wait_us - elapsed).min(200));
+            guard = self.ready.wait_timeout(guard, wait).expect("queue lock").0;
+        }
+        gauge!("serve.queue_depth").set(guard.0.len() as f64);
+        Some(batch)
     }
 }
 
@@ -184,11 +249,11 @@ pub fn serve_requests(
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers.max(1) {
             scope.spawn(|| {
-                while let Some(job) = queue.pop() {
-                    let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx);
-                    outcomes[job.idx]
-                        .set(outcome)
-                        .unwrap_or_else(|_| panic!("request {} answered twice", job.idx));
+                let clock = chain.clock();
+                while let Some(jobs) =
+                    queue.pop_batch(cfg.batch_max.max(1), cfg.batch_wait_us, clock.as_ref())
+                {
+                    run_batch(chain, cfg, requests, &outcomes, jobs);
                 }
             });
         }
@@ -226,6 +291,73 @@ pub fn serve_requests(
 
 fn set_once(slot: &OnceLock<ServeOutcome>, outcome: ServeOutcome, idx: usize) {
     slot.set(outcome).unwrap_or_else(|_| panic!("request {idx} answered twice"));
+}
+
+/// Answers one formed micro-batch, setting exactly one outcome per job.
+fn run_batch(
+    chain: &FallbackChain<'_>,
+    cfg: &ServeConfig,
+    requests: &[Example],
+    outcomes: &[OnceLock<ServeOutcome>],
+    mut jobs: Vec<Job>,
+) {
+    counter!("serve.batches").inc();
+    // Eviction at formation: a request whose deadline lapsed while the
+    // batch was forming is answered immediately instead of spending model
+    // budget or delaying its batch-mates.
+    jobs.retain(|job| {
+        if job.cx.deadline.expired() {
+            counter!("serve.batch_evicted").inc();
+            set_once(
+                &outcomes[job.idx],
+                Err(ServeError::DeadlineExceeded { phase: "queue", tiers: Vec::new() }),
+                job.idx,
+            );
+            false
+        } else {
+            true
+        }
+    });
+    match jobs.len() {
+        0 => {}
+        1 => {
+            let job = &jobs[0];
+            let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx);
+            set_once(&outcomes[job.idx], outcome, job.idx);
+        }
+        _ => {
+            // Corrupt only the jobs the chaos schedule names; clean
+            // requests are served by reference, never cloned.
+            let corrupted: Vec<Option<Example>> = jobs
+                .iter()
+                .map(|job| {
+                    cfg.chaos.malformed_example_at(job.cx.seq).then(|| corrupt(&requests[job.idx]))
+                })
+                .collect();
+            let exs: Vec<&Example> = jobs
+                .iter()
+                .zip(&corrupted)
+                .map(|(job, c)| c.as_ref().unwrap_or(&requests[job.idx]))
+                .collect();
+            let cxs: Vec<RequestCx> = jobs.iter().map(|job| job.cx).collect();
+            match catch_unwind(AssertUnwindSafe(|| chain.predict_batch(&exs, &cxs))) {
+                Ok(outs) => {
+                    for (job, outcome) in jobs.iter().zip(outs) {
+                        set_once(&outcomes[job.idx], outcome, job.idx);
+                    }
+                }
+                Err(_) => {
+                    // A panic escaping the chain is a serving bug. Retry one
+                    // request at a time so the defect attaches to the request
+                    // that caused it (run_one counts the internal panic).
+                    for job in &jobs {
+                        let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx);
+                        set_once(&outcomes[job.idx], outcome, job.idx);
+                    }
+                }
+            }
+        }
+    }
 }
 
 fn run_one(
@@ -355,14 +487,119 @@ mod tests {
     fn config_from_env_reads_all_knobs() {
         std::env::set_var("BOOTLEG_QUEUE_CAP", "7");
         std::env::set_var("BOOTLEG_DEADLINE_MS", "123");
+        std::env::set_var("BOOTLEG_BATCH_MAX", "3");
+        std::env::set_var("BOOTLEG_BATCH_WAIT_US", "55");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.queue_cap, 7);
         assert_eq!(cfg.deadline_ms, Some(123));
+        assert_eq!(cfg.batch_max, 3);
+        assert_eq!(cfg.batch_wait_us, 55);
         std::env::remove_var("BOOTLEG_QUEUE_CAP");
         std::env::remove_var("BOOTLEG_DEADLINE_MS");
+        std::env::remove_var("BOOTLEG_BATCH_MAX");
+        std::env::remove_var("BOOTLEG_BATCH_WAIT_US");
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.queue_cap, 64);
         assert_eq!(cfg.deadline_ms, None);
+        assert_eq!(cfg.batch_max, 8);
+        assert_eq!(cfg.batch_wait_us, 200);
+    }
+
+    /// Records the size of every batch a tier is asked to answer.
+    struct RecordingTier<'a> {
+        sizes: &'a Mutex<Vec<usize>>,
+    }
+
+    impl crate::tier::Tier for RecordingTier<'_> {
+        fn name(&self) -> &'static str {
+            "recording"
+        }
+
+        fn predict(
+            &self,
+            ex: &Example,
+            _cx: &RequestCx,
+        ) -> Result<Vec<usize>, crate::error::TierFailure> {
+            self.sizes.lock().expect("sizes lock").push(1);
+            Ok(vec![1; ex.mentions.len()])
+        }
+
+        fn predict_batch(
+            &self,
+            exs: &[&Example],
+            _cxs: &[RequestCx],
+        ) -> Vec<Result<Vec<usize>, crate::error::TierFailure>> {
+            self.sizes.lock().expect("sizes lock").push(exs.len());
+            exs.iter().map(|e| Ok(vec![1; e.mentions.len()])).collect()
+        }
+    }
+
+    #[test]
+    fn micro_batcher_fills_batches_to_batch_max() {
+        let sizes = Mutex::new(Vec::new());
+        let chain =
+            FallbackChain::with_clock(Arc::new(VirtualClock::new()), BreakerConfig::default())
+                .tier(RecordingTier { sizes: &sizes });
+        let reqs: Vec<Example> = (0..12).map(|_| example()).collect();
+        // The virtual clock never advances, so the straggler window only
+        // closes when a batch fills or the queue closes (after all 12 jobs
+        // are queued) — every batch must reach batch_max.
+        let cfg = ServeConfig::default()
+            .with_workers(1)
+            .with_queue_cap(16)
+            .with_batch_max(4)
+            .with_batch_wait_us(1_000_000);
+        let outcomes = serve_requests(&chain, &limits(), &cfg, &reqs);
+        for out in outcomes {
+            assert_eq!(out.expect("served").predictions, vec![1]);
+        }
+        assert_eq!(*sizes.lock().expect("sizes lock"), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn zero_wait_window_still_answers_every_request() {
+        let sizes = Mutex::new(Vec::new());
+        let chain =
+            FallbackChain::with_clock(Arc::new(VirtualClock::new()), BreakerConfig::default())
+                .tier(RecordingTier { sizes: &sizes });
+        let reqs: Vec<Example> = (0..20).map(|_| example()).collect();
+        let cfg = ServeConfig::default()
+            .with_workers(2)
+            .with_queue_cap(32)
+            .with_batch_max(8)
+            .with_batch_wait_us(0);
+        let outcomes = serve_requests(&chain, &limits(), &cfg, &reqs);
+        for out in outcomes {
+            assert_eq!(out.expect("served").predictions, vec![1]);
+        }
+        // Batch sizes depend on worker/producer timing; only the shape is
+        // deterministic: everything served, nothing over the cap.
+        let sizes = sizes.lock().expect("sizes lock");
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+        assert!(sizes.iter().all(|&s| (1..=8).contains(&s)));
+    }
+
+    #[test]
+    fn expired_requests_are_evicted_at_batch_formation() {
+        let sizes = Mutex::new(Vec::new());
+        let chain =
+            FallbackChain::with_clock(Arc::new(VirtualClock::new()), BreakerConfig::default())
+                .tier(RecordingTier { sizes: &sizes });
+        let reqs: Vec<Example> = (0..6).map(|_| example()).collect();
+        // deadline_ms = 0: every deadline is already expired when its batch
+        // forms, so eviction answers all requests and no tier ever runs.
+        let cfg = ServeConfig::default().with_workers(1).with_batch_max(4).with_deadline_ms(0);
+        let outcomes = serve_requests(&chain, &limits(), &cfg, &reqs);
+        for out in outcomes {
+            match out {
+                Err(ServeError::DeadlineExceeded { phase, tiers }) => {
+                    assert_eq!(phase, "queue");
+                    assert!(tiers.is_empty());
+                }
+                other => panic!("expected formation-time eviction, got {other:?}"),
+            }
+        }
+        assert!(sizes.lock().expect("sizes lock").is_empty(), "no batch reached a tier");
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub trait Tier: Sync {
     /// Answers the request or reports a typed failure. Implementations must
     /// not unwind: panics are caught and converted.
     fn predict(&self, ex: &Example, cx: &RequestCx) -> Result<Vec<usize>, TierFailure>;
+
+    /// Answers a micro-batch, one result per request in order. The default
+    /// runs the requests sequentially; tiers with a real batched engine
+    /// ([`ModelTier`]) override it. Like `predict`, implementations must
+    /// not unwind, and each request fails individually — one poisoned
+    /// request must not take its batch-mates down.
+    fn predict_batch(
+        &self,
+        exs: &[&Example],
+        cxs: &[RequestCx],
+    ) -> Vec<Result<Vec<usize>, TierFailure>> {
+        exs.iter().zip(cxs).map(|(ex, cx)| self.predict(ex, cx)).collect()
+    }
 }
 
 /// The primary tier: the full Bootleg model.
@@ -75,16 +88,22 @@ impl<'a> ModelTier<'a> {
     }
 }
 
-impl Tier for ModelTier<'_> {
-    fn name(&self) -> &'static str {
-        "bootleg"
-    }
-
-    fn predict(&self, ex: &Example, cx: &RequestCx) -> Result<Vec<usize>, TierFailure> {
-        if let Some(ms) = self.faults.slow_infer_at(cx.seq) {
-            // Injected stall: a slow shard / cold cache in front of the
-            // forward pass.
-            std::thread::sleep(std::time::Duration::from_millis(ms));
+impl ModelTier<'_> {
+    /// The per-request body shared by `predict` and the batched retry
+    /// path; `with_stall` lets the retry skip re-sleeping an injected
+    /// `SlowInfer` the batch already paid for.
+    fn predict_one(
+        &self,
+        ex: &Example,
+        cx: &RequestCx,
+        with_stall: bool,
+    ) -> Result<Vec<usize>, TierFailure> {
+        if with_stall {
+            if let Some(ms) = self.faults.slow_infer_at(cx.seq) {
+                // Injected stall: a slow shard / cold cache in front of the
+                // forward pass.
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
         }
         if cx.deadline.expired() {
             return Err(TierFailure::DeadlineExceeded { phase: "queue" });
@@ -102,6 +121,90 @@ impl Tier for ModelTier<'_> {
             }
             Err(payload) => Err(TierFailure::Panicked(panic_message(payload.as_ref()))),
         }
+    }
+}
+
+impl Tier for ModelTier<'_> {
+    fn name(&self) -> &'static str {
+        "bootleg"
+    }
+
+    fn predict(&self, ex: &Example, cx: &RequestCx) -> Result<Vec<usize>, TierFailure> {
+        self.predict_one(ex, cx, true)
+    }
+
+    /// One ragged batched forward pass ([`BootlegModel::try_forward_batch`])
+    /// for the whole micro-batch, bit-identical per request to `predict`.
+    /// Per-request deadlines are checked inside the engine at phase
+    /// boundaries (an expired request is evicted from the result, not the
+    /// batch); injected stalls run up front (a stalled member delays its
+    /// batch, exactly like a slow shard would). If the batched pass itself
+    /// panics, each member retries alone under its own `catch_unwind`, so
+    /// a poisoned example fails with its own diagnostic while the rest of
+    /// the batch still answers.
+    fn predict_batch(
+        &self,
+        exs: &[&Example],
+        cxs: &[RequestCx],
+    ) -> Vec<Result<Vec<usize>, TierFailure>> {
+        assert_eq!(exs.len(), cxs.len(), "one context per request");
+        if exs.len() <= 1 {
+            return exs.iter().zip(cxs).map(|(ex, cx)| self.predict(ex, cx)).collect();
+        }
+        for cx in cxs {
+            if let Some(ms) = self.faults.slow_infer_at(cx.seq) {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+        let mut out: Vec<Option<Result<Vec<usize>, TierFailure>>> = vec![None; exs.len()];
+        let live: Vec<usize> = (0..exs.len())
+            .filter(|&i| {
+                if cxs[i].deadline.expired() {
+                    out[i] = Some(Err(TierFailure::DeadlineExceeded { phase: "queue" }));
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if !live.is_empty() {
+            let batch_exs: Vec<&Example> = live.iter().map(|&i| exs[i]).collect();
+            let deadlines: Vec<Deadline> = live.iter().map(|&i| cxs[i].deadline).collect();
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                for &i in &live {
+                    if self.faults.panic_on_example(cxs[i].seq) {
+                        panic!("injected panic on request {}", cxs[i].seq);
+                    }
+                }
+                self.model.try_forward_batch(
+                    self.kb,
+                    &batch_exs,
+                    &bootleg_core::ForwardOptions::inference(),
+                    &deadlines,
+                )
+            }));
+            match attempt {
+                Ok(results) => {
+                    for (&i, r) in live.iter().zip(results) {
+                        out[i] = Some(match r {
+                            Ok(fwd) => Ok(fwd.predictions),
+                            Err(interrupted) => {
+                                Err(TierFailure::DeadlineExceeded { phase: interrupted.phase })
+                            }
+                        });
+                    }
+                }
+                Err(_) => {
+                    // Per-example defect attribution: retry each member
+                    // alone so only the poisoned one carries the panic.
+                    bootleg_obs::counter!("serve.batch_retries").inc();
+                    for &i in &live {
+                        out[i] = Some(self.predict_one(exs[i], &cxs[i], false));
+                    }
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("every batch member answered")).collect()
     }
 }
 

@@ -101,6 +101,8 @@ fn chaos_every_request_terminates_exactly_once() {
 /// A stalled request with a real deadline is terminal (no budget left for a
 /// fallback), while untouched requests still succeed. One worker, stall on
 /// the *last* request, so the clean ones never queue behind it.
+/// `batch_max = 1` pins per-request serving: in a micro-batch the up-front
+/// stall would (correctly) delay batch-mates past their deadlines too.
 #[test]
 fn deadline_expiry_is_terminal_with_diagnostics() {
     let (kb, c, model, ned) = setup();
@@ -113,7 +115,8 @@ fn deadline_expiry_is_terminal_with_diagnostics() {
     let cfg = ServeConfig::default()
         .with_workers(1)
         .with_queue_cap(reqs.len())
-        .with_deadline_ms(100);
+        .with_deadline_ms(100)
+        .with_batch_max(1);
     let outcomes = serve_requests(&chain, &limits, &cfg, &reqs);
     match outcomes.last().expect("outcomes are non-empty") {
         Err(ServeError::DeadlineExceeded { phase, tiers }) => {
@@ -159,6 +162,78 @@ fn overload_sheds_instead_of_queueing_unboundedly() {
     }
     assert_eq!(ok + shed, reqs.len(), "conservation: answered + shed == submitted");
     assert!(shed >= 1, "a 150ms stall against a 2-deep queue must shed");
+}
+
+/// One poisoned request inside a full micro-batch (batch_max = 8, one
+/// worker): the batched forward pass panics, the model tier retries each
+/// member alone under its own `catch_unwind`, and only the poisoned
+/// request degrades — its batch-mates are answered by the primary tier
+/// bit-identically to a direct call.
+#[test]
+fn poisoned_batch_member_degrades_alone() {
+    let (kb, c, model, ned) = setup();
+    let reqs = requests(&c, 16);
+    let faults = FaultPlan::none().with(Fault::PanicOnExample { seq: 6 });
+    let tier0 = ModelTier::new(&model, &kb);
+    let limits = tier0.limits();
+    let chain = chain(&model, &kb, &ned, faults);
+    let direct = BootlegPredictor::new(&model, &kb);
+    let cfg = ServeConfig::default()
+        .with_workers(1)
+        .with_queue_cap(reqs.len())
+        .with_batch_max(8)
+        .with_batch_wait_us(1_000_000);
+    let outcomes = serve_requests(&chain, &limits, &cfg, &reqs);
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let seq = idx as u64 + 1;
+        let resp = outcome.as_ref().expect("every request is answered by some tier");
+        if seq == 6 {
+            assert!(resp.degraded, "the poisoned request falls to a fallback tier");
+            assert!(resp.tier >= 1);
+        } else {
+            assert_eq!((resp.tier, resp.degraded), (0, false), "batch-mate {seq}");
+            assert_eq!(resp.predictions, direct.predict(&reqs[idx]), "batch-mate {seq}");
+        }
+    }
+}
+
+/// Payload corruption and stalls inside micro-batches at 2 workers:
+/// corruption is applied per job at batch formation (clean batch-mates are
+/// served by reference, never cloned), so only the corrupted requests
+/// degrade while a stalled batch still answers on the primary tier.
+#[test]
+fn corrupted_batch_members_degrade_alone() {
+    let (kb, c, model, ned) = setup();
+    let reqs = requests(&c, 16);
+    let faults = FaultPlan::none()
+        .with(Fault::MalformedExample { seq: 4 })
+        .with(Fault::MalformedExample { seq: 11 })
+        .with(Fault::SlowInfer { seq: 7, millis: 10 });
+    let tier0 = ModelTier::new(&model, &kb);
+    let limits = tier0.limits();
+    let chain = chain(&model, &kb, &ned, faults.clone());
+    let direct = BootlegPredictor::new(&model, &kb);
+    let cfg = ServeConfig::default()
+        .with_workers(2)
+        .with_queue_cap(reqs.len())
+        .with_batch_max(8)
+        .with_chaos(faults);
+    let outcomes = serve_requests(&chain, &limits, &cfg, &reqs);
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let seq = idx as u64 + 1;
+        let resp = outcome.as_ref().expect("every request is answered by some tier");
+        match seq {
+            4 | 11 => {
+                assert!(resp.degraded, "corrupted request {seq} should be degraded");
+                assert!(resp.tier >= 1);
+                assert_eq!(resp.predictions.len(), reqs[idx].mentions.len());
+            }
+            _ => {
+                assert_eq!((resp.tier, resp.degraded), (0, false), "request {seq}");
+                assert_eq!(resp.predictions, direct.predict(&reqs[idx]), "request {seq}");
+            }
+        }
+    }
 }
 
 /// Fault-free serving end to end: all requests on tier 0, bit-identical to

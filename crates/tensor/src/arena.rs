@@ -30,9 +30,10 @@
 //!   degrades every call to a plain allocation so any suspected arena bug can
 //!   be ruled out in one run.
 //!
-//! Traffic is observable through `bootleg-obs` counters: `arena.take`,
-//! `arena.hit`, `arena.miss`, `arena.release`, `arena.drop`, and
-//! `arena.bytes_recycled`.
+//! Traffic is observable through `bootleg-obs` counters: `arena.hit`,
+//! `arena.miss` (their sum is the take count), `arena.release`, and
+//! `arena.drop`. The take path fires exactly one counter op so the
+//! instrumentation stays inside the perf bench's overhead budget.
 
 use crate::tensor::Tensor;
 use bootleg_obs::counter;
@@ -94,7 +95,6 @@ pub fn enabled() -> bool {
 /// when every element is overwritten before being read; use [`take_zeroed`]
 /// otherwise.
 pub fn take(len: usize) -> Vec<f32> {
-    counter!("arena.take").inc();
     if enabled() && len >= MIN_RECYCLE_LEN {
         let hit = FREE.with(|f| {
             let mut f = f.borrow_mut();
@@ -106,7 +106,6 @@ pub fn take(len: usize) -> Vec<f32> {
         });
         if let Some(buf) = hit {
             counter!("arena.hit").inc();
-            counter!("arena.bytes_recycled").add((len * std::mem::size_of::<f32>()) as u64);
             debug_assert_eq!(buf.len(), len);
             return buf;
         }

@@ -195,6 +195,16 @@ impl Var {
         self.graph.value(self)
     }
 
+    /// Copies the node's value into `out` without cloning the tensor —
+    /// the allocation-free read-out for embedding extraction. Panics if
+    /// `out.len()` differs from the node's element count.
+    pub fn copy_value_into(&self, out: &mut [f32]) {
+        let inner = self.graph.inner.borrow();
+        let data = inner.nodes[self.id].value.data();
+        assert_eq!(out.len(), data.len(), "copy_value_into: length mismatch");
+        out.copy_from_slice(data);
+    }
+
     /// The node's shape, returned by value on the stack — shape queries in
     /// the forward pass don't allocate.
     pub fn shape(&self) -> Shape {

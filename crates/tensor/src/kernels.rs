@@ -180,7 +180,24 @@ pub fn matmul_acc_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
 /// loop when it isn't. Per-element arithmetic (k order, mul/add split,
 /// zero-skip) is exactly the naive loop's — see the module docs on the
 /// accumulation-order invariant.
+///
+/// On x86-64 hosts with AVX2 this dispatches to an explicit-intrinsics tile
+/// (detected once at runtime); it performs the same mul-then-add per output
+/// element in the same k order, only across 8 disjoint output columns per
+/// vector lane, so the result stays bit-identical to the portable tile and
+/// the naive reference.
 pub fn matmul_acc_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if n >= 8 && avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime.
+        unsafe { matmul_acc_tiled_avx2(a, b, c, m, k, n) };
+        return;
+    }
+    matmul_acc_tiled_portable(a, b, c, m, k, n);
+}
+
+/// Portable (target-independent) register tile behind [`matmul_acc_tiled`].
+fn matmul_acc_tiled_portable(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let mut i = 0;
     while i + MR <= m {
         if a[i * k..(i + MR) * k].contains(&0.0) {
@@ -240,6 +257,108 @@ pub fn matmul_acc_tiled(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize,
     if i < m {
         // Row tail (< MR rows): the naive loop is already per-row.
         matmul_acc_naive(&a[i * k..m * k], b, &mut c[i * n..m * n], m - i, k, n);
+    }
+}
+
+/// Cached runtime AVX2 detection for the kernel dispatchers.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0); // 0 = unknown, 1 = no, 2 = yes
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::is_x86_feature_detected!("avx2");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        s => s == 2,
+    }
+}
+
+/// AVX2 edition of the register tile: up to [`MR`] rows × 24 output columns
+/// accumulate in twelve 8-lane vectors, with three `b` vectors reused across
+/// the rows. Vector lanes are disjoint output columns, the k-loop stays
+/// outermost-per-element, and multiplies are never contracted into FMA, so
+/// every output element performs exactly the naive loop's mul-then-add
+/// sequence — bit-identical, just eight columns per instruction. Zero-laden
+/// `a` panels take the same naive fallback as the portable tile; unlike the
+/// portable tile, row tails (< [`MR`] rows) run vectorized at reduced height
+/// rather than falling back to the scalar loop, which matters for the skinny
+/// per-example matrices of the sequential forward path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_acc_tiled_avx2(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    use core::arch::x86_64::*;
+    let mut i = 0;
+    while i < m {
+        let mr = MR.min(m - i);
+        let panel = &a[i * k..(i + mr) * k];
+        if panel.contains(&0.0) {
+            matmul_acc_naive(panel, b, &mut c[i * n..(i + mr) * n], mr, k, n);
+            i += mr;
+            continue;
+        }
+        let mut j = 0;
+        while j + 24 <= n {
+            let mut acc = [[_mm256_setzero_ps(); 3]; MR];
+            for (r, accr) in acc.iter_mut().take(mr).enumerate() {
+                let row = c.as_ptr().add((i + r) * n + j);
+                accr[0] = _mm256_loadu_ps(row);
+                accr[1] = _mm256_loadu_ps(row.add(8));
+                accr[2] = _mm256_loadu_ps(row.add(16));
+            }
+            for p in 0..k {
+                let bp = b.as_ptr().add(p * n + j);
+                let b0 = _mm256_loadu_ps(bp);
+                let b1 = _mm256_loadu_ps(bp.add(8));
+                let b2 = _mm256_loadu_ps(bp.add(16));
+                for (r, accr) in acc.iter_mut().take(mr).enumerate() {
+                    let av = _mm256_set1_ps(*a.get_unchecked((i + r) * k + p));
+                    accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(av, b0));
+                    accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(av, b1));
+                    accr[2] = _mm256_add_ps(accr[2], _mm256_mul_ps(av, b2));
+                }
+            }
+            for (r, accr) in acc.iter().take(mr).enumerate() {
+                let row = c.as_mut_ptr().add((i + r) * n + j);
+                _mm256_storeu_ps(row, accr[0]);
+                _mm256_storeu_ps(row.add(8), accr[1]);
+                _mm256_storeu_ps(row.add(16), accr[2]);
+            }
+            j += 24;
+        }
+        while j + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); MR];
+            for (r, accr) in acc.iter_mut().take(mr).enumerate() {
+                *accr = _mm256_loadu_ps(c.as_ptr().add((i + r) * n + j));
+            }
+            for p in 0..k {
+                let bv = _mm256_loadu_ps(b.as_ptr().add(p * n + j));
+                for (r, accr) in acc.iter_mut().take(mr).enumerate() {
+                    let av = _mm256_set1_ps(*a.get_unchecked((i + r) * k + p));
+                    *accr = _mm256_add_ps(*accr, _mm256_mul_ps(av, bv));
+                }
+            }
+            for (r, accr) in acc.iter().take(mr).enumerate() {
+                _mm256_storeu_ps(c.as_mut_ptr().add((i + r) * n + j), *accr);
+            }
+            j += 8;
+        }
+        if j < n {
+            // Scalar column tail (< 8 columns); p stays outermost so every
+            // element accumulates in ascending-k order like the naive loop.
+            for p in 0..k {
+                for r in 0..mr {
+                    let av = a[(i + r) * k + p];
+                    let row = (i + r) * n;
+                    let brow = &b[p * n + j..(p + 1) * n];
+                    for (cv, &bv) in c[row + j..row + n].iter_mut().zip(brow.iter()) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+        i += mr;
     }
 }
 
@@ -588,16 +707,105 @@ fn softmax_rows_serial(x: &[f32], out: &mut [f32], rows: usize, cols: usize) {
         let xi = &x[r * cols..(r + 1) * cols];
         let oi = &mut out[r * cols..(r + 1) * cols];
         let mx = xi.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        exp_shifted(xi, oi, mx);
+        // The sum stays a plain ascending scalar fold: reassociating it
+        // would change which bits the division below sees.
         let mut sum = 0.0;
-        for (o, &v) in oi.iter_mut().zip(xi.iter()) {
-            let e = (v - mx).exp();
-            *o = e;
+        for &e in oi.iter() {
             sum += e;
         }
         let inv = 1.0 / sum;
         for o in oi.iter_mut() {
             *o *= inv;
         }
+    }
+}
+
+/// `out[j] = exp(x[j] − mx)` — the shifted-exponent loop of row softmax.
+///
+/// Portable hosts use libm. AVX2 hosts evaluate the shared polynomial
+/// `exp` with the scalar tail replaying the identical op sequence, so a
+/// value's output bits do not depend on its offset. A `x − mx` of exactly
+/// `-inf` (masked padding) maps to exactly `+0.0` on every path — the
+/// ragged-batching mask argument depends on that, so the vector path
+/// zeroes those lanes explicitly rather than letting the range clamp turn
+/// them into `2^-126`-scale noise.
+fn exp_shifted(x: &[f32], out: &mut [f32], mx: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime.
+        unsafe { exp_shifted_avx2(x, out, mx) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = (v - mx).exp();
+    }
+}
+
+/// Scalar replica of one [`exp_shifted_avx2`] lane.
+#[cfg(target_arch = "x86_64")]
+fn exp_shifted_poly(v: f32, mx: f32) -> f32 {
+    use expc::*;
+    let ex0 = v - mx;
+    if ex0 == f32::NEG_INFINITY {
+        return 0.0;
+    }
+    let ex = ex0.max(MIN_X);
+    let n = (ex * LOG2E).round_ties_even();
+    let r = (ex - n * LN2_HI) - n * LN2_LO;
+    let z = r * r;
+    let mut y = P0;
+    y = y * r + P1;
+    y = y * r + P2;
+    y = y * r + P3;
+    y = y * r + P4;
+    y = y * r + P5;
+    y = (y * z + r) + 1.0;
+    let pow2 = f32::from_bits(((n as i32 + 127) << 23) as u32);
+    y * pow2
+}
+
+/// 8-lane shifted exp; see [`exp_shifted`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn exp_shifted_avx2(x: &[f32], out: &mut [f32], mx: f32) {
+    use core::arch::x86_64::*;
+    use expc::*;
+    let one = _mm256_set1_ps(1.0);
+    let mxv = _mm256_set1_ps(mx);
+    let ninf = _mm256_set1_ps(f32::NEG_INFINITY);
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        let ex0 = _mm256_sub_ps(v, mxv);
+        let masked = _mm256_cmp_ps::<{ _CMP_EQ_OQ }>(ex0, ninf);
+        let ex = _mm256_max_ps(ex0, _mm256_set1_ps(MIN_X));
+        let nf = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_ps(ex, _mm256_set1_ps(LOG2E)),
+        );
+        let r = _mm256_sub_ps(
+            _mm256_sub_ps(ex, _mm256_mul_ps(nf, _mm256_set1_ps(LN2_HI))),
+            _mm256_mul_ps(nf, _mm256_set1_ps(LN2_LO)),
+        );
+        let z = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(P0);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P4));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P5));
+        y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), r), one);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(nf),
+            _mm256_set1_epi32(127),
+        )));
+        let e = _mm256_andnot_ps(masked, _mm256_mul_ps(y, pow2));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), e);
+        i += 8;
+    }
+    for (o, &v) in out[i..].iter_mut().zip(x[i..].iter()) {
+        *o = exp_shifted_poly(v, mx);
     }
 }
 
@@ -688,6 +896,225 @@ pub fn layer_norm_rows(
 pub fn gelu(x: f32) -> f32 {
     const C: f32 = 0.797_884_6; // sqrt(2/pi)
     0.5 * x * (1.0 + (C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// GELU over a contiguous slice — the forward elementwise kernel.
+///
+/// The portable path is the scalar [`gelu`]. On AVX2 hosts the tanh is
+/// instead evaluated as `sign · (1 − e) / (1 + e)` with `e = exp(−2|y|)`
+/// from a Cephes-style degree-5 polynomial (≤ 2 ulp from libm). The scalar
+/// tail after the 8-wide loop replays the *same* polynomial op sequence
+/// ([`gelu_poly`]), never libm, so a given input value maps to the same
+/// output bits wherever it sits in the slice. That per-value determinism is
+/// what the batched-vs-sequential parity invariant needs: ragged batching
+/// shifts an element's offset (and thus body-vs-tail placement), but never
+/// its value.
+pub fn gelu_slice(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime.
+        unsafe { gelu_slice_avx2(x, out) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = gelu(v);
+    }
+}
+
+/// Cephes-style `exp` coefficients shared by the vector kernel and its
+/// scalar-tail replica.
+#[cfg(target_arch = "x86_64")]
+mod expc {
+    pub const LOG2E: f32 = std::f32::consts::LOG2_E;
+    /// `ln 2` split hi/lo for an exact-ish range reduction. The hi part is
+    /// written out in full: it is exactly `355/512`, chosen so `n · LN2_HI`
+    /// is exact for the `n` range in play.
+    #[allow(clippy::excessive_precision)]
+    pub const LN2_HI: f32 = 0.693_359_375;
+    pub const LN2_LO: f32 = -2.121_944_4e-4;
+    /// Inputs below this clamp; keeps `2^n` a normal number.
+    pub const MIN_X: f32 = -87.0;
+    pub const P0: f32 = 1.987_569_2e-4;
+    pub const P1: f32 = 1.398_199_9e-3;
+    pub const P2: f32 = 8.333_452e-3;
+    pub const P3: f32 = 4.166_579_6e-2;
+    pub const P4: f32 = 1.666_666_5e-1;
+    pub const P5: f32 = 5.000_000_3e-1;
+    pub const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi), same as `gelu`
+    pub const GELU_K: f32 = 0.044_715;
+}
+
+/// Scalar replica of the AVX2 lane math: identical constants and operation
+/// order (every mul/add/div unfused), so it produces bit-identical results
+/// to one vector lane and can serve as the loop tail.
+#[cfg(target_arch = "x86_64")]
+fn gelu_poly(x: f32) -> f32 {
+    use expc::*;
+    let inner = GELU_C * (x + GELU_K * (x * x * x));
+    // e = exp(-2|inner|) via round-to-nearest 2^n · poly(r).
+    let ex = (inner.abs() * -2.0).max(MIN_X);
+    let n = (ex * LOG2E).round_ties_even();
+    let r = (ex - n * LN2_HI) - n * LN2_LO;
+    let z = r * r;
+    let mut y = P0;
+    y = y * r + P1;
+    y = y * r + P2;
+    y = y * r + P3;
+    y = y * r + P4;
+    y = y * r + P5;
+    y = (y * z + r) + 1.0;
+    let pow2 = f32::from_bits(((n as i32 + 127) << 23) as u32);
+    let e = y * pow2;
+    let t = ((1.0 - e) / (1.0 + e)).copysign(inner);
+    (0.5 * x) * (1.0 + t)
+}
+
+/// 8-lane AVX2 GELU; see [`gelu_slice`] for the math and the parity
+/// argument. Lanes are independent — no horizontal operations — so lane
+/// placement cannot affect a value's result.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gelu_slice_avx2(x: &[f32], out: &mut [f32]) {
+    use core::arch::x86_64::*;
+    use expc::*;
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let signbit = _mm256_set1_ps(-0.0);
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        let x3 = _mm256_mul_ps(_mm256_mul_ps(v, v), v);
+        let inner = _mm256_mul_ps(
+            _mm256_set1_ps(GELU_C),
+            _mm256_add_ps(v, _mm256_mul_ps(_mm256_set1_ps(GELU_K), x3)),
+        );
+        let sign = _mm256_and_ps(inner, signbit);
+        let ex = _mm256_max_ps(
+            _mm256_mul_ps(_mm256_andnot_ps(signbit, inner), _mm256_set1_ps(-2.0)),
+            _mm256_set1_ps(MIN_X),
+        );
+        let nf = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_ps(ex, _mm256_set1_ps(LOG2E)),
+        );
+        let r = _mm256_sub_ps(
+            _mm256_sub_ps(ex, _mm256_mul_ps(nf, _mm256_set1_ps(LN2_HI))),
+            _mm256_mul_ps(nf, _mm256_set1_ps(LN2_LO)),
+        );
+        let z = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(P0);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P4));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P5));
+        y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), r), one);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(nf),
+            _mm256_set1_epi32(127),
+        )));
+        let e = _mm256_mul_ps(y, pow2);
+        let t = _mm256_or_ps(
+            _mm256_div_ps(_mm256_sub_ps(one, e), _mm256_add_ps(one, e)),
+            sign,
+        );
+        let g = _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), g);
+        i += 8;
+    }
+    for (o, &v) in out[i..].iter_mut().zip(x[i..].iter()) {
+        *o = gelu_poly(v);
+    }
+}
+
+/// Elementwise tanh over a slice, for the additive-attention bag scorer.
+///
+/// Portable hosts use libm; AVX2 hosts evaluate
+/// `sign · (1 − e) / (1 + e)` with `e = exp(−2|x|)` from the shared
+/// polynomial, scalar tail included, so output bits depend only on the
+/// input value — see [`gelu_slice`] for why that is the invariant ragged
+/// batching needs.
+pub fn tanh_slice(x: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was verified at runtime.
+        unsafe { tanh_slice_avx2(x, out) };
+        return;
+    }
+    for (o, &v) in out.iter_mut().zip(x.iter()) {
+        *o = v.tanh();
+    }
+}
+
+/// Scalar replica of one [`tanh_slice_avx2`] lane.
+#[cfg(target_arch = "x86_64")]
+fn tanh_poly(x: f32) -> f32 {
+    use expc::*;
+    let ex = (x.abs() * -2.0).max(MIN_X);
+    let n = (ex * LOG2E).round_ties_even();
+    let r = (ex - n * LN2_HI) - n * LN2_LO;
+    let z = r * r;
+    let mut y = P0;
+    y = y * r + P1;
+    y = y * r + P2;
+    y = y * r + P3;
+    y = y * r + P4;
+    y = y * r + P5;
+    y = (y * z + r) + 1.0;
+    let pow2 = f32::from_bits(((n as i32 + 127) << 23) as u32);
+    let e = y * pow2;
+    ((1.0 - e) / (1.0 + e)).copysign(x)
+}
+
+/// 8-lane AVX2 tanh; see [`tanh_slice`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tanh_slice_avx2(x: &[f32], out: &mut [f32]) {
+    use core::arch::x86_64::*;
+    use expc::*;
+    let one = _mm256_set1_ps(1.0);
+    let signbit = _mm256_set1_ps(-0.0);
+    let n = x.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(x.as_ptr().add(i));
+        let sign = _mm256_and_ps(v, signbit);
+        let ex = _mm256_max_ps(
+            _mm256_mul_ps(_mm256_andnot_ps(signbit, v), _mm256_set1_ps(-2.0)),
+            _mm256_set1_ps(MIN_X),
+        );
+        let nf = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_ps(ex, _mm256_set1_ps(LOG2E)),
+        );
+        let r = _mm256_sub_ps(
+            _mm256_sub_ps(ex, _mm256_mul_ps(nf, _mm256_set1_ps(LN2_HI))),
+            _mm256_mul_ps(nf, _mm256_set1_ps(LN2_LO)),
+        );
+        let z = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(P0);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P4));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P5));
+        y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), r), one);
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(nf),
+            _mm256_set1_epi32(127),
+        )));
+        let e = _mm256_mul_ps(y, pow2);
+        let t = _mm256_or_ps(
+            _mm256_div_ps(_mm256_sub_ps(one, e), _mm256_add_ps(one, e)),
+            sign,
+        );
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), t);
+        i += 8;
+    }
+    for (o, &v) in out[i..].iter_mut().zip(x[i..].iter()) {
+        *o = tanh_poly(v);
+    }
 }
 
 /// Derivative of [`gelu`].

@@ -335,8 +335,29 @@ impl Var {
     }
 
     unary_op!(relu, Relu, |v: f32| v.max(0.0));
-    unary_op!(gelu, Gelu, kernels::gelu);
-    unary_op!(tanh_, Tanh, |v: f32| v.tanh());
+    /// Elementwise tanh-approximation GELU, through the (vectorizable)
+    /// slice kernel rather than the scalar-closure macro.
+    pub fn gelu(&self) -> Var {
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let mut data = arena::take(x.numel());
+            kernels::gelu_slice(x.data(), &mut data);
+            Tensor::new(x.dims(), data)
+        };
+        self.graph.push(out, Op::Gelu(self.id))
+    }
+    /// Elementwise tanh, through the (vectorizable) slice kernel.
+    pub fn tanh_(&self) -> Var {
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            let mut data = arena::take(x.numel());
+            kernels::tanh_slice(x.data(), &mut data);
+            Tensor::new(x.dims(), data)
+        };
+        self.graph.push(out, Op::Tanh(self.id))
+    }
     unary_op!(sigmoid, Sigmoid, |v: f32| 1.0 / (1.0 + (-v).exp()));
 
     /// Softmax over the last axis.

@@ -5,7 +5,9 @@
 //!
 //! Run: `cargo run --release --example explain_prediction`
 
-use bootleg::core::{train, BootlegConfig, BootlegModel, Example, TrainConfig};
+use bootleg::core::{
+    train, BootlegConfig, BootlegModel, Example, ForwardOptions, TrainConfig,
+};
 use bootleg::corpus::{generate_corpus, CorpusConfig};
 use bootleg::kb::{generate, KbConfig};
 
@@ -21,7 +23,12 @@ fn main() {
     for s in &corpus.dev {
         let Some(ex) = Example::evaluation(s) else { continue };
         // Only explain correct predictions — attribution of a right answer.
-        let preds = model.forward(&kb, &ex, false, 0).predictions;
+        let preds = model
+            .run(&kb, std::slice::from_ref(&ex), ForwardOptions::inference())
+            .expect("unlimited deadline cannot interrupt")
+            .pop()
+            .expect("one output per example")
+            .predictions;
         for (mi, m) in ex.mentions.iter().enumerate() {
             if Some(preds[mi] as u32) != m.gold {
                 continue;

@@ -8,7 +8,7 @@
 use bootleg::baselines::{train_ned_base, NedBase, NedBaseConfig};
 use bootleg::core::{train, BootlegConfig, BootlegModel, Example, TrainConfig};
 use bootleg::corpus::{generate_corpus, CorpusConfig};
-use bootleg::eval::evaluate_slices;
+use bootleg::eval::{evaluate_slices, par_evaluate, BootlegPredictor};
 use bootleg::kb::{generate, KbConfig};
 
 fn main() {
@@ -25,9 +25,9 @@ fn main() {
     let mut ned = NedBase::new(&kb, &corpus.vocab, NedBaseConfig::default());
     train_ned_base(&mut ned, &corpus.train, &tcfg);
 
-    let boot = evaluate_slices(&corpus.dev, &counts, |ex: &Example| {
-        bootleg_model.infer(&kb, ex).predictions
-    });
+    // Micro-batched evaluation: BootlegPredictor answers each chunk of
+    // sentences with one ragged forward pass (bit-identical to serial).
+    let boot = par_evaluate(&corpus.dev, &counts, BootlegPredictor::new(&bootleg_model, &kb));
     let base = evaluate_slices(&corpus.dev, &counts, |ex: &Example| ned.predict_indices(ex));
 
     println!("{:>10} {:>10} {:>10}", "slice", "NED-Base", "Bootleg");
