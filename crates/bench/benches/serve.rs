@@ -57,7 +57,11 @@ fn bench_serve_overhead(results: &mut Results) {
     let direct = BootlegPredictor::new(&model, &wb.kb);
     let tier0 = ModelTier::new(&model, &wb.kb);
     let limits = tier0.limits();
+    // Slice counts attached: the resilient arm pays for the full telemetry
+    // plane (request records, sliding windows, tail-slice counters), so the
+    // <2% budget is measured telemetry-on.
     let chain = FallbackChain::new()
+        .with_slice_counts(&wb.counts)
         .tier(tier0)
         .tier(PredictorTier::new("prior", PopularityPrior));
     let resilient = ResilientPredictor::new(&chain, limits);
@@ -102,10 +106,17 @@ fn bench_serve_overhead(results: &mut Results) {
             overhead * 100.0
         );
     }
+    // The resilient arm ran with telemetry recording live; the request
+    // rings must have retained records, or the budget above measured an
+    // accidentally-disabled plane.
+    let recent = bootleg_obs::reqtrace::recent();
+    assert!(!recent.is_empty(), "telemetry-on bench left no request records");
+    assert!(recent.iter().all(|r| !r.slice.is_empty()), "slice counts were attached");
     results.set("serve_eval_direct_secs", direct_secs);
     results.set("serve_eval_resilient_secs", serve_secs);
     results.set("serve_overhead_frac", overhead);
     results.set("serve_metrics_identical", true);
+    results.set("serve_telemetry_on", true);
     results.set("serve_sentences", dev.len());
 }
 

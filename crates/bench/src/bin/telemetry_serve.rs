@@ -1,0 +1,136 @@
+//! Telemetry-plane demo and self-check: serves a chaos workload (stalls,
+//! panics, payload corruption) through the full resilient stack with the
+//! live exposition endpoint up, then scrapes its own `/metrics`, `/healthz`,
+//! and `/tracez` routes and dumps all three payloads under `results/`.
+//!
+//! Run: `cargo run --release -p bootleg-bench --bin telemetry_serve`
+//!
+//! Env: `BOOTLEG_OBS_ADDR` picks the listen address (default `127.0.0.1:0`,
+//! a free port); `BOOTLEG_SLOW_MS` the slow-exemplar threshold (defaulted
+//! down to 5 ms here so the injected stall is classified slow). Pass
+//! `--stay-secs N` to keep the endpoint alive for external scrapers (CI
+//! curls it) before exiting.
+
+use bootleg_baselines::PopularityPrior;
+use bootleg_bench::Workbench;
+use bootleg_core::fault::{Fault, FaultPlan};
+use bootleg_core::{BootlegConfig, BootlegModel, Example};
+use bootleg_corpus::CorpusConfig;
+use bootleg_kb::KbConfig;
+use bootleg_serve::{serve_requests, FallbackChain, ModelTier, PredictorTier, ServeConfig};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+
+/// One raw HTTP GET against the local endpoint: returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs endpoint");
+    let req = format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read response");
+    let (head, body) = buf.split_once("\r\n\r\n").expect("header/body split");
+    (head.lines().next().unwrap_or("").to_string(), body.to_string())
+}
+
+fn main() {
+    // A small threshold so the injected 80 ms stall lands in the exemplar
+    // ring as a slow request (env still wins if the operator set one).
+    if std::env::var("BOOTLEG_SLOW_MS").is_err() {
+        bootleg_obs::reqtrace::set_slow_ms(5);
+    }
+    let stay_secs: u64 = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--stay-secs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+
+    // The endpoint is on for this demo even without BOOTLEG_OBS_ADDR.
+    let server = match bootleg_obs::serve_from_env() {
+        Some(s) => s,
+        None => bootleg_obs::http::serve("127.0.0.1:0").expect("bind obs endpoint"),
+    };
+    let addr = server.addr();
+    println!("telemetry endpoint: http://{addr}/metrics | /healthz | /tracez");
+
+    // Deployment-shaped smoke workload: serving-sized model, chaos schedule
+    // with one stall, one panic, one corrupted payload, and a tight-ish
+    // deadline so the stalled request blows its budget.
+    let wb = Workbench::build(
+        KbConfig { n_entities: 600, seed: 71, ..KbConfig::default() },
+        CorpusConfig { n_pages: 120, seed: 72, ..CorpusConfig::default() },
+        true,
+    );
+    let model = BootlegModel::new(
+        &wb.kb,
+        &wb.corpus.vocab,
+        &wb.counts,
+        BootlegConfig::default().serving(),
+    );
+    let faults = FaultPlan::none()
+        .with(Fault::SlowInfer { seq: 3, millis: 80 })
+        .with(Fault::PanicOnExample { seq: 5 })
+        .with(Fault::MalformedExample { seq: 7 });
+    let tier0 = ModelTier::new(&model, &wb.kb);
+    let limits = tier0.limits();
+    let chain = FallbackChain::new()
+        .with_slice_counts(&wb.counts)
+        .tier(ModelTier::new(&model, &wb.kb).with_faults(faults.clone()))
+        .tier(PredictorTier::new("prior", PopularityPrior));
+    let reqs: Vec<Example> =
+        wb.corpus.dev.iter().filter_map(Example::evaluation).take(32).collect();
+    assert!(reqs.len() >= 8, "smoke corpus too small");
+    // Deadline far above the injected 80 ms stall: the stalled batch is
+    // classified *slow* (threshold 5 ms) rather than deadlining — on a
+    // loaded single-core CI box the whole run shares one worker with the
+    // scraper, and this demo is about telemetry, not deadline pressure
+    // (the chaos suite covers that).
+    let cfg = ServeConfig::default()
+        .with_queue_cap(reqs.len())
+        .with_deadline_ms(10_000)
+        .with_chaos(faults);
+    let outcomes = serve_requests(&chain, &limits, &cfg, &reqs);
+    let served = outcomes.iter().filter(|o| o.is_ok()).count();
+    println!("served {}/{} requests through the chaos schedule", served, outcomes.len());
+    assert!(served >= outcomes.len() - 2, "fallback chain must keep answering under chaos");
+
+    // --- self-check: scrape our own endpoint and validate every payload.
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "/metrics status: {status}");
+    bootleg_obs::http::validate_exposition(&metrics).expect("exposition is well-formed");
+    for needle in ["serve_window_e2e_ns{quantile=", "serve_queue_wait_ns_bucket", "serve_slice_"]
+    {
+        assert!(metrics.contains(needle), "missing {needle} in /metrics");
+    }
+    let (status, healthz) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "/healthz status: {status}");
+    assert!(healthz.contains("\"status\"") && healthz.contains("\"breakers\""), "{healthz}");
+    let (status, tracez) = http_get(addr, "/tracez");
+    assert!(status.contains("200"), "/tracez status: {status}");
+    assert!(tracez.contains("\"recent\""), "{tracez}");
+    let exemplars = bootleg_obs::reqtrace::exemplars();
+    assert!(!exemplars.is_empty(), "chaos schedule must leave exemplars");
+    assert!(
+        exemplars.iter().any(|r| !r.phases.is_empty()),
+        "exemplars keep phase breakdowns"
+    );
+    println!(
+        "self-check ok: {} recent records, {} exemplars",
+        bootleg_obs::reqtrace::recent().len(),
+        exemplars.len()
+    );
+
+    // --- dump the same payloads for offline runs, plus the usual export.
+    let dir = std::path::Path::new("results");
+    bootleg_obs::dump_telemetry(dir).expect("dump telemetry to results/");
+    bootleg_obs::export::export().expect("write results/metrics.json");
+    println!("dumped results/metrics.prom, results/healthz.json, results/tracez.json");
+
+    if stay_secs > 0 {
+        println!("staying up {stay_secs}s for external scrapers...");
+        std::thread::sleep(std::time::Duration::from_secs(stay_secs));
+    }
+    server.stop();
+}

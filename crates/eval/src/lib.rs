@@ -26,4 +26,4 @@ pub use par::{
 };
 pub use patterns::{pattern_slices, PatternSliceReport};
 pub use predictor::{BootlegPredictor, Predictor};
-pub use slices::{evaluate_slices, SliceReport};
+pub use slices::{evaluate_slices, slice_of, SliceReport};

@@ -115,6 +115,15 @@ pub(crate) fn chunk_slices<P: Predictor + ?Sized>(
     report
 }
 
+/// The popularity slice of one entity under a training-occurrence count
+/// map: absent entities count as 0 (Unseen). The single classification rule
+/// shared by offline evaluation ([`score_example`]) and the serving-time
+/// tail-slice metrics, so "tail" means the same thing in `results/eval`
+/// tables and on the live `/metrics` endpoint.
+pub fn slice_of(counts: &HashMap<EntityId, u32>, entity: EntityId) -> PopularitySlice {
+    PopularitySlice::of(*counts.get(&entity).unwrap_or(&0))
+}
+
 /// Scores one evaluation example's predictions into `report` — shared by
 /// the per-sentence and per-chunk units so both drivers count identically.
 fn score_example(
@@ -127,7 +136,7 @@ fn score_example(
     for (m, &p) in ex.mentions.iter().zip(preds) {
         let gi = m.gold.expect("evaluation mentions carry gold") as usize;
         let gold_entity = m.candidates[gi];
-        let slice = PopularitySlice::of(*counts.get(&gold_entity).unwrap_or(&0));
+        let slice = slice_of(counts, gold_entity);
         let hit = usize::from(p == gi);
         report.all.merge(Prf::closed(hit, 1));
         report.of_mut(slice).merge(Prf::closed(hit, 1));

@@ -7,11 +7,12 @@
 
 use crate::metrics::{self, HistogramSnapshot};
 use crate::trace;
+use crate::window::{self, WindowSnapshot};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -45,6 +46,14 @@ fn render_histogram(h: &HistogramSnapshot, out: &mut String, pad: &str) {
     let _ = write!(out, "{pad}  \"sum\": ");
     json_num(h.sum, out);
     out.push_str(",\n");
+    // Derived quantile summaries (bucket-resolution; +inf renders as null)
+    // so offline consumers of metrics.json get p50/p95/p99 without
+    // re-deriving them from the bucket counts.
+    for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+        let _ = write!(out, "{pad}  \"{label}\": ");
+        json_num(h.quantile(q), out);
+        out.push_str(",\n");
+    }
     let _ = write!(out, "{pad}  \"buckets\": [");
     for (i, (bound, count)) in h.buckets.iter().enumerate() {
         if i > 0 {
@@ -58,10 +67,29 @@ fn render_histogram(h: &HistogramSnapshot, out: &mut String, pad: &str) {
     let _ = write!(out, "{pad}}}");
 }
 
+fn render_window(w: &WindowSnapshot, out: &mut String, pad: &str) {
+    out.push_str("{\n");
+    let _ = writeln!(out, "{pad}  \"count\": {},", w.hist.count);
+    let _ = writeln!(out, "{pad}  \"window_ms\": {},", w.window_ms);
+    let _ = write!(out, "{pad}  \"sum\": ");
+    json_num(w.hist.sum, out);
+    out.push_str(",\n");
+    for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+        let _ = write!(out, "{pad}  \"{label}\": ");
+        json_num(w.quantile(q), out);
+        out.push_str(",\n");
+    }
+    let _ = write!(out, "{pad}  \"max\": ");
+    json_num(w.max, out);
+    out.push('\n');
+    let _ = write!(out, "{pad}}}");
+}
+
 /// The full observability snapshot as pretty-printed JSON: counters, gauges,
-/// histograms, and the span aggregate.
+/// histograms, sliding-window quantiles, and the span aggregate.
 pub fn metrics_json() -> String {
     let snap = metrics::snapshot();
+    let windows = window::snapshot_windows();
     let spans = trace::trace_aggregate();
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"counters\": {");
@@ -90,6 +118,15 @@ pub fn metrics_json() -> String {
         render_histogram(h, &mut out, "    ");
     }
     out.push_str(if snap.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"windows\": {");
+    for (i, (name, w)) in windows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        escape_json(name, &mut out);
+        out.push_str(": ");
+        render_window(w, &mut out, "    ");
+    }
+    out.push_str(if windows.is_empty() { "},\n" } else { "\n  },\n" });
     out.push_str("  \"spans\": {");
     for (i, (path, st)) in spans.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -108,7 +145,7 @@ pub fn metrics_json() -> String {
 
 /// Writes `bytes` to `path` atomically: unique temp file in the same
 /// directory → write → fsync → rename → directory fsync.
-fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     use std::io::Write as _;
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
     let stem = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
@@ -184,18 +221,38 @@ pub fn report() -> String {
         }
     }
     if !snap.histograms.is_empty() {
-        out.push_str("== histograms (count / mean / p50 / p99) ==\n");
+        out.push_str("== histograms (count / mean / p50 / p95 / p99) ==\n");
         for (name, h) in &snap.histograms {
             // Only histograms named `*_ns` hold durations; render the rest
             // as plain numbers.
             let fmt = |v: f64| if name.ends_with("_ns") { fmt_ns(v) } else { format!("{v:.3}") };
             let _ = writeln!(
                 out,
-                "  {name:<44} {:>10}   {:>10}  {:>10}  {:>10}",
+                "  {name:<44} {:>10}   {:>10}  {:>10}  {:>10}  {:>10}",
                 h.count,
                 fmt(h.mean()),
                 fmt(h.quantile(0.5)),
+                fmt(h.quantile(0.95)),
                 fmt(h.quantile(0.99)),
+            );
+        }
+    }
+    let windows = window::snapshot_windows();
+    if windows.iter().any(|(_, w)| w.hist.count > 0) {
+        out.push_str("== windows (count / p50 / p95 / p99 / max) ==\n");
+        for (name, w) in &windows {
+            if w.hist.count == 0 {
+                continue;
+            }
+            let fmt = |v: f64| if name.ends_with("_ns") { fmt_ns(v) } else { format!("{v:.3}") };
+            let _ = writeln!(
+                out,
+                "  {name:<44} {:>10}   {:>10}  {:>10}  {:>10}  {:>10}",
+                w.hist.count,
+                fmt(w.quantile(0.5)),
+                fmt(w.quantile(0.95)),
+                fmt(w.quantile(0.99)),
+                fmt(w.max),
             );
         }
     }
@@ -237,6 +294,32 @@ mod tests {
         // Braces balance (cheap well-formedness check without a parser).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn histogram_json_carries_quantile_summaries() {
+        let h = metrics::histogram_with("test.export.quant", || vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let j = metrics_json();
+        let section = j.split("\"test.export.quant\"").nth(1).expect("hist rendered");
+        let section = &section[..section.find(']').unwrap_or(section.len())];
+        assert!(section.contains("\"p50\": 10"), "{section}");
+        assert!(section.contains("\"p95\": 100"), "{section}");
+        assert!(section.contains("\"p99\": 100"), "{section}");
+    }
+
+    #[test]
+    fn window_snapshots_render_in_json() {
+        crate::window::window_histogram_with("test.export.window", 2, 60_000, || vec![10.0])
+            .observe(3.0);
+        let j = metrics_json();
+        assert!(j.contains("\"windows\""));
+        let section = j.split("\"test.export.window\"").nth(1).expect("window rendered");
+        assert!(section.contains("\"window_ms\": 120000"));
+        assert!(section.contains("\"p50\": 10"));
+        assert!(section.contains("\"max\": 3"));
     }
 
     #[test]

@@ -23,6 +23,22 @@
 //!   `event.<name>` counter, so anomaly recoveries and checkpoint events are
 //!   *counted* in metrics even when their log lines are suppressed.
 //!
+//! The serving telemetry plane builds on those pillars:
+//!
+//! * **Sliding windows** ([`window`]): time-bucketed [`WindowHistogram`]s
+//!   (12 × 5 s by default) whose snapshots answer "p50/p95/p99/max over the
+//!   trailing minute", not since process start — the serving-latency view.
+//! * **Request traces** ([`reqtrace`]): a [`RequestId`] minted at admission
+//!   follows the request through queue → batch formation → tier chain →
+//!   forward phases; each finished request leaves a [`RequestRecord`] in a
+//!   lock-sharded recent ring, and slow / degraded / failed requests keep
+//!   their full phase breakdown in a separate exemplar ring.
+//! * **Exposition** ([`http`]): a dependency-free blocking HTTP listener
+//!   (off by default; `BOOTLEG_OBS_ADDR=host:port` enables) serving
+//!   `/metrics` (Prometheus text), `/healthz` (queue/breaker/shed health
+//!   JSON), and `/tracez` (the request rings as JSON); the same payloads
+//!   dump to disk with [`http::dump_telemetry`].
+//!
 //! [`export::export`] snapshots everything to `results/metrics.json`
 //! (atomic write; `BOOTLEG_METRICS_PATH` overrides), and [`report`] renders
 //! the same snapshot as a table.
@@ -30,16 +46,25 @@
 //! [`Counter`]: metrics::Counter
 //! [`Gauge`]: metrics::Gauge
 //! [`Histogram`]: metrics::Histogram
+//! [`WindowHistogram`]: window::WindowHistogram
+//! [`RequestId`]: reqtrace::next_request_id
+//! [`RequestRecord`]: reqtrace::RequestRecord
 
 pub mod export;
+pub mod http;
 pub mod logger;
 pub mod metrics;
+pub mod reqtrace;
 pub mod trace;
+pub mod window;
 
 pub use export::{export, metrics_json, report};
+pub use http::{dump_telemetry, serve_from_env, ObsServer};
 pub use logger::{log_enabled, set_max_level, Level};
 pub use metrics::{metrics_enabled, set_metrics_enabled, snapshot, MetricsSnapshot};
+pub use reqtrace::{begin_capture, next_request_id, CaptureGuard, RequestRecord};
 pub use trace::{set_trace_enabled, span, trace_aggregate, trace_enabled, SpanStat};
+pub use window::{window_histogram, WindowHistogram, WindowSnapshot};
 
 /// A `&'static` [`Counter`](metrics::Counter) handle for a literal name,
 /// with the registry lookup cached at the call site.
@@ -77,6 +102,31 @@ macro_rules! histogram {
         static __OBS_H: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
             ::std::sync::OnceLock::new();
         *__OBS_H.get_or_init(|| $crate::metrics::histogram_with($name, || $bounds))
+    }};
+}
+
+/// A `&'static` [`WindowHistogram`](window::WindowHistogram) handle, lookup
+/// cached at the call site. One-argument form uses the default geometry
+/// (12 × 5 s buckets, default latency bounds); the two-argument form
+/// supplies bucket bounds.
+#[macro_export]
+macro_rules! window {
+    ($name:expr) => {{
+        static __OBS_W: ::std::sync::OnceLock<&'static $crate::window::WindowHistogram> =
+            ::std::sync::OnceLock::new();
+        *__OBS_W.get_or_init(|| $crate::window::window_histogram($name))
+    }};
+    ($name:expr, $bounds:expr) => {{
+        static __OBS_W: ::std::sync::OnceLock<&'static $crate::window::WindowHistogram> =
+            ::std::sync::OnceLock::new();
+        *__OBS_W.get_or_init(|| {
+            $crate::window::window_histogram_with(
+                $name,
+                $crate::window::DEFAULT_SLOTS,
+                $crate::window::DEFAULT_WIDTH_MS,
+                || $bounds,
+            )
+        })
     }};
 }
 

@@ -86,12 +86,28 @@ pub fn count_event(name: &str) {
     crate::metrics::counter(&format!("event.{name}")).inc();
 }
 
-/// Writes one `[LEVEL] name key=value ...` line to stderr (no filtering —
-/// callers check [`log_enabled`] first; the macros do).
+/// Wall-clock unix time as `seconds.millis` — the `ts=` value in log lines,
+/// joinable against the `unix_ms` field of `/tracez` request records.
+fn unix_ts() -> String {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    format!("{}.{:03}", now.as_secs(), now.subsec_millis())
+}
+
+/// Writes one `[LEVEL] ts=<unix> [req=<id>] name key=value ...` line to
+/// stderr (no filtering — callers check [`log_enabled`] first; the macros
+/// do). When a per-request capture is open on this thread
+/// ([`crate::reqtrace`]), the line carries `req=<id>` so logs join against
+/// `/tracez` records.
 pub fn emit(level: Level, name: &str, kvs: &[(&str, &dyn Display)]) {
     use std::fmt::Write as _;
-    let mut line = String::with_capacity(64);
-    let _ = write!(line, "[{:5}] {name}", level.as_str());
+    let mut line = String::with_capacity(96);
+    let _ = write!(line, "[{:5}] ts={}", level.as_str(), unix_ts());
+    if let Some(id) = crate::reqtrace::current_request() {
+        let _ = write!(line, " req={id}");
+    }
+    let _ = write!(line, " {name}");
     for (k, v) in kvs {
         let _ = write!(line, " {k}={v}");
     }

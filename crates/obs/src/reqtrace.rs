@@ -1,0 +1,397 @@
+//! Per-request tracing: request ids, per-request phase capture, and the
+//! recent / exemplar request-record rings behind `/tracez`.
+//!
+//! A serving request gets a [`RequestId`](next_request_id) at admission.
+//! While the request executes, the worker thread opens a capture
+//! ([`begin_capture`]); every [`trace::phase`](crate::trace::phase) that
+//! closes on that thread while the capture is open appends `(phase,
+//! duration)` to the request's span record — even when `BOOTLEG_TRACE` is
+//! off, so production serving always has per-request phase breakdowns
+//! without paying for the global flame aggregate. When the request
+//! terminates, the server assembles a [`RequestRecord`] and calls
+//! [`record`], which retains it in:
+//!
+//! * the **recent ring** — a lock-sharded ring of the last ~256 requests,
+//!   phase lists dropped (summary only), and
+//! * the **exemplar ring** — requests that were *slow* (end-to-end latency
+//!   over `BOOTLEG_SLOW_MS`, default 250 ms), answered by a non-primary
+//!   tier, or terminally failed. Exemplars keep their full phase breakdown,
+//!   so the interesting 1% stays fully explainable after the firehose has
+//!   wrapped the recent ring.
+//!
+//! [`tracez_json`] renders both rings for the `/tracez` endpoint and the
+//! offline telemetry dump. Recording is disabled alongside the rest of the
+//! registry by `BOOTLEG_METRICS=0`.
+
+use crate::export::escape_json;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Mints a fresh process-unique request id (1-based).
+pub fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+// ---------------------------------------------------------------- slow-ms
+
+fn slow_ms_cell() -> &'static AtomicU64 {
+    static SLOW: OnceLock<AtomicU64> = OnceLock::new();
+    SLOW.get_or_init(|| {
+        let ms = std::env::var("BOOTLEG_SLOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(250);
+        AtomicU64::new(ms)
+    })
+}
+
+/// The slow-request threshold in milliseconds (`BOOTLEG_SLOW_MS`, default
+/// 250). A request whose end-to-end latency exceeds it is kept as an
+/// exemplar; `0` disables the slow criterion.
+pub fn slow_ms() -> u64 {
+    slow_ms_cell().load(Ordering::Relaxed)
+}
+
+/// Overrides the slow threshold at runtime (tests, demo binaries).
+pub fn set_slow_ms(ms: u64) {
+    slow_ms_cell().store(ms, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------- records
+
+/// One served request's span record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestRecord {
+    /// Process-unique request id (minted at admission).
+    pub id: u64,
+    /// 1-based submission sequence number within its serving run.
+    pub seq: u64,
+    /// Wall-clock admission time, unix milliseconds — the join key against
+    /// timestamped log lines.
+    pub unix_ms: u64,
+    /// Micro-batch size the request was answered in (0 = never batched).
+    pub batch_size: u32,
+    /// Index of the serving tier (-1 = no tier answered).
+    pub tier: i32,
+    /// Name of the serving tier (empty when none answered).
+    pub tier_name: &'static str,
+    /// Terminal outcome label: `ok`, `degraded`, `rejected`, `shed`,
+    /// `deadline`, `failed`, or `internal`.
+    pub outcome: &'static str,
+    /// Rarest popularity slice among the request's mentions (`head`,
+    /// `torso`, `tail`, `unseen`; empty when unclassified).
+    pub slice: &'static str,
+    /// Time spent in the admission queue, in nanoseconds.
+    pub queue_ns: u64,
+    /// End-to-end latency (admission → terminal outcome), in nanoseconds.
+    pub e2e_ns: u64,
+    /// True when `e2e_ns` exceeded the slow threshold at record time.
+    pub slow: bool,
+    /// Per-phase durations captured during execution.
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+impl RequestRecord {
+    /// True for terminal failures other than admission-time rejection and
+    /// shedding (which carry no execution to explain).
+    pub fn is_failure(&self) -> bool {
+        matches!(self.outcome, "deadline" | "failed" | "internal")
+    }
+
+    /// Exemplar-worthiness: slow, degraded to a non-primary tier, or failed.
+    pub fn is_exemplar(&self) -> bool {
+        self.slow || self.tier > 0 || self.is_failure()
+    }
+}
+
+const RING_SHARDS: usize = 8;
+/// Retained records per ring (total across shards).
+const RECENT_CAP: usize = 256;
+const EXEMPLAR_CAP: usize = 64;
+
+struct Ring {
+    shards: Vec<Mutex<VecDeque<RequestRecord>>>,
+    cap_per_shard: usize,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Self {
+            shards: (0..RING_SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            cap_per_shard: (cap / RING_SHARDS).max(1),
+        }
+    }
+
+    fn push(&self, rec: RequestRecord) {
+        let shard = &self.shards[(rec.id % RING_SHARDS as u64) as usize];
+        let mut q = shard.lock().expect("reqtrace ring");
+        if q.len() >= self.cap_per_shard {
+            q.pop_front();
+        }
+        q.push_back(rec);
+    }
+
+    fn collect(&self) -> Vec<RequestRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().expect("reqtrace ring").iter().cloned());
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("reqtrace ring").clear();
+        }
+    }
+}
+
+fn recent_ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring::new(RECENT_CAP))
+}
+
+fn exemplar_ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring::new(EXEMPLAR_CAP))
+}
+
+/// Retains one terminal request record: exemplars (slow / degraded /
+/// failed) keep their phase breakdown in the exemplar ring; every request
+/// lands, summary-only, in the recent ring. Sets `rec.slow` from the
+/// current threshold.
+pub fn record(mut rec: RequestRecord) {
+    if !crate::metrics::metrics_enabled() {
+        return;
+    }
+    let threshold = slow_ms();
+    rec.slow = threshold > 0 && rec.e2e_ns > threshold.saturating_mul(1_000_000);
+    if rec.is_exemplar() {
+        exemplar_ring().push(rec.clone());
+    }
+    rec.phases = Vec::new();
+    recent_ring().push(rec);
+}
+
+/// The recent-request ring, oldest first by id (phase lists are empty).
+pub fn recent() -> Vec<RequestRecord> {
+    recent_ring().collect()
+}
+
+/// The slow/degraded exemplar ring, oldest first by id (full phase lists).
+pub fn exemplars() -> Vec<RequestRecord> {
+    exemplar_ring().collect()
+}
+
+/// Clears both rings (tests, demo binaries).
+pub fn reset_reqtrace() {
+    recent_ring().clear();
+    exemplar_ring().clear();
+}
+
+// ---------------------------------------------------------------- capture
+
+struct Capture {
+    id: u64,
+    phases: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static CAPTURE: RefCell<Option<Capture>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for a per-request phase capture on this thread. Created by
+/// [`begin_capture`]; consume with [`CaptureGuard::finish`] to take the
+/// captured phases (dropping without finishing discards them).
+pub struct CaptureGuard {
+    prev: Option<Capture>,
+    finished: bool,
+}
+
+/// Opens a phase capture for request `id` on this thread: until the guard
+/// is finished or dropped, every closing [`trace::phase`](crate::trace::phase)
+/// on this thread appends to the request's span record, and log lines carry
+/// `req=<id>`. Nested captures stack (the previous capture resumes).
+pub fn begin_capture(id: u64) -> CaptureGuard {
+    let prev = CAPTURE
+        .with(|c| c.borrow_mut().replace(Capture { id, phases: Vec::with_capacity(6) }));
+    CaptureGuard { prev, finished: false }
+}
+
+impl CaptureGuard {
+    /// Ends the capture, returning the `(phase, duration_ns)` list in
+    /// completion order.
+    pub fn finish(mut self) -> Vec<(&'static str, u64)> {
+        self.finished = true;
+        let cur = CAPTURE.with(|c| c.borrow_mut().take());
+        self.restore();
+        cur.map(|c| c.phases).unwrap_or_default()
+    }
+
+    fn restore(&mut self) {
+        let prev = self.prev.take();
+        let _ = CAPTURE.try_with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = CAPTURE.try_with(|c| c.borrow_mut().take());
+            self.restore();
+        }
+    }
+}
+
+/// True while a request capture is open on this thread.
+#[inline]
+pub fn capturing() -> bool {
+    CAPTURE.try_with(|c| c.borrow().is_some()).unwrap_or(false)
+}
+
+/// The id of the request being captured on this thread, if any (stamped
+/// into log lines as `req=<id>`).
+pub fn current_request() -> Option<u64> {
+    CAPTURE.try_with(|c| c.borrow().as_ref().map(|cap| cap.id)).ok().flatten()
+}
+
+/// Appends one completed phase to this thread's open capture (no-op when
+/// none is open). Called from [`trace::Phase`](crate::trace::Phase) drops.
+#[inline]
+pub fn on_phase(name: &'static str, dur_ns: u64) {
+    let _ = CAPTURE.try_with(|c| {
+        if let Some(cap) = c.borrow_mut().as_mut() {
+            cap.phases.push((name, dur_ns));
+        }
+    });
+}
+
+// ---------------------------------------------------------------- JSON
+
+fn render_record(rec: &RequestRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"id\": {}, \"seq\": {}, \"unix_ms\": {}, \"outcome\": ",
+        rec.id, rec.seq, rec.unix_ms
+    );
+    escape_json(rec.outcome, out);
+    let _ = write!(out, ", \"tier\": {}, \"tier_name\": ", rec.tier);
+    escape_json(rec.tier_name, out);
+    out.push_str(", \"slice\": ");
+    escape_json(rec.slice, out);
+    let _ = write!(
+        out,
+        ", \"batch_size\": {}, \"queue_ns\": {}, \"e2e_ns\": {}, \"slow\": {}, \"phases\": [",
+        rec.batch_size, rec.queue_ns, rec.e2e_ns, rec.slow
+    );
+    for (i, (phase, ns)) in rec.phases.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"phase\": ");
+        escape_json(phase, out);
+        let _ = write!(out, ", \"ns\": {ns}}}");
+    }
+    out.push_str("]}");
+}
+
+/// Both rings as a JSON document — the `/tracez` payload.
+pub fn tracez_json() -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(out, "{{\n  \"slow_ms\": {},\n  \"recent\": [", slow_ms());
+    for (i, rec) in recent().iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        render_record(rec, &mut out);
+    }
+    out.push_str("\n  ],\n  \"exemplars\": [");
+    for (i, rec) in exemplars().iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        render_record(rec, &mut out);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, e2e_ms: u64, tier: i32, outcome: &'static str) -> RequestRecord {
+        RequestRecord {
+            id,
+            seq: id,
+            unix_ms: 0,
+            batch_size: 1,
+            tier,
+            tier_name: if tier >= 0 { "t" } else { "" },
+            outcome,
+            slice: "tail",
+            queue_ns: 0,
+            e2e_ns: e2e_ms * 1_000_000,
+            slow: false,
+            phases: vec![("candgen", 10), ("score", 20)],
+        }
+    }
+
+    /// Ring tests share global state; serialize them.
+    fn ring_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn exemplar_classification_slow_degraded_failed() {
+        let _l = ring_lock();
+        reset_reqtrace();
+        set_slow_ms(100);
+        record(rec(9001, 1, 0, "ok")); // fast primary: recent only
+        record(rec(9002, 500, 0, "ok")); // slow
+        record(rec(9003, 1, 1, "degraded")); // non-primary tier
+        record(rec(9004, 1, -1, "failed")); // terminal failure
+        record(rec(9005, 1, -1, "shed")); // shed: recent only
+        let ex: Vec<u64> = exemplars().iter().map(|r| r.id).collect();
+        assert_eq!(ex, vec![9002, 9003, 9004]);
+        assert_eq!(recent().len(), 5);
+        // Exemplars keep phases; the recent ring drops them.
+        assert!(exemplars().iter().all(|r| r.phases.len() == 2));
+        assert!(recent().iter().all(|r| r.phases.is_empty()));
+        assert!(exemplars().iter().find(|r| r.id == 9002).expect("slow").slow);
+        set_slow_ms(250);
+        reset_reqtrace();
+    }
+
+    #[test]
+    fn capture_collects_phases_and_nests() {
+        let g = begin_capture(7);
+        assert!(capturing());
+        assert_eq!(current_request(), Some(7));
+        on_phase("a", 5);
+        {
+            let inner = begin_capture(8);
+            assert_eq!(current_request(), Some(8));
+            on_phase("b", 6);
+            assert_eq!(inner.finish(), vec![("b", 6)]);
+        }
+        assert_eq!(current_request(), Some(7), "outer capture resumes");
+        on_phase("c", 9);
+        assert_eq!(g.finish(), vec![("a", 5), ("c", 9)]);
+        assert!(!capturing());
+    }
+
+    #[test]
+    fn tracez_json_is_balanced_and_carries_records() {
+        let _l = ring_lock();
+        reset_reqtrace();
+        set_slow_ms(100);
+        record(rec(9101, 500, 0, "ok"));
+        let j = tracez_json();
+        assert!(j.contains("\"id\": 9101"));
+        assert!(j.contains("\"phase\": \"candgen\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        set_slow_ms(250);
+        reset_reqtrace();
+    }
+}

@@ -187,21 +187,29 @@ impl Drop for SpanGuard {
 
 /// A span plus a latency histogram observation over the same interval:
 /// the one-liner used to instrument the forward-pass phases. Does nothing
-/// (and reads no clock) while tracing is off.
+/// (and reads no clock) while both tracing and per-request capture
+/// ([`crate::reqtrace`]) are off.
 pub struct Phase {
     _span: SpanGuard,
+    name: &'static str,
     timed: Option<(Instant, &'static crate::metrics::Histogram)>,
 }
 
 /// Opens a [`span`] named `span_name` and, on drop, records its duration
-/// into the histogram `hist_name`.
+/// into the histogram `hist_name`. While a per-request capture is open on
+/// this thread ([`crate::reqtrace::begin_capture`]) the duration is *also*
+/// appended to the request's span record — and the phase is timed even
+/// when global tracing is off, so serving telemetry does not require
+/// `BOOTLEG_TRACE=1`.
 #[inline]
 pub fn phase(span_name: &'static str, hist_name: &'static str) -> Phase {
-    if !trace_enabled() {
-        return Phase { _span: SpanGuard { kind: GuardKind::Inactive }, timed: None };
+    let tracing = trace_enabled();
+    if !tracing && !crate::reqtrace::capturing() {
+        return Phase { _span: SpanGuard { kind: GuardKind::Inactive }, name: span_name, timed: None };
     }
     Phase {
-        _span: span(span_name),
+        _span: if tracing { span(span_name) } else { SpanGuard { kind: GuardKind::Inactive } },
+        name: span_name,
         timed: Some((Instant::now(), crate::metrics::histogram(hist_name))),
     }
 }
@@ -209,7 +217,9 @@ pub fn phase(span_name: &'static str, hist_name: &'static str) -> Phase {
 impl Drop for Phase {
     fn drop(&mut self) {
         if let Some((start, hist)) = self.timed.take() {
-            hist.observe_ns(start.elapsed());
+            let dur = start.elapsed();
+            hist.observe_ns(dur);
+            crate::reqtrace::on_phase(self.name, dur.as_nanos() as u64);
         }
     }
 }

@@ -13,12 +13,34 @@ use crate::clock::{Clock, WallClock};
 use crate::error::{ServeError, ServeOutcome, ServeResponse, TierError, TierFailure};
 use crate::tier::{RequestCx, Tier};
 use bootleg_core::Example;
+use bootleg_kb::EntityId;
 use bootleg_obs::counter;
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 struct Slot<'a> {
     tier: Box<dyn Tier + 'a>,
     breaker: Mutex<CircuitBreaker>,
+    /// Exposition gauge mirroring the breaker state (0 = closed,
+    /// 1 = half-open, 2 = open) — `serve.breaker_state.<tier>`.
+    state_gauge: &'static bootleg_obs::metrics::Gauge,
+}
+
+impl Slot<'_> {
+    fn publish_state(&self, now: u64) {
+        let state = self.breaker.lock().expect("breaker lock").state(now);
+        self.state_gauge.set(breaker_state_value(state));
+    }
+}
+
+/// The gauge encoding of a breaker state: 0 = closed, 1 = half-open,
+/// 2 = open.
+pub fn breaker_state_value(state: BreakerState) -> f64 {
+    match state {
+        BreakerState::Closed => 0.0,
+        BreakerState::HalfOpen => 1.0,
+        BreakerState::Open => 2.0,
+    }
 }
 
 /// An ordered list of breaker-guarded tiers. Tier 0 is the primary model;
@@ -27,6 +49,7 @@ pub struct FallbackChain<'a> {
     slots: Vec<Slot<'a>>,
     clock: Arc<dyn Clock>,
     breaker_config: BreakerConfig,
+    slice_counts: Option<&'a HashMap<EntityId, u32>>,
 }
 
 impl<'a> FallbackChain<'a> {
@@ -39,16 +62,33 @@ impl<'a> FallbackChain<'a> {
     /// An empty chain on an explicit clock and breaker tuning (tests use a
     /// [`VirtualClock`](crate::clock::VirtualClock) here).
     pub fn with_clock(clock: Arc<dyn Clock>, breaker_config: BreakerConfig) -> Self {
-        Self { slots: Vec::new(), clock, breaker_config }
+        Self { slots: Vec::new(), clock, breaker_config, slice_counts: None }
     }
 
     /// Appends a tier (order of insertion is order of fallback).
     pub fn tier(mut self, tier: impl Tier + 'a) -> Self {
+        let state_gauge =
+            bootleg_obs::metrics::gauge(&format!("serve.breaker_state.{}", tier.name()));
+        state_gauge.set(breaker_state_value(BreakerState::Closed));
         self.slots.push(Slot {
             tier: Box::new(tier),
             breaker: Mutex::new(CircuitBreaker::new(self.breaker_config)),
+            state_gauge,
         });
         self
+    }
+
+    /// Attaches training-occurrence counts so served requests are labelled
+    /// with their popularity slice (head/torso/tail/unseen) — the
+    /// tail-slice serving metrics. Without counts, slice labels stay empty.
+    pub fn with_slice_counts(mut self, counts: &'a HashMap<EntityId, u32>) -> Self {
+        self.slice_counts = Some(counts);
+        self
+    }
+
+    /// The attached popularity counts, if any.
+    pub fn slice_counts(&self) -> Option<&'a HashMap<EntityId, u32>> {
+        self.slice_counts
     }
 
     /// Number of tiers.
@@ -120,7 +160,9 @@ impl<'a> FallbackChain<'a> {
             for &i in &active {
                 let allowed = {
                     let now = self.clock.now_ms();
-                    slot.breaker.lock().expect("breaker lock").allow(now)
+                    let allowed = slot.breaker.lock().expect("breaker lock").allow(now);
+                    slot.publish_state(now);
+                    allowed
                 };
                 if allowed {
                     admitted.push(i);
@@ -138,6 +180,7 @@ impl<'a> FallbackChain<'a> {
                     match result {
                         Ok(predictions) => {
                             slot.breaker.lock().expect("breaker lock").on_success();
+                            slot.publish_state(self.clock.now_ms());
                             counter!("serve.tier_served").inc();
                             if ti > 0 {
                                 counter!("serve.degraded").inc();
@@ -152,6 +195,7 @@ impl<'a> FallbackChain<'a> {
                         Err(failure) => {
                             let now = self.clock.now_ms();
                             slot.breaker.lock().expect("breaker lock").on_failure(now);
+                            slot.publish_state(now);
                             counter!("serve.tier_failures").inc();
                             let terminal =
                                 matches!(failure, TierFailure::DeadlineExceeded { .. });

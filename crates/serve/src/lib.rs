@@ -21,10 +21,21 @@
 //! serving tier, or a typed [`ServeError`]. No hangs, no lost requests, no
 //! unwinding panics.
 //!
+//! Every request is observable end to end ([`telemetry`]): a request id
+//! minted at admission follows the request through queue → batch formation
+//! → tier chain → forward phases; terminal outcomes land in the obs
+//! recent/exemplar rings (`/tracez`), sliding-window latency histograms
+//! (`serve.window.*`, p50/p95/p99 over the trailing minute), per-tier
+//! breaker-state gauges, and per-popularity-slice counters — so tail and
+//! unseen entities have their own serving latency and tier-outcome story.
+//! Set `BOOTLEG_OBS_ADDR=host:port` to expose it all live over HTTP
+//! ([`bootleg_obs::serve_from_env`]).
+//!
 //! Knobs: `BOOTLEG_QUEUE_CAP` (admission-queue capacity, default 64),
 //! `BOOTLEG_DEADLINE_MS` (per-request budget, default unlimited),
 //! `BOOTLEG_BREAKER` (`off` | `<threshold>,<cooldown_ms>`, default `3,1000`),
-//! `BOOTLEG_THREADS` (serving workers).
+//! `BOOTLEG_THREADS` (serving workers), `BOOTLEG_SLOW_MS` (slow-request
+//! exemplar threshold, default 250).
 
 #![warn(missing_docs)]
 
@@ -33,10 +44,11 @@ pub mod chain;
 pub mod clock;
 pub mod error;
 pub mod server;
+pub mod telemetry;
 pub mod tier;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use chain::FallbackChain;
+pub use chain::{breaker_state_value, FallbackChain};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use error::{ServeError, ServeOutcome, ServeResponse, TierError, TierFailure};
 pub use server::{serve_requests, ResilientPredictor, ServeConfig};

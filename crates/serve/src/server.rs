@@ -29,6 +29,7 @@
 use crate::chain::FallbackChain;
 use crate::clock::Clock;
 use crate::error::{panic_message, ServeError, ServeOutcome};
+use crate::telemetry;
 use crate::tier::RequestCx;
 use bootleg_core::fault::FaultPlan;
 use bootleg_core::{Deadline, Example, ValidationLimits};
@@ -148,6 +149,9 @@ impl ServeConfig {
 struct Job {
     idx: usize,
     cx: RequestCx,
+    /// When a worker took the job off the queue (µs on the serving clock);
+    /// the queue-wait / batch-formation-wait boundary.
+    popped_us: u64,
 }
 
 struct Queue {
@@ -200,7 +204,10 @@ impl Queue {
         loop {
             while batch.len() < max {
                 match guard.0.pop_front() {
-                    Some(job) => batch.push(job),
+                    Some(mut job) => {
+                        job.popped_us = clock.now_us();
+                        batch.push(job);
+                    }
                     None => break,
                 }
             }
@@ -245,6 +252,7 @@ pub fn serve_requests(
     let outcomes: Vec<OnceLock<ServeOutcome>> =
         (0..requests.len()).map(|_| OnceLock::new()).collect();
     let queue = Queue::new();
+    gauge!("serve.queue_cap").set(cfg.queue_cap as f64);
 
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers.max(1) {
@@ -261,17 +269,44 @@ pub fn serve_requests(
         // Admission: validate, shed, or enqueue — in submission order.
         for (idx, ex) in requests.iter().enumerate() {
             let seq = idx as u64 + 1;
+            let cx =
+                RequestCx::new(seq, cfg.deadline()).with_admitted_us(chain.clock().now_us());
             if let Err(defect) = ex.validate(limits) {
                 counter!("serve.rejected").inc();
-                set_once(&outcomes[idx], Err(ServeError::Rejected(defect)), idx);
+                let outcome = Err(ServeError::Rejected(defect));
+                telemetry::record_request(
+                    chain,
+                    ex,
+                    &cx,
+                    0,
+                    telemetry::Timing::default(),
+                    Vec::new(),
+                    &outcome,
+                );
+                set_once(&outcomes[idx], outcome, idx);
                 continue;
             }
-            let job = Job { idx, cx: RequestCx::new(seq, cfg.deadline()) };
-            match queue.try_push(job, cfg.queue_cap) {
+            match queue.try_push(Job { idx, cx, popped_us: 0 }, cfg.queue_cap) {
                 Ok(()) => counter!("serve.admitted").inc(),
                 Err(queue_depth) => {
                     counter!("serve.shed").inc();
-                    set_once(&outcomes[idx], Err(ServeError::Shed { queue_depth }), idx);
+                    let outcome = Err(ServeError::Shed { queue_depth });
+                    let done_us = chain.clock().now_us();
+                    telemetry::record_request(
+                        chain,
+                        ex,
+                        &cx,
+                        0,
+                        telemetry::Timing::from_stamps(
+                            cx.admitted_us,
+                            cx.admitted_us,
+                            cx.admitted_us,
+                            done_us,
+                        ),
+                        Vec::new(),
+                        &outcome,
+                    );
+                    set_once(&outcomes[idx], outcome, idx);
                 }
             }
         }
@@ -302,17 +337,30 @@ fn run_batch(
     mut jobs: Vec<Job>,
 ) {
     counter!("serve.batches").inc();
+    let clock = chain.clock();
+    let formed_us = clock.now_us();
     // Eviction at formation: a request whose deadline lapsed while the
     // batch was forming is answered immediately instead of spending model
     // budget or delaying its batch-mates.
     jobs.retain(|job| {
         if job.cx.deadline.expired() {
             counter!("serve.batch_evicted").inc();
-            set_once(
-                &outcomes[job.idx],
-                Err(ServeError::DeadlineExceeded { phase: "queue", tiers: Vec::new() }),
-                job.idx,
+            let outcome = Err(ServeError::DeadlineExceeded { phase: "queue", tiers: Vec::new() });
+            telemetry::record_request(
+                chain,
+                &requests[job.idx],
+                &job.cx,
+                0,
+                telemetry::Timing::from_stamps(
+                    job.cx.admitted_us,
+                    job.popped_us,
+                    formed_us,
+                    clock.now_us(),
+                ),
+                Vec::new(),
+                &outcome,
             );
+            set_once(&outcomes[job.idx], outcome, job.idx);
             false
         } else {
             true
@@ -322,10 +370,11 @@ fn run_batch(
         0 => {}
         1 => {
             let job = &jobs[0];
-            let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx);
+            let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx, job.popped_us, 1);
             set_once(&outcomes[job.idx], outcome, job.idx);
         }
         _ => {
+            let batch_size = jobs.len() as u32;
             // Corrupt only the jobs the chaos schedule names; clean
             // requests are served by reference, never cloned.
             let corrupted: Vec<Option<Example>> = jobs
@@ -340,9 +389,30 @@ fn run_batch(
                 .map(|(job, c)| c.as_ref().unwrap_or(&requests[job.idx]))
                 .collect();
             let cxs: Vec<RequestCx> = jobs.iter().map(|job| job.cx).collect();
-            match catch_unwind(AssertUnwindSafe(|| chain.predict_batch(&exs, &cxs))) {
+            // One capture for the shared forward pass: the phase breakdown
+            // belongs to the batch, so each member's record carries it
+            // alongside its batch size.
+            let capture = bootleg_obs::begin_capture(jobs[0].cx.id);
+            let attempt = catch_unwind(AssertUnwindSafe(|| chain.predict_batch(&exs, &cxs)));
+            let phases = capture.finish();
+            match attempt {
                 Ok(outs) => {
-                    for (job, outcome) in jobs.iter().zip(outs) {
+                    let done_us = clock.now_us();
+                    for ((job, ex), outcome) in jobs.iter().zip(&exs).zip(outs) {
+                        telemetry::record_request(
+                            chain,
+                            ex,
+                            &job.cx,
+                            batch_size,
+                            telemetry::Timing::from_stamps(
+                                job.cx.admitted_us,
+                                job.popped_us,
+                                formed_us,
+                                done_us,
+                            ),
+                            phases.clone(),
+                            &outcome,
+                        );
                         set_once(&outcomes[job.idx], outcome, job.idx);
                     }
                 }
@@ -351,7 +421,8 @@ fn run_batch(
                     // request at a time so the defect attaches to the request
                     // that caused it (run_one counts the internal panic).
                     for job in &jobs {
-                        let outcome = run_one(chain, cfg, &requests[job.idx], &job.cx);
+                        let outcome =
+                            run_one(chain, cfg, &requests[job.idx], &job.cx, job.popped_us, 1);
                         set_once(&outcomes[job.idx], outcome, job.idx);
                     }
                 }
@@ -365,8 +436,13 @@ fn run_one(
     cfg: &ServeConfig,
     ex: &Example,
     cx: &RequestCx,
+    popped_us: u64,
+    batch_size: u32,
 ) -> ServeOutcome {
+    let clock = chain.clock();
+    let started_us = clock.now_us();
     let malformed = cfg.chaos.malformed_example_at(cx.seq);
+    let capture = bootleg_obs::begin_capture(cx.id);
     let result = catch_unwind(AssertUnwindSafe(|| {
         if malformed {
             chain.predict(&corrupt(ex), cx)
@@ -374,13 +450,24 @@ fn run_one(
             chain.predict(ex, cx)
         }
     }));
-    match result {
+    let phases = capture.finish();
+    let outcome = match result {
         Ok(outcome) => outcome,
         Err(payload) => {
             counter!("serve.internal_panics").inc();
             Err(ServeError::Internal { message: panic_message(payload.as_ref()) })
         }
-    }
+    };
+    telemetry::record_request(
+        chain,
+        ex,
+        cx,
+        batch_size,
+        telemetry::Timing::from_stamps(cx.admitted_us, popped_us, started_us, clock.now_us()),
+        phases,
+        &outcome,
+    );
+    outcome
 }
 
 /// Adapts a [`FallbackChain`] into an infallible [`Predictor`] so the
@@ -419,7 +506,26 @@ impl Predictor for ResilientPredictor<'_> {
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let deadline = self.deadline_ms.map_or(Deadline::none(), Deadline::after_ms);
-        match self.chain.predict(ex, &RequestCx::new(seq, deadline)) {
+        let clock = self.chain.clock();
+        let cx = RequestCx::new(seq, deadline).with_admitted_us(clock.now_us());
+        let capture = bootleg_obs::begin_capture(cx.id);
+        let outcome = self.chain.predict(ex, &cx);
+        let phases = capture.finish();
+        telemetry::record_request(
+            self.chain,
+            ex,
+            &cx,
+            1,
+            telemetry::Timing::from_stamps(
+                cx.admitted_us,
+                cx.admitted_us,
+                cx.admitted_us,
+                clock.now_us(),
+            ),
+            phases,
+            &outcome,
+        );
+        match outcome {
             Ok(resp) => resp.predictions,
             Err(_) => fallback(),
         }

@@ -20,12 +20,31 @@ pub struct RequestCx {
     pub seq: u64,
     /// The request's compute budget.
     pub deadline: Deadline,
+    /// Process-unique request id, minted at construction — the join key
+    /// across log lines (`req=<id>`) and `/tracez` records.
+    pub id: u64,
+    /// Wall-clock admission time, unix milliseconds.
+    pub unix_ms: u64,
+    /// Admission timestamp on the serving clock, microseconds (0 until the
+    /// server stamps it) — the base of the queue-wait measurement.
+    pub admitted_us: u64,
 }
 
 impl RequestCx {
-    /// Context for a standalone (non-queued) request.
+    /// Context for a standalone (non-queued) request; mints a fresh
+    /// request id and stamps the wall-clock admission time.
     pub fn new(seq: u64, deadline: Deadline) -> Self {
-        Self { seq, deadline }
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Self { seq, deadline, id: bootleg_obs::next_request_id(), unix_ms, admitted_us: 0 }
+    }
+
+    /// Stamps the admission time on the serving clock (µs).
+    pub fn with_admitted_us(mut self, us: u64) -> Self {
+        self.admitted_us = us;
+        self
     }
 }
 
