@@ -14,7 +14,7 @@
 use bootleg_baselines::{NedBase, NedBaseConfig};
 use bootleg_bench::{Results, Workbench};
 use bootleg_candgen::{extract_mentions, CandidateGenerator};
-use bootleg_core::{BootlegConfig, BootlegModel, Example, ForwardOptions};
+use bootleg_core::{BootlegConfig, BootlegModel, CachePolicy, Example, ForwardOptions};
 use bootleg_corpus::{generate_corpus, weaklabel, CorpusConfig};
 use bootleg_eval::{evaluate_slices, par_evaluate, par_evaluate_batched, BootlegPredictor};
 use bootleg_kb::{generate as gen_kb, KbConfig};
@@ -442,8 +442,14 @@ fn bench_batch(results: &mut Results) {
         CorpusConfig { n_pages, seed: 52, ..CorpusConfig::default() },
         true,
     );
-    let model =
+    let mut model =
         BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default().serving());
+    // Cache off: this bench regression-tests the batching engine's
+    // amortization of per-example embed work. The entity cache removes that
+    // same redundancy a different way (measured by `bench_entity_cache`),
+    // which would shrink the batching ratio this floor guards.
+    model.set_entity_cache_policy(CachePolicy::Off);
+    let model = model;
     let predict = BootlegPredictor::new(&model, &wb.kb);
     let dev = &wb.corpus.dev;
     let sentences = dev.len() as f64;
@@ -478,11 +484,98 @@ fn bench_batch(results: &mut Results) {
     results.set("batch_throughput_x1", x1);
     results.set("batch_throughput_x8", x8);
     results.set("batch_speedup", speedup);
-    let floor = if smoke { 1.1 } else { 1.5 };
+    // Floor recalibrated from 1.5 when the ragged bag-pool kernels landed:
+    // they sped the *sequential* arm ~14% (the denominator of this ratio)
+    // while absolute throughput rose in both arms, so the batching engine's
+    // relative win is structurally smaller at equal health.
+    let floor = if smoke { 1.1 } else { 1.3 };
     assert!(
         speedup >= floor,
         "batched inference is {speedup:.2}x sequential, below the {floor}x acceptance floor"
     );
+}
+
+/// Embed-phase payoff of the precomputed entity-payload plane (PR 8
+/// acceptance: the warmed `full` cache makes the serving-config embed phase
+/// ≥ 1.3× faster than the uncached run — ≥ 1.1× in smoke mode — with
+/// bit-identical predictions).
+///
+/// The embed phase is timed through its own `forward.embed_ns` histogram
+/// (trace-enabled), so the comparison isolates exactly the phase the cache
+/// accelerates. Cold and warm arms interleave their reps (min per arm) on a
+/// 1-thread pool, like every other percent-level bench here; the one-time
+/// plane build runs outside the timed region — it's serve-startup warmup,
+/// not request cost.
+fn bench_entity_cache(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, reps, n_examples) =
+        if smoke { (600usize, 120usize, 3usize, 80usize) } else { (2_000, 600, 5, 240) };
+    // Paper-scale payload bags (R = 50; the KbConfig default scales R down
+    // to 4 for fast unit tests): the serving preset's `max_relations = 50`
+    // only bites when the KB actually attaches bags that large, and the
+    // cache's payoff is precisely the per-request pooling of those bags.
+    let wb = Workbench::build(
+        KbConfig { n_entities, relations_per_entity_max: 50, seed: 61, ..KbConfig::default() },
+        CorpusConfig { n_pages, seed: 62, ..CorpusConfig::default() },
+        true,
+    );
+    let mut model =
+        BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default().serving());
+    let exs: Vec<Example> =
+        wb.corpus.dev.iter().filter_map(Example::evaluation).take(n_examples).collect();
+    assert!(!exs.is_empty(), "workbench corpus yielded no evaluation examples");
+
+    bootleg_obs::set_metrics_enabled(true);
+    bootleg_obs::set_trace_enabled(true);
+    let embed_ns = || bootleg_obs::metrics::histogram("forward.embed_ns").snapshot().sum;
+    let run = |m: &BootlegModel| -> (f64, Vec<Vec<usize>>) {
+        let before = embed_ns();
+        let preds: Vec<Vec<usize>> =
+            exs.iter().map(|ex| m.infer(&wb.kb, ex).predictions).collect();
+        (embed_ns() - before, preds)
+    };
+
+    let pool = ThreadPool::new(1);
+    let (cold, warm, preds_cold, preds_warm) = with_pool(&pool, || {
+        model.set_entity_cache_policy(CachePolicy::Off);
+        let (_, preds_cold) = run(&model); // warm-up
+        model.set_entity_cache_policy(CachePolicy::Full);
+        model.warm_entity_cache();
+        let (_, preds_warm) = run(&model); // warm-up
+        let (mut cold, mut warm) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..reps {
+            model.set_entity_cache_policy(CachePolicy::Off);
+            cold = cold.min(run(&model).0);
+            model.set_entity_cache_policy(CachePolicy::Full);
+            model.warm_entity_cache();
+            warm = warm.min(run(&model).0);
+        }
+        (cold, warm, preds_cold, preds_warm)
+    });
+    bootleg_obs::set_trace_enabled(false);
+    assert_eq!(
+        preds_cold, preds_warm,
+        "cached serving predictions must be identical to uncached"
+    );
+
+    let speedup = cold / warm.max(1e-9);
+    println!("entitycache/embed_ns_cold                    {:.0} ns", cold);
+    println!("entitycache/embed_ns_warm                    {:.0} ns", warm);
+    println!("entitycache/speedup: {speedup:.2}x (predictions identical)");
+    println!("entitycache/bytes                            {}", model.entity_cache_bytes());
+    results.set("embed_ns_cold", cold);
+    results.set("embed_ns_warm", warm);
+    results.set("entity_cache_speedup", speedup);
+    results.set("entity_cache_bytes", model.entity_cache_bytes());
+    let floor = if smoke { 1.1 } else { 1.3 };
+    assert!(
+        speedup >= floor,
+        "warm entity cache is {speedup:.2}x the uncached embed phase, below the {floor}x floor"
+    );
+    // This workload leaves serving-scale (R = 50) buffers in the thread's
+    // free lists; drop them so they don't crowd the byte cap and distort
+    // the alloc accounting of the benches that follow.
+    arena::clear_thread();
 }
 
 /// Observability overhead on the instrumented hot path (PR acceptance:
@@ -502,8 +595,12 @@ fn bench_obs_overhead(results: &mut Results) {
         CorpusConfig { n_pages, seed: 32, ..CorpusConfig::default() },
         true,
     );
-    let model =
+    let mut model =
         BootlegModel::new(&wb.kb, &wb.corpus.vocab, &wb.counts, BootlegConfig::default());
+    // Cache off so the percent-level instrumentation ratio keeps comparing
+    // the same op mix the pre-cache floor was calibrated against.
+    model.set_entity_cache_policy(CachePolicy::Off);
+    let model = model;
     let predict = BootlegPredictor::new(&model, &wb.kb);
     let dev = &wb.corpus.dev;
 
@@ -577,6 +674,10 @@ fn main() {
     // workload; late, they drift several percent against batching.
     bench_batch(&mut results);
     bench_obs_overhead(&mut results);
+    // After the percent-level ratios: the cache floor is a 30%-level claim
+    // with real margin, so it tolerates the sustained-load drift that the
+    // two benches above cannot.
+    bench_entity_cache(&mut results);
     if !smoke {
         bench_kernels();
         bench_attention();

@@ -164,14 +164,17 @@ impl BootlegModel {
             let mut kg_mats: Vec<Tensor> = Vec::new();
             if cfg.use_kg() {
                 let mut k = arena::take_zeroed(s_i * s_i);
+                // Connectivity is symmetric, so probe each unordered pair
+                // once and write both cells.
                 for i in 0..s_i {
-                    for j in 0..s_i {
+                    for j in i + 1..s_i {
                         if mention_of[i] != mention_of[j]
                             && kb
                                 .connected(EntityId(cand_entities[i]), EntityId(cand_entities[j]))
                                 .is_some()
                         {
                             k[i * s_i + j] = 1.0;
+                            k[j * s_i + i] = 1.0;
                         }
                     }
                 }
@@ -252,9 +255,18 @@ impl BootlegModel {
         };
 
         let mut parts: Vec<Var> = Vec::new();
+        // Static per-entity payloads (entity row, pooled type/rel bags, title
+        // mean) may come straight from the entity-repr cache; the
+        // mention-dependent parts (coarse type, position encoding) stay live.
+        // Gradient-bearing passes skip the cache: leaves carry no params.
+        let mut cached =
+            if opts.build_loss { None } else { self.gather_cached_parts(&global_cands) };
         if cfg.use_entity() {
             // No training mask at inference: the gather alone.
-            parts.push(g.gather_rows(ps, self.entity_emb, &global_cands));
+            parts.push(match cached.as_mut().and_then(|c| c.entity.take()) {
+                Some(t) => g.leaf(t),
+                None => g.gather_rows(ps, self.entity_emb, &global_cands),
+            });
         }
 
         // Type prediction (Appendix A), batched over all mentions: the
@@ -299,13 +311,16 @@ impl BootlegModel {
 
         if cfg.use_types() {
             let _s = bootleg_obs::span!("pool_types");
-            parts.push(self.pool_bags_batched(
-                &g,
-                &global_cands,
-                self.type_emb,
-                &self.entity_types,
-                &self.type_attn,
-            ));
+            parts.push(match cached.as_mut().and_then(|c| c.types.take()) {
+                Some(t) => g.leaf(t),
+                None => self.pool_bags_batched(
+                    &g,
+                    &global_cands,
+                    self.type_emb,
+                    &self.entity_types,
+                    &self.type_attn,
+                ),
+            });
             if let Some(tv) = &mention_type_vec {
                 // The predicted coarse type of each mention, repeated onto
                 // every one of its candidates.
@@ -315,29 +330,23 @@ impl BootlegModel {
 
         if cfg.use_kg() {
             let _s = bootleg_obs::span!("pool_rels");
-            parts.push(self.pool_bags_batched(
-                &g,
-                &global_cands,
-                self.rel_emb,
-                &self.entity_rels,
-                &self.rel_attn,
-            ));
+            parts.push(match cached.as_mut().and_then(|c| c.rels.take()) {
+                Some(t) => g.leaf(t),
+                None => self.pool_bags_batched(
+                    &g,
+                    &global_cands,
+                    self.rel_emb,
+                    &self.entity_rels,
+                    &self.rel_attn,
+                ),
+            });
         }
 
         if cfg.title_feature {
-            // `mean_rows` folds a whole bag into one scalar per column —
-            // (Σx)/m has no row-wise decomposition — so titles keep the
-            // sequential per-candidate loop.
-            let title_rows: Vec<Var> = global_cands
-                .iter()
-                .map(|&e| {
-                    let ids = &self.entity_titles[e as usize];
-                    let rows = g.gather_rows(ps, self.word_encoder.emb, ids);
-                    rows.mean_rows().reshape(&[1, cfg.word_encoder.d_model])
-                })
-                .collect();
-            let refs: Vec<&Var> = title_rows.iter().collect();
-            parts.push(g.concat_rows(&refs));
+            parts.push(match cached.as_mut().and_then(|c| c.titles.take()) {
+                Some(t) => g.leaf(t),
+                None => self.pool_titles_batched(&g, &global_cands),
+            });
         }
 
         let part_refs: Vec<&Var> = parts.iter().collect();
@@ -554,9 +563,11 @@ impl BootlegModel {
     }
 
     /// Pools every candidate's embedding bag (types or relations) in one
-    /// padded ragged pass — bit-identical per row to the sequential
-    /// per-candidate `AddAttn::forward` loop.
-    fn pool_bags_batched(
+    /// padded ragged pass — bit-identical per row to a per-candidate
+    /// `AddAttn::forward` loop for any pad width (see
+    /// [`bootleg_nn::AddAttn::pool_ragged`]). Shared by the sequential and
+    /// batched engines and by the entity-repr cache's build kernel.
+    pub(crate) fn pool_bags_batched(
         &self,
         g: &Graph,
         cand_entities: &[u32],
@@ -577,5 +588,23 @@ impl BootlegModel {
         }
         let bag = g.gather_rows(&self.params, emb, &flat); // (S·t_max, d)
         attn.pool_ragged(g, &self.params, &bag, &lens, t_max)
+    }
+
+    /// Mean word embedding of every candidate's title tokens (App. B) as one
+    /// flat gather + ragged segment mean — bit-identical per row to a
+    /// per-candidate `mean_rows` loop, since
+    /// [`bootleg_tensor::Var::mean_rows_segments`] replays `mean_rows`'
+    /// accumulation order within each segment. Shared by the sequential and
+    /// batched engines and by the entity-repr cache's build kernel.
+    pub(crate) fn pool_titles_batched(&self, g: &Graph, cand_entities: &[u32]) -> Var {
+        let mut lens: Vec<usize> = Vec::with_capacity(cand_entities.len());
+        let mut flat: Vec<u32> = Vec::new();
+        for &e in cand_entities {
+            let ids = &self.entity_titles[e as usize];
+            lens.push(ids.len());
+            flat.extend_from_slice(ids);
+        }
+        let rows = g.gather_rows(&self.params, self.word_encoder.emb, &flat); // (Σ|title|, d)
+        rows.mean_rows_segments(&lens) // (S, d_model)
     }
 }

@@ -1,0 +1,504 @@
+//! Precomputed entity-payload plane: static candidate representations,
+//! cached and served (PR 8).
+//!
+//! Bootleg's serving insight (CIDR 2021 §4) is that each entity's signal
+//! payload — its embedding row, the additive-attention pools over its type
+//! and relation bags, and its title mean vector — depends only on the
+//! *weights*, never on the mention. [`EntityReprCache`] materializes those
+//! payloads once per entity into contiguous rows so the inference `embed`
+//! phase collapses to plain row copies; the mention-dependent parts
+//! (coarse-type prediction, position encoding) stay live.
+//!
+//! # Bit-identity
+//!
+//! Payload rows are built by the *same* kernels the uncached path runs per
+//! request — [`BootlegModel::pool_bags_batched`] and
+//! [`BootlegModel::pool_titles_batched`] — whose outputs are row-wise
+//! independent of which other entities share the build batch (the ragged
+//! attention pool is pad-width invariant, the segment mean replays
+//! `mean_rows` per segment). A cached row is therefore bit-identical to
+//! what the request would have computed, and cached forward outputs are
+//! bit-identical to uncached ones (property-tested across ablation
+//! variants in `tests/entity_cache.rs`).
+//!
+//! # Invalidation
+//!
+//! Every mutable access to [`bootleg_tensor::ParamStore`] bumps a version
+//! stamp (train steps, checkpoint restores and compression all mutate
+//! through it). Cached planes record the stamp they were built at and are
+//! discarded when it moves. Mutation requires `&mut` model while inference
+//! borrows `&` model, so a stale plane can never be *raced* — only
+//! observed sequentially, where the stamp check catches it.
+//!
+//! # Policies
+//!
+//! `BOOTLEG_ENTITY_CACHE` selects the fill policy at model construction:
+//! `full` (default) eagerly materializes every entity in parallel over
+//! entity shards via `bootleg-pool` on first use (or at `serve` warmup);
+//! `lru:<n>` keeps at most `n` entities in a lock-sharded LRU for
+//! memory-capped deployments; `off` disables caching entirely.
+
+use crate::config::BootlegConfig;
+use crate::model::BootlegModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use bootleg_tensor::{arena, Graph, Tensor};
+
+/// Number of LRU lock shards (entity id modulo shard count).
+const LRU_SHARDS: usize = 16;
+
+/// Fill policy for the entity-payload cache
+/// (`BOOTLEG_ENTITY_CACHE=full|lru:<n>|off`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No caching: every request recomputes its payloads.
+    Off,
+    /// Eagerly materialize every entity's payload (built in parallel over
+    /// entity shards on first use, or ahead of time by
+    /// [`BootlegModel::warm_entity_cache`]).
+    Full,
+    /// Lazily cache at most this many entities in a lock-sharded LRU.
+    Lru(usize),
+}
+
+impl CachePolicy {
+    /// Reads `BOOTLEG_ENTITY_CACHE`; unset or unparsable values fall back
+    /// to [`CachePolicy::Full`].
+    pub fn from_env() -> Self {
+        match std::env::var("BOOTLEG_ENTITY_CACHE") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                bootleg_obs::warn!("entitycache.bad_env", value = v);
+                CachePolicy::Full
+            }),
+            Err(_) => CachePolicy::Full,
+        }
+    }
+
+    /// Parses `full`, `off`, or `lru:<n>` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim().to_ascii_lowercase();
+        match s.as_str() {
+            "off" | "0" | "none" => Some(CachePolicy::Off),
+            "full" | "1" | "on" => Some(CachePolicy::Full),
+            _ => {
+                let n: usize = s.strip_prefix("lru:")?.parse().ok()?;
+                Some(if n == 0 { CachePolicy::Off } else { CachePolicy::Lru(n) })
+            }
+        }
+    }
+}
+
+/// Byte offsets of each signal inside a payload row, derived from the
+/// config's enabled signals. A `(offset, width)` of width 0 means the
+/// signal is ablated away.
+#[derive(Clone, Copy, Debug)]
+struct PayloadLayout {
+    entity: (usize, usize),
+    types: (usize, usize),
+    rels: (usize, usize),
+    titles: (usize, usize),
+    /// Total floats per payload row.
+    width: usize,
+}
+
+impl PayloadLayout {
+    fn of(cfg: &BootlegConfig) -> Self {
+        let mut off = 0;
+        let mut seg = |w: usize| {
+            let s = (off, w);
+            off += w;
+            s
+        };
+        let entity = seg(if cfg.use_entity() { cfg.entity_dim } else { 0 });
+        let types = seg(if cfg.use_types() { cfg.type_dim } else { 0 });
+        let rels = seg(if cfg.use_kg() { cfg.rel_dim } else { 0 });
+        let titles = seg(if cfg.title_feature { cfg.word_encoder.d_model } else { 0 });
+        Self { entity, types, rels, titles, width: off }
+    }
+}
+
+/// Per-signal `(S, width)` matrices for one request's candidate rows, ready
+/// to enter the tape as leaves. Fields are `None` for ablated signals.
+pub(crate) struct CachedParts {
+    pub entity: Option<Tensor>,
+    pub types: Option<Tensor>,
+    pub rels: Option<Tensor>,
+    pub titles: Option<Tensor>,
+}
+
+/// Builder for [`CachedParts`]: per-signal row buffers filled one payload
+/// row at a time.
+struct PartsBuf {
+    layout: PayloadLayout,
+    n: usize,
+    entity: Vec<f32>,
+    types: Vec<f32>,
+    rels: Vec<f32>,
+    titles: Vec<f32>,
+}
+
+impl PartsBuf {
+    fn new(layout: PayloadLayout, n: usize) -> Self {
+        // Arena-recycled: these become graph leaves, and the tape returns
+        // every node buffer to the arena when the graph drops, so the
+        // steady-state serving path allocates nothing here.
+        Self {
+            layout,
+            n,
+            entity: arena::take_zeroed(n * layout.entity.1),
+            types: arena::take_zeroed(n * layout.types.1),
+            rels: arena::take_zeroed(n * layout.rels.1),
+            titles: arena::take_zeroed(n * layout.titles.1),
+        }
+    }
+
+    /// Copies payload row `row` into candidate slot `i` of every signal.
+    fn set_row(&mut self, i: usize, row: &[f32]) {
+        let l = self.layout;
+        for ((off, w), buf) in [
+            (l.entity, &mut self.entity),
+            (l.types, &mut self.types),
+            (l.rels, &mut self.rels),
+            (l.titles, &mut self.titles),
+        ] {
+            if w > 0 {
+                buf[i * w..(i + 1) * w].copy_from_slice(&row[off..off + w]);
+            }
+        }
+    }
+
+    fn finish(self) -> CachedParts {
+        let n = self.n;
+        let tensor = |w: usize, v: Vec<f32>| (w > 0).then(|| Tensor::new([n, w], v));
+        CachedParts {
+            entity: tensor(self.layout.entity.1, self.entity),
+            types: tensor(self.layout.types.1, self.types),
+            rels: tensor(self.layout.rels.1, self.rels),
+            titles: tensor(self.layout.titles.1, self.titles),
+        }
+    }
+}
+
+/// Fully materialized payload plane: one contiguous row per entity.
+#[derive(Debug)]
+struct FullPlane {
+    /// `params.version()` the plane was built at.
+    version: u64,
+    /// `(n_entities, width)` row-major payload matrix.
+    rows: Vec<f32>,
+    width: usize,
+}
+
+struct LruEntry {
+    row: Vec<f32>,
+    /// Last-touch stamp from the cache-wide tick counter.
+    tick: u64,
+}
+
+#[derive(Default)]
+struct LruShard {
+    map: HashMap<u32, LruEntry>,
+}
+
+/// Inference-only cache of static per-entity payload rows. Owned by
+/// [`BootlegModel`]; interior-mutable so `&model` inference paths can fill
+/// it (the model is shared immutably across serving workers).
+pub struct EntityReprCache {
+    policy: CachePolicy,
+    full: RwLock<Option<Arc<FullPlane>>>,
+    lru: Vec<Mutex<LruShard>>,
+    /// `params.version()` the LRU entries were built at.
+    lru_version: AtomicU64,
+    /// Monotonic touch stamp driving LRU eviction order.
+    tick: AtomicU64,
+    /// Live LRU entries (all shards), for the bytes gauge.
+    lru_entries: AtomicU64,
+}
+
+impl std::fmt::Debug for EntityReprCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EntityReprCache").field("policy", &self.policy).finish_non_exhaustive()
+    }
+}
+
+impl EntityReprCache {
+    pub fn new(policy: CachePolicy) -> Self {
+        Self {
+            policy,
+            full: RwLock::new(None),
+            lru: (0..LRU_SHARDS).map(|_| Mutex::new(LruShard::default())).collect(),
+            lru_version: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            lru_entries: AtomicU64::new(0),
+        }
+    }
+
+    pub fn policy(&self) -> &CachePolicy {
+        &self.policy
+    }
+
+    /// Gathers the cached payload parts for `cand` (one row per candidate
+    /// occurrence), filling the cache as its policy allows. `None` when
+    /// caching is off or the model has no static signals.
+    fn gather(&self, model: &BootlegModel, cand: &[u32]) -> Option<CachedParts> {
+        let layout = PayloadLayout::of(&model.config);
+        if layout.width == 0 || matches!(self.policy, CachePolicy::Off) {
+            return None;
+        }
+        match self.policy {
+            CachePolicy::Full => Some(self.gather_full(model, layout, cand)),
+            CachePolicy::Lru(cap) => Some(self.gather_lru(model, layout, cand, cap)),
+            CachePolicy::Off => unreachable!(),
+        }
+    }
+
+    /// Returns the current full plane, building it (in parallel over entity
+    /// shards) if absent or stale.
+    fn full_plane(&self, model: &BootlegModel, layout: PayloadLayout) -> Arc<FullPlane> {
+        let cur = model.params.version();
+        if let Some(p) = self.full.read().expect("entity cache lock").as_ref() {
+            if p.version == cur {
+                return p.clone();
+            }
+        }
+        let mut slot = self.full.write().expect("entity cache lock");
+        // Another thread may have rebuilt while we waited for the lock.
+        if let Some(p) = slot.as_ref() {
+            if p.version == cur {
+                return p.clone();
+            }
+        }
+        let start = Instant::now();
+        let n = model.n_entities;
+        let w = layout.width;
+        let mut rows = vec![0.0f32; n * w];
+        // Chunk so every pool worker gets a few chunks to steal.
+        let per_chunk = (n / (bootleg_pool::num_threads() * 4).max(1)).clamp(16, 1024);
+        bootleg_pool::parallel_chunks_mut(&mut rows, per_chunk * w, |ci, chunk| {
+            let lo = ci * per_chunk;
+            let ids: Vec<u32> = (lo..lo + chunk.len() / w).map(|e| e as u32).collect();
+            build_payload_rows(model, layout, &ids, chunk);
+        });
+        bootleg_obs::counter!("entitycache.misses").add(n as u64);
+        bootleg_obs::counter!("entitycache.build_ns").add(start.elapsed().as_nanos() as u64);
+        bootleg_obs::gauge!("entitycache.bytes").set((rows.len() * 4) as f64);
+        let plane = Arc::new(FullPlane { version: cur, rows, width: w });
+        *slot = Some(plane.clone());
+        plane
+    }
+
+    fn gather_full(&self, model: &BootlegModel, layout: PayloadLayout, cand: &[u32]) -> CachedParts {
+        let plane = self.full_plane(model, layout);
+        let w = plane.width;
+        let mut buf = PartsBuf::new(layout, cand.len());
+        for (i, &e) in cand.iter().enumerate() {
+            let e = e as usize;
+            buf.set_row(i, &plane.rows[e * w..(e + 1) * w]);
+        }
+        bootleg_obs::counter!("entitycache.hits").add(cand.len() as u64);
+        buf.finish()
+    }
+
+    /// Drops every LRU entry if the weights moved since they were built.
+    fn lru_ensure_version(&self, model: &BootlegModel) {
+        let cur = model.params.version();
+        if self.lru_version.load(Ordering::Acquire) != cur {
+            for shard in &self.lru {
+                shard.lock().expect("entity cache lock").map.clear();
+            }
+            self.lru_entries.store(0, Ordering::Relaxed);
+            bootleg_obs::gauge!("entitycache.bytes").set(0.0);
+            self.lru_version.store(cur, Ordering::Release);
+        }
+    }
+
+    fn gather_lru(
+        &self,
+        model: &BootlegModel,
+        layout: PayloadLayout,
+        cand: &[u32],
+        cap: usize,
+    ) -> CachedParts {
+        self.lru_ensure_version(model);
+        let w = layout.width;
+        let mut buf = PartsBuf::new(layout, cand.len());
+        // Probe pass: copy hits, collect distinct misses.
+        let mut miss_ids: Vec<u32> = Vec::new();
+        let mut miss_pos: Vec<(usize, u32)> = Vec::new();
+        let mut hits = 0u64;
+        for (i, &e) in cand.iter().enumerate() {
+            let mut shard =
+                self.lru[e as usize % LRU_SHARDS].lock().expect("entity cache lock");
+            if let Some(entry) = shard.map.get_mut(&e) {
+                entry.tick = self.tick.fetch_add(1, Ordering::Relaxed);
+                buf.set_row(i, &entry.row);
+                hits += 1;
+            } else {
+                if !miss_ids.contains(&e) {
+                    miss_ids.push(e);
+                }
+                miss_pos.push((i, e));
+            }
+        }
+        bootleg_obs::counter!("entitycache.hits").add(hits);
+        if miss_ids.is_empty() {
+            return buf.finish();
+        }
+        // Build pass: all distinct misses in one batch through the shared
+        // kernels (row values are batch-invariant, so the grouping is inert).
+        let start = Instant::now();
+        let mut built = arena::take_zeroed(miss_ids.len() * w);
+        build_payload_rows(model, layout, &miss_ids, &mut built);
+        bootleg_obs::counter!("entitycache.misses").add(miss_pos.len() as u64);
+        bootleg_obs::counter!("entitycache.build_ns").add(start.elapsed().as_nanos() as u64);
+        // Fill + insert pass (evicting the least-recently-touched entry of
+        // the over-full shard).
+        let cap_per_shard = (cap / LRU_SHARDS).max(1);
+        for (mi, &e) in miss_ids.iter().enumerate() {
+            let row = &built[mi * w..(mi + 1) * w];
+            for &(i, pe) in &miss_pos {
+                if pe == e {
+                    buf.set_row(i, row);
+                }
+            }
+            let mut shard =
+                self.lru[e as usize % LRU_SHARDS].lock().expect("entity cache lock");
+            if !shard.map.contains_key(&e) {
+                if shard.map.len() >= cap_per_shard {
+                    if let Some((&victim, _)) =
+                        shard.map.iter().min_by_key(|(_, entry)| entry.tick)
+                    {
+                        shard.map.remove(&victim);
+                        self.lru_entries.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+                shard.map.insert(e, LruEntry { row: row.to_vec(), tick });
+                self.lru_entries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        arena::release(built);
+        bootleg_obs::gauge!("entitycache.bytes")
+            .set((self.lru_entries.load(Ordering::Relaxed) as usize * w * 4) as f64);
+        buf.finish()
+    }
+
+    /// Bytes currently held by the cache (0 when off or not yet filled).
+    pub fn bytes(&self, model: &BootlegModel) -> usize {
+        let layout = PayloadLayout::of(&model.config);
+        match self.policy {
+            CachePolicy::Off => 0,
+            CachePolicy::Full => self
+                .full
+                .read()
+                .expect("entity cache lock")
+                .as_ref()
+                .map_or(0, |p| p.rows.len() * 4),
+            CachePolicy::Lru(_) => {
+                self.lru_entries.load(Ordering::Relaxed) as usize * layout.width * 4
+            }
+        }
+    }
+}
+
+/// Builds the payload rows of `ids` into `out` (`ids.len() × layout.width`)
+/// with the same kernels the uncached forward path runs, so every row is
+/// bit-identical to what a request would compute live.
+fn build_payload_rows(model: &BootlegModel, layout: PayloadLayout, ids: &[u32], out: &mut [f32]) {
+    let w = layout.width;
+    debug_assert_eq!(out.len(), ids.len() * w);
+    if layout.entity.1 > 0 {
+        let table = &model.params.get(model.entity_emb).data;
+        let (off, ew) = layout.entity;
+        for (i, &e) in ids.iter().enumerate() {
+            out[i * w + off..i * w + off + ew].copy_from_slice(table.row(e as usize));
+        }
+    }
+    // One throwaway inference tape per build batch; its buffers recycle
+    // through the arena like any forward pass.
+    let g = Graph::new();
+    let mut scatter = |var: bootleg_tensor::Var, (off, sw): (usize, usize)| {
+        let mut tmp = arena::take_zeroed(ids.len() * sw);
+        var.copy_value_into(&mut tmp);
+        for (i, row) in tmp.chunks_exact(sw).enumerate() {
+            out[i * w + off..i * w + off + sw].copy_from_slice(row);
+        }
+        arena::release(tmp);
+    };
+    if layout.types.1 > 0 {
+        let v = model.pool_bags_batched(
+            &g,
+            ids,
+            model.type_emb,
+            &model.entity_types,
+            &model.type_attn,
+        );
+        scatter(v, layout.types);
+    }
+    if layout.rels.1 > 0 {
+        let v =
+            model.pool_bags_batched(&g, ids, model.rel_emb, &model.entity_rels, &model.rel_attn);
+        scatter(v, layout.rels);
+    }
+    if layout.titles.1 > 0 {
+        let v = model.pool_titles_batched(&g, ids);
+        scatter(v, layout.titles);
+    }
+}
+
+impl BootlegModel {
+    /// Gathers the static payload parts for the candidate rows from the
+    /// entity-repr cache (`None` when caching is off). Inference-only
+    /// callers: the returned parts enter the tape as leaves, which carry no
+    /// parameter gradients.
+    pub(crate) fn gather_cached_parts(&self, cand: &[u32]) -> Option<CachedParts> {
+        self.repr_cache.gather(self, cand)
+    }
+
+    /// Eagerly materializes the payload plane under the `Full` policy (the
+    /// serve-startup warmup); a no-op for `Lru`/`Off` and when the plane is
+    /// already current.
+    pub fn warm_entity_cache(&self) {
+        if matches!(self.repr_cache.policy(), CachePolicy::Full) {
+            let layout = PayloadLayout::of(&self.config);
+            if layout.width > 0 {
+                let _ = self.repr_cache.full_plane(self, layout);
+            }
+        }
+    }
+
+    /// Replaces the cache policy (dropping any cached payloads). Mostly for
+    /// tests and benches; deployments set `BOOTLEG_ENTITY_CACHE` instead.
+    pub fn set_entity_cache_policy(&mut self, policy: CachePolicy) {
+        self.repr_cache = EntityReprCache::new(policy);
+    }
+
+    /// The active cache policy.
+    pub fn entity_cache_policy(&self) -> &CachePolicy {
+        self.repr_cache.policy()
+    }
+
+    /// Bytes currently held by the entity-repr cache.
+    pub fn entity_cache_bytes(&self) -> usize {
+        self.repr_cache.bytes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses() {
+        assert_eq!(CachePolicy::parse("off"), Some(CachePolicy::Off));
+        assert_eq!(CachePolicy::parse("full"), Some(CachePolicy::Full));
+        assert_eq!(CachePolicy::parse("FULL"), Some(CachePolicy::Full));
+        assert_eq!(CachePolicy::parse("lru:1024"), Some(CachePolicy::Lru(1024)));
+        assert_eq!(CachePolicy::parse("lru:0"), Some(CachePolicy::Off));
+        assert_eq!(CachePolicy::parse("lru:x"), None);
+        assert_eq!(CachePolicy::parse("banana"), None);
+    }
+}

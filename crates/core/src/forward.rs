@@ -283,14 +283,17 @@ impl BootlegModel {
         let mut kg_mats: Vec<Tensor> = Vec::new();
         if cfg.use_kg() {
             let mut k = arena::take_zeroed(s_total * s_total);
+            // Connectivity is symmetric, so probe each unordered pair once
+            // and write both cells.
             for i in 0..s_total {
-                for j in 0..s_total {
+                for j in i + 1..s_total {
                     if mention_of[i] != mention_of[j]
                         && kb
                             .connected(EntityId(cand_entities[i]), EntityId(cand_entities[j]))
                             .is_some()
                     {
                         k[i * s_total + j] = 1.0;
+                        k[j * s_total + i] = 1.0;
                     }
                 }
             }
@@ -342,21 +345,35 @@ impl BootlegModel {
 
         let mut parts: Vec<Var> = Vec::new();
 
+        // Static per-entity payloads (entity row, pooled type/rel bags, title
+        // mean) may come straight from the entity-repr cache; the
+        // mention-dependent parts (coarse type, position encoding) stay live.
+        // Gradient-bearing passes skip the cache: leaves carry no params.
+        let mut cached = if training || opts.build_loss {
+            None
+        } else {
+            self.gather_cached_parts(&cand_entities)
+        };
+
         if cfg.use_entity() {
-            let u = g.gather_rows(ps, self.entity_emb, &cand_entities);
-            let u = if training && !matches!(cfg.regularization, crate::RegScheme::None) {
-                // 2-D regularization: zero the whole embedding with p(e).
-                let mut mask = arena::take(s_total * cfg.entity_dim);
-                for (mrow, &e) in mask.chunks_exact_mut(cfg.entity_dim).zip(&cand_entities) {
-                    let keep = mask_rng.gen::<f32>() >= self.reg_p[e as usize];
-                    mrow.fill(if keep { 1.0 } else { 0.0 });
-                }
-                let mv = g.leaf(Tensor::new([s_total, cfg.entity_dim], mask));
-                u.mul(&mv)
+            if let Some(t) = cached.as_mut().and_then(|c| c.entity.take()) {
+                parts.push(g.leaf(t));
             } else {
-                u
-            };
-            parts.push(u);
+                let u = g.gather_rows(ps, self.entity_emb, &cand_entities);
+                let u = if training && !matches!(cfg.regularization, crate::RegScheme::None) {
+                    // 2-D regularization: zero the whole embedding with p(e).
+                    let mut mask = arena::take(s_total * cfg.entity_dim);
+                    for (mrow, &e) in mask.chunks_exact_mut(cfg.entity_dim).zip(&cand_entities) {
+                        let keep = mask_rng.gen::<f32>() >= self.reg_p[e as usize];
+                        mrow.fill(if keep { 1.0 } else { 0.0 });
+                    }
+                    let mv = g.leaf(Tensor::new([s_total, cfg.entity_dim], mask));
+                    u.mul(&mv)
+                } else {
+                    u
+                };
+                parts.push(u);
+            }
         }
 
         // Type prediction (Appendix A): coarse mention type from the first +
@@ -394,15 +411,16 @@ impl BootlegModel {
         }
 
         if cfg.use_types() {
-            let type_rows: Vec<Var> = cand_entities
-                .iter()
-                .map(|&e| {
-                    let bag = g.gather_rows(ps, self.type_emb, &self.entity_types[e as usize]);
-                    self.type_attn.forward(&g, ps, &bag) // (1, type_dim)
-                })
-                .collect();
-            let refs: Vec<&Var> = type_rows.iter().collect();
-            parts.push(g.concat_rows(&refs)); // (S, type_dim)
+            parts.push(match cached.as_mut().and_then(|c| c.types.take()) {
+                Some(t) => g.leaf(t),
+                None => self.pool_bags_batched(
+                    &g,
+                    &cand_entities,
+                    self.type_emb,
+                    &self.entity_types,
+                    &self.type_attn,
+                ), // (S, type_dim)
+            });
             if self.type_pred.is_some() {
                 // Concatenate the predicted coarse type of each mention to
                 // every one of its candidates.
@@ -412,29 +430,24 @@ impl BootlegModel {
         }
 
         if cfg.use_kg() {
-            let rel_rows: Vec<Var> = cand_entities
-                .iter()
-                .map(|&e| {
-                    let bag = g.gather_rows(ps, self.rel_emb, &self.entity_rels[e as usize]);
-                    self.rel_attn.forward(&g, ps, &bag)
-                })
-                .collect();
-            let refs: Vec<&Var> = rel_rows.iter().collect();
-            parts.push(g.concat_rows(&refs)); // (S, rel_dim)
+            parts.push(match cached.as_mut().and_then(|c| c.rels.take()) {
+                Some(t) => g.leaf(t),
+                None => self.pool_bags_batched(
+                    &g,
+                    &cand_entities,
+                    self.rel_emb,
+                    &self.entity_rels,
+                    &self.rel_attn,
+                ), // (S, rel_dim)
+            });
         }
 
         if cfg.title_feature {
             // Average word embedding of the entity's title tokens (App. B).
-            let title_rows: Vec<Var> = cand_entities
-                .iter()
-                .map(|&e| {
-                    let ids = &self.entity_titles[e as usize];
-                    let rows = g.gather_rows(ps, self.word_encoder.emb, ids);
-                    rows.mean_rows().reshape(&[1, cfg.word_encoder.d_model])
-                })
-                .collect();
-            let refs: Vec<&Var> = title_rows.iter().collect();
-            parts.push(g.concat_rows(&refs));
+            parts.push(match cached.as_mut().and_then(|c| c.titles.take()) {
+                Some(t) => g.leaf(t),
+                None => self.pool_titles_batched(&g, &cand_entities), // (S, d_model)
+            });
         }
 
         let part_refs: Vec<&Var> = parts.iter().collect();

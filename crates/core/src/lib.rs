@@ -31,6 +31,7 @@ pub mod batch;
 pub mod compression;
 pub mod config;
 pub mod cooccur;
+pub mod entitycache;
 pub mod example;
 pub mod explain;
 pub mod fault;
@@ -42,6 +43,7 @@ pub mod train;
 
 pub use compression::compress_entity_embeddings;
 pub use config::{BootlegConfig, ModelVariant};
+pub use entitycache::CachePolicy;
 pub use example::{ExMention, Example, ExampleDefect, ValidationLimits};
 pub use explain::{Explanation, Signal};
 pub use forward::{Deadline, ForwardInterrupted, ForwardOptions, ForwardOutput};

@@ -55,6 +55,9 @@ pub struct BootlegModel {
     pub(crate) entity_titles: Vec<Vec<u32>>,
     /// Optional sentence co-occurrence KG matrix (benchmark model).
     pub(crate) cooccur: Option<CooccurrenceIndex>,
+    /// Inference-only cache of static per-entity payload rows (entity row,
+    /// pooled type/rel bags, title mean). See [`crate::entitycache`].
+    pub(crate) repr_cache: crate::entitycache::EntityReprCache,
     /// Number of real entities (tables have one extra padding row).
     pub n_entities: usize,
 }
@@ -227,6 +230,9 @@ impl BootlegModel {
             entity_coarse,
             entity_titles,
             cooccur: None,
+            repr_cache: crate::entitycache::EntityReprCache::new(
+                crate::entitycache::CachePolicy::from_env(),
+            ),
             n_entities,
         }
     }
@@ -343,6 +349,11 @@ impl BootlegModel {
             entity_coarse: self.entity_coarse.clone(),
             entity_titles: self.entity_titles.clone(),
             cooccur: self.cooccur.clone(),
+            // A fresh (empty) cache under the same policy: the clone's
+            // params may diverge, and payloads rebuild on demand.
+            repr_cache: crate::entitycache::EntityReprCache::new(
+                self.repr_cache.policy().clone(),
+            ),
             n_entities: self.n_entities,
         }
     }

@@ -56,8 +56,11 @@ pub struct BootlegPredictor<'a> {
 }
 
 impl<'a> BootlegPredictor<'a> {
-    /// Pairs a model with its knowledge base.
+    /// Pairs a model with its knowledge base. Warms the model's
+    /// entity-payload cache (when the policy is `full`) so the first
+    /// evaluated sentence doesn't pay the one-time build.
     pub fn new(model: &'a BootlegModel, kb: &'a KnowledgeBase) -> Self {
+        model.warm_entity_cache();
         Self { model, kb }
     }
 }

@@ -102,10 +102,14 @@ impl KnowledgeBase {
     pub fn adjacency(&self, candidates: &[EntityId]) -> Vec<f32> {
         let n = candidates.len();
         let mut k = vec![0.0f32; n * n];
+        // `edge_set` holds both orderings of every edge (see `finalize`), so
+        // connectivity is symmetric: hash each unordered pair once and write
+        // both cells, instead of probing (i,j) and (j,i) separately.
         for i in 0..n {
-            for j in 0..n {
-                if i != j && self.connected(candidates[i], candidates[j]).is_some() {
+            for j in i + 1..n {
+                if self.connected(candidates[i], candidates[j]).is_some() {
                     k[i * n + j] = 1.0;
+                    k[j * n + i] = 1.0;
                 }
             }
         }

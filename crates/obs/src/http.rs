@@ -211,6 +211,7 @@ pub fn healthz_json() -> String {
     let _ = writeln!(out, "  \"degraded\": {degraded},");
     let _ = writeln!(out, "  \"shed_rate\": {shed_rate},");
     let _ = writeln!(out, "  \"shed_rate_warn\": {SHED_RATE_WARN},");
+    let _ = writeln!(out, "  \"entity_cache_bytes\": {},", gauge("entitycache.bytes") as u64);
     let _ = writeln!(out, "  \"slow_ms\": {},", reqtrace::slow_ms());
     out.push_str("  \"breakers\": {");
     for (i, (tier, v)) in breakers.iter().enumerate() {

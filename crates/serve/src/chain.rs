@@ -101,6 +101,15 @@ impl<'a> FallbackChain<'a> {
         self.slots.is_empty()
     }
 
+    /// Warms every tier in order (see [`Tier::warm`]): called once before
+    /// traffic so precomputable state — the model tier's entity-payload
+    /// plane — is built outside any request's deadline.
+    pub fn warm(&self) {
+        for slot in &self.slots {
+            slot.tier.warm();
+        }
+    }
+
     /// The breaker state of tier `i` right now (diagnostics and tests).
     pub fn breaker_state(&self, i: usize) -> Option<BreakerState> {
         let slot = self.slots.get(i)?;

@@ -253,6 +253,9 @@ pub fn serve_requests(
         (0..requests.len()).map(|_| OnceLock::new()).collect();
     let queue = Queue::new();
     gauge!("serve.queue_cap").set(cfg.queue_cap as f64);
+    // Build precomputable tier state (the entity-payload plane) before any
+    // request is admitted, so no deadline pays the warmup cost.
+    chain.warm();
 
     std::thread::scope(|scope| {
         for _ in 0..cfg.workers.max(1) {

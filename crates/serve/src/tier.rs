@@ -69,6 +69,11 @@ pub trait Tier: Sync {
     ) -> Vec<Result<Vec<usize>, TierFailure>> {
         exs.iter().zip(cxs).map(|(ex, cx)| self.predict(ex, cx)).collect()
     }
+
+    /// One-time warmup before traffic: tiers that own precomputable state
+    /// (the model's entity-payload plane) build it here so the first
+    /// request doesn't pay the cost. The default does nothing.
+    fn warm(&self) {}
 }
 
 /// The primary tier: the full Bootleg model.
@@ -146,6 +151,12 @@ impl ModelTier<'_> {
 impl Tier for ModelTier<'_> {
     fn name(&self) -> &'static str {
         "bootleg"
+    }
+
+    /// Materializes the model's entity-payload plane (when the policy is
+    /// `full`), so serving traffic starts on the warm gather path.
+    fn warm(&self) {
+        self.model.warm_entity_cache();
     }
 
     fn predict(&self, ex: &Example, cx: &RequestCx) -> Result<Vec<usize>, TierFailure> {

@@ -58,6 +58,8 @@ pub(crate) enum Op {
     MeanAll(usize),
     /// Mean over rows: `(m, n) -> (n,)`.
     MeanRows(usize),
+    /// Per-segment mean over contiguous row groups: `(Σlens, n) -> (C, n)`.
+    MeanRowsSegments { x: usize, lens: Vec<usize> },
     /// Elementwise max of two same-shape tensors.
     Maximum(usize, usize),
     /// Inverted dropout; `mask` holds `0` or `1/(1-p)`.
@@ -529,6 +531,22 @@ fn backward_node(nodes: &mut [Node], id: usize, dy: &Tensor, store: &mut ParamSt
                     let gr = &mut g.data_mut()[r * n..(r + 1) * n];
                     for (gv, &d) in gr.iter_mut().zip(dy.data()) {
                         *gv += d / m as f32;
+                    }
+                }
+            });
+        }
+        Op::MeanRowsSegments { x, lens } => {
+            let n = nodes[*x].value.shape()[1];
+            accum_into(nodes, *x, |g| {
+                let mut row = 0;
+                for (c, &len) in lens.iter().enumerate() {
+                    let dyr = &dy.data()[c * n..(c + 1) * n];
+                    for _ in 0..len {
+                        let gr = &mut g.data_mut()[row * n..(row + 1) * n];
+                        for (gv, &d) in gr.iter_mut().zip(dyr) {
+                            *gv += d / len as f32;
+                        }
+                        row += 1;
                     }
                 }
             });

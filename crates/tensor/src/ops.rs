@@ -424,6 +424,40 @@ impl Var {
         self.graph.push(out, Op::MeanRows(self.id))
     }
 
+    /// Per-segment mean over contiguous row groups: `(Σlens, n) -> (C, n)`.
+    ///
+    /// Segment `c` covers `lens[c]` consecutive rows; its output row is the
+    /// arithmetic mean of those rows, accumulated row-by-row in segment order
+    /// and divided by the length — the exact accumulation order of
+    /// [`Var::mean_rows`] applied to the segment's rows on their own, so a
+    /// ragged mean over stacked bags is bit-identical to per-bag `mean_rows`
+    /// calls. A zero-length segment divides 0 by 0 and yields NaN, matching
+    /// `mean_rows` on an empty input.
+    pub fn mean_rows_segments(&self, lens: &[usize]) -> Var {
+        let out = {
+            let inner = self.graph.inner.borrow();
+            let x = &inner.nodes[self.id].value;
+            assert_eq!(x.rank(), 2, "mean_rows_segments needs rank 2");
+            let n = x.shape()[1];
+            let total: usize = lens.iter().sum();
+            assert_eq!(x.shape()[0], total, "mean_rows_segments: lens do not cover the rows");
+            let mut out = arena::take_zeroed(lens.len() * n);
+            let mut row = 0;
+            for (c, &len) in lens.iter().enumerate() {
+                let orow = &mut out[c * n..(c + 1) * n];
+                for _ in 0..len {
+                    for (o, &v) in orow.iter_mut().zip(x.row(row)) {
+                        *o += v;
+                    }
+                    row += 1;
+                }
+                orow.iter_mut().for_each(|v| *v /= len as f32);
+            }
+            Tensor::new([lens.len(), n], out)
+        };
+        self.graph.push(out, Op::MeanRowsSegments { x: self.id, lens: lens.to_vec() })
+    }
+
     /// Elementwise maximum of two same-shape tensors (ties route to `self`).
     pub fn maximum(&self, other: &Var) -> Var {
         self.same_graph(other);

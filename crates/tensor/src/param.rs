@@ -48,6 +48,11 @@ impl Param {
 #[derive(Clone, Debug, Default)]
 pub struct ParamStore {
     params: Vec<Param>,
+    /// Bumped on every mutable access to parameter values. Caches keyed on
+    /// the weights (the inference entity-payload plane) compare this stamp
+    /// to detect staleness; spurious bumps (e.g. gradient accumulation) only
+    /// cost a conservative rebuild, never a stale read.
+    version: u64,
 }
 
 impl ParamStore {
@@ -77,8 +82,9 @@ impl ParamStore {
         &self.params[id.0]
     }
 
-    /// Mutable access.
+    /// Mutable access. Bumps the store [`version`](Self::version).
     pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        self.version = self.version.wrapping_add(1);
         &mut self.params[id.0]
     }
 
@@ -87,9 +93,18 @@ impl ParamStore {
         self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
     }
 
-    /// Iterates mutably over `(ParamId, &mut Param)`.
+    /// Iterates mutably over `(ParamId, &mut Param)`. Bumps the store
+    /// [`version`](Self::version).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
+        self.version = self.version.wrapping_add(1);
         self.params.iter_mut().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Monotonic stamp of parameter-value mutations: any `get_mut`/`iter_mut`
+    /// since construction changes it. Weight-derived caches store the stamp
+    /// they were built at and rebuild when it moves.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Clears all gradients and touch-tracking, keeping allocations.
