@@ -578,6 +578,93 @@ fn bench_entity_cache(results: &mut Results) {
     arena::clear_thread();
 }
 
+/// Serve-ready cold start: thawing the frozen serving artifact vs. the
+/// legacy startup (regenerate the KB and corpus, rebuild the model, parse
+/// the parameter checkpoint tensor-by-tensor, warm the payload plane).
+/// Records `cold_start_speedup` and asserts the >= 2x acceptance floor.
+fn bench_cold_start(results: &mut Results) {
+    let smoke = smoke_mode();
+    let (n_entities, n_pages, reps) = if smoke { (600, 120, 2) } else { (2_000, 400, 3) };
+    let kb_cfg = || KbConfig { n_entities, seed: 81, ..KbConfig::default() };
+    let co_cfg = || CorpusConfig { n_pages, seed: 82, ..CorpusConfig::default() };
+
+    // Train-time side, run once: build the model and persist both startup
+    // inputs — the tensor-by-tensor checkpoint and the frozen artifact.
+    let kb = gen_kb(&kb_cfg());
+    let corpus = generate_corpus(&kb, &co_cfg());
+    let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+    let mut model =
+        BootlegModel::new(&kb, &corpus.vocab, &counts, BootlegConfig::default().serving());
+    model.set_entity_cache_policy(CachePolicy::Full);
+    let dir = std::env::temp_dir();
+    let store_path = dir.join(format!("bootleg_cold_{}.btlg", std::process::id()));
+    let artifact_path = dir.join(format!("bootleg_cold_{}.btfz", std::process::id()));
+    model.save(&store_path).expect("save parameter store");
+    bootleg_core::freeze_to_path(&model, &kb, &corpus.vocab, &artifact_path)
+        .expect("freeze artifact");
+    let artifact_bytes = std::fs::metadata(&artifact_path).expect("stat artifact").len();
+
+    // Legacy startup: everything a fresh process does before it can serve.
+    let startup_generate = || {
+        let kb = gen_kb(&kb_cfg());
+        let corpus = generate_corpus(&kb, &co_cfg());
+        let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+        let mut m =
+            BootlegModel::new(&kb, &corpus.vocab, &counts, BootlegConfig::default().serving());
+        m.load(&store_path).expect("parse checkpoint");
+        m.set_entity_cache_policy(CachePolicy::Full);
+        m.warm_entity_cache();
+        (m, kb)
+    };
+    // Frozen startup: one validated bulk load; the plane ships inside, so
+    // the warm call is a no-op.
+    let startup_frozen = || {
+        let bundle = bootleg_core::thaw_from_path(&artifact_path).expect("thaw artifact");
+        bundle.model.warm_entity_cache();
+        bundle
+    };
+
+    let (mut gen_secs, mut frozen_secs) = (f64::INFINITY, f64::INFINITY);
+    let mut parity_checked = false;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (m, k) = startup_generate();
+        gen_secs = gen_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let bundle = startup_frozen();
+        frozen_secs = frozen_secs.min(t.elapsed().as_secs_f64());
+        if !parity_checked {
+            // Both startups must produce the same serving behavior.
+            let exs: Vec<Example> =
+                corpus.dev.iter().filter_map(Example::evaluation).take(8).collect();
+            for ex in &exs {
+                assert_eq!(
+                    m.infer(&k, ex).predictions,
+                    bundle.model.infer(&bundle.kb, ex).predictions,
+                    "frozen startup must serve identically to generate+parse startup"
+                );
+            }
+            parity_checked = true;
+        }
+    }
+    let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_file(&artifact_path);
+
+    let speedup = gen_secs / frozen_secs.max(1e-9);
+    println!("cold_start/generate+parse                    {}", fmt_time(gen_secs));
+    println!("cold_start/frozen artifact                   {}", fmt_time(frozen_secs));
+    println!("cold_start/speedup: {speedup:.1}x ({artifact_bytes} artifact bytes)");
+    results.set("cold_start_generate_secs", gen_secs);
+    results.set("cold_start_frozen_secs", frozen_secs);
+    results.set("cold_start_speedup", speedup);
+    results.set("cold_start_artifact_bytes", artifact_bytes as f64);
+    assert!(
+        speedup >= 2.0,
+        "frozen cold start is {speedup:.2}x the generate+parse startup, below the 2x floor"
+    );
+    arena::clear_thread();
+}
+
 /// Observability overhead on the instrumented hot path (PR acceptance:
 /// with tracing off, evaluation regresses < 2%).
 ///
@@ -678,6 +765,7 @@ fn main() {
     // with real margin, so it tolerates the sustained-load drift that the
     // two benches above cannot.
     bench_entity_cache(&mut results);
+    bench_cold_start(&mut results);
     if !smoke {
         bench_kernels();
         bench_attention();

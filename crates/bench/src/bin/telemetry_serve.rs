@@ -63,24 +63,69 @@ fn main() {
         CorpusConfig { n_pages: 120, seed: 72, ..CorpusConfig::default() },
         true,
     );
-    let model = BootlegModel::new(
-        &wb.kb,
-        &wb.corpus.vocab,
-        &wb.counts,
-        BootlegConfig::default().serving(),
-    );
+    // Frozen-artifact startup: `BOOTLEG_ARTIFACT=path` swaps live model
+    // construction for a validated bulk load of the frozen bundle (exported
+    // by `freeze_artifact`). The bundle is self-contained — the request
+    // stream and the popularity-slice counts come from the artifact's own
+    // KB and COUNTS section, so any artifact serves, not just one matching
+    // this demo's seeds. A corrupt artifact is a startup failure, not a
+    // silent fallback.
+    let bundle = bootleg_serve::startup_bundle()
+        .map(|r| r.expect("BOOTLEG_ARTIFACT artifact failed to load"));
+    let live_model;
+    let (model, kb): (&BootlegModel, &bootleg_kb::KnowledgeBase) = match &bundle {
+        Some(b) => {
+            println!("serving from frozen artifact ({} entities)", b.model.n_entities);
+            (&b.model, &b.kb)
+        }
+        None => {
+            live_model = BootlegModel::new(
+                &wb.kb,
+                &wb.corpus.vocab,
+                &wb.counts,
+                BootlegConfig::default().serving(),
+            );
+            (&live_model, &wb.kb)
+        }
+    };
+    let counts = match &bundle {
+        Some(b) => &b.counts,
+        None => &wb.counts,
+    };
     let faults = FaultPlan::none()
         .with(Fault::SlowInfer { seq: 3, millis: 80 })
         .with(Fault::PanicOnExample { seq: 5 })
         .with(Fault::MalformedExample { seq: 7 });
-    let tier0 = ModelTier::new(&model, &wb.kb);
+    let tier0 = ModelTier::new(model, kb);
     let limits = tier0.limits();
     let chain = FallbackChain::new()
-        .with_slice_counts(&wb.counts)
-        .tier(ModelTier::new(&model, &wb.kb).with_faults(faults.clone()))
+        .with_slice_counts(counts)
+        .tier(ModelTier::new(model, kb).with_faults(faults.clone()))
         .tier(PredictorTier::new("prior", PopularityPrior));
-    let reqs: Vec<Example> =
-        wb.corpus.dev.iter().filter_map(Example::evaluation).take(32).collect();
+    let reqs: Vec<Example> = match &bundle {
+        // Frozen mode: single-mention requests over the artifact KB's
+        // ambiguous aliases (cycled up to the workload size) — built from
+        // the bundle alone, so they are admissible against any artifact.
+        Some(b) => {
+            let aliases: Vec<_> = b.kb.aliases.iter().filter(|a| a.ambiguous()).collect();
+            assert!(!aliases.is_empty(), "artifact KB has no ambiguous aliases");
+            (0..32)
+                .map(|i| {
+                    let alias = aliases[i % aliases.len()];
+                    Example::inference(
+                        vec![b.vocab.id(&alias.surface)],
+                        vec![bootleg_core::ExMention {
+                            first: 0,
+                            last: 0,
+                            candidates: alias.candidates.clone(),
+                            gold: None,
+                        }],
+                    )
+                })
+                .collect()
+        }
+        None => wb.corpus.dev.iter().filter_map(Example::evaluation).take(32).collect(),
+    };
     assert!(reqs.len() >= 8, "smoke corpus too small");
     // Deadline far above the injected 80 ms stall: the stalled batch is
     // classified *slow* (threshold 5 ms) rather than deadlining — on a

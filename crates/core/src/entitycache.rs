@@ -386,6 +386,14 @@ impl EntityReprCache {
         buf.finish()
     }
 
+    /// Installs a prebuilt full plane stamped at `version` (the frozen-
+    /// artifact thaw path). The caller has validated width and row count.
+    fn install_full(&self, version: u64, width: usize, rows: Vec<f32>) {
+        bootleg_obs::gauge!("entitycache.bytes").set((rows.len() * 4) as f64);
+        *self.full.write().expect("entity cache lock") =
+            Some(Arc::new(FullPlane { version, rows, width }));
+    }
+
     /// Bytes currently held by the cache (0 when off or not yet filled).
     pub fn bytes(&self, model: &BootlegModel) -> usize {
         let layout = PayloadLayout::of(&model.config);
@@ -468,6 +476,40 @@ impl BootlegModel {
                 let _ = self.repr_cache.full_plane(self, layout);
             }
         }
+    }
+
+    /// Materializes (if needed) and snapshots the full payload plane —
+    /// `(width, rows)` — for the frozen serving artifact. `None` unless the
+    /// policy is `Full` and the model has static signals: LRU and Off
+    /// deployments rebuild payloads live and freeze nothing.
+    pub fn export_entity_plane(&self) -> Option<(usize, Vec<f32>)> {
+        if !matches!(self.repr_cache.policy(), CachePolicy::Full) {
+            return None;
+        }
+        let layout = PayloadLayout::of(&self.config);
+        if layout.width == 0 {
+            return None;
+        }
+        let plane = self.repr_cache.full_plane(self, layout);
+        Some((plane.width, plane.rows.clone()))
+    }
+
+    /// Installs a payload plane thawed from a frozen artifact, stamped at
+    /// the *current* parameter version — callers must install it only after
+    /// the frozen weights (which the plane was built from) are restored.
+    /// Returns `false` (plane ignored) when the policy is not `Full` or the
+    /// shape doesn't match this model's payload layout.
+    pub fn install_entity_plane(&self, width: usize, rows: Vec<f32>) -> bool {
+        let layout = PayloadLayout::of(&self.config);
+        if !matches!(self.repr_cache.policy(), CachePolicy::Full)
+            || width == 0
+            || width != layout.width
+            || rows.len() != self.n_entities * width
+        {
+            return false;
+        }
+        self.repr_cache.install_full(self.params.version(), width, rows);
+        true
     }
 
     /// Replaces the cache policy (dropping any cached payloads). Mostly for

@@ -1,0 +1,586 @@
+//! The frozen serving artifact: one file holding everything a serving
+//! process needs — model configuration, all trained parameters, the
+//! knowledge base, the vocabulary, training counts, and the prebuilt
+//! entity-payload plane — so startup is a validated bulk load instead of
+//! KB regeneration plus a tensor-by-tensor checkpoint parse.
+//!
+//! Sections (in the `tensor::frozen` container):
+//!
+//! | id         | contents                                                  |
+//! |------------|-----------------------------------------------------------|
+//! | `MODELCFG` | full [`BootlegConfig`] (every field, typed tags)          |
+//! | `PARAMNAM` | parameter manifest: name, shape, float offset + length    |
+//! | `PARAMF32` | all parameter values, one concatenated little-endian blob |
+//! | `KBASE`    | the knowledge base (see [`bootleg_kb::frozen`])           |
+//! | `VOCAB`    | id-ordered token list                                     |
+//! | `COUNTS`   | per-entity training occurrence counts                     |
+//! | `EPLANMET` | entity-payload plane shape (present only when exported)   |
+//! | `EPLANF32` | entity-payload plane rows, raw f32                        |
+//!
+//! # Bit-identity
+//!
+//! [`thaw_from_bytes`] rebuilds the model through [`BootlegModel::new`]
+//! with the *decoded* KB/vocab/config — so every derived table (padded
+//! type/relation bags, titles, regularization) is recomputed by the same
+//! code that built the live model — then overwrites each parameter's values
+//! byte-for-byte from `PARAMF32`. Since predictions are a function of
+//! (config, derived tables, parameter bytes) only, a thawed model's outputs
+//! are bit-identical to the live-built model it was frozen from (asserted
+//! end-to-end by `tests/frozen_golden.rs`).
+//!
+//! The f32 blobs load with a single bulk copy each
+//! ([`bootleg_tensor::frozen::bulk_f32`]); there is no per-element parse
+//! loop anywhere on this path.
+
+use crate::config::{BootlegConfig, ModelVariant};
+use crate::model::BootlegModel;
+use crate::regularization::RegScheme;
+use bootleg_corpus::Vocab;
+use bootleg_kb::{EntityId, KnowledgeBase};
+use bootleg_nn::encoder::WordEncoderConfig;
+use bootleg_tensor::frozen::{f32_bytes, Builder, Cursor, FrozenReader, FrozenWriter};
+pub use bootleg_tensor::frozen::FrozenError;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+pub const SECTION_CONFIG: &str = "MODELCFG";
+pub const SECTION_PARAM_MANIFEST: &str = "PARAMNAM";
+pub const SECTION_PARAM_F32: &str = "PARAMF32";
+pub const SECTION_VOCAB: &str = "VOCAB";
+pub const SECTION_COUNTS: &str = "COUNTS";
+pub const SECTION_PLANE_META: &str = "EPLANMET";
+pub const SECTION_PLANE_F32: &str = "EPLANF32";
+
+/// Environment variable naming the artifact to serve from.
+pub const ARTIFACT_ENV: &str = "BOOTLEG_ARTIFACT";
+
+/// Sanity ceilings for decoded config fields: large enough for any real
+/// deployment, small enough that a hostile config cannot drive gigabyte
+/// allocations inside [`BootlegModel::new`].
+const MAX_DIM: usize = 1 << 14;
+const MAX_LAYERS: usize = 1 << 8;
+const MAX_VOCAB: usize = 1 << 24;
+const MAX_PARAMS: usize = 1 << 12;
+
+/// The path named by `BOOTLEG_ARTIFACT`, if set and non-empty.
+pub fn artifact_from_env() -> Option<PathBuf> {
+    std::env::var(ARTIFACT_ENV).ok().filter(|v| !v.trim().is_empty()).map(PathBuf::from)
+}
+
+/// Everything thawed from an artifact. The model borrows nothing: the
+/// bundle is self-contained and can back a serving tier directly.
+pub struct FrozenBundle {
+    pub model: BootlegModel,
+    pub kb: KnowledgeBase,
+    pub vocab: Vocab,
+    /// Per-entity training occurrence counts (the `COUNTS` section) — the
+    /// same map the model was built with, re-exposed so serving layers can
+    /// label head/torso/tail/unseen popularity slices without the corpus.
+    pub counts: HashMap<EntityId, u32>,
+}
+
+/// The canonical inputs of the golden conformance fixture
+/// (`tests/data/golden.btfz`): a small seeded KB and corpus plus a
+/// serving-config model. Pinned here so the fixture generator
+/// (`freeze_artifact --golden`) and the conformance suite
+/// (`tests/frozen_golden.rs`) can never drift apart. Any change to the
+/// generators, the parameter initialization, or this recipe is *supposed*
+/// to fail the golden test — regenerate the fixture deliberately
+/// (`cargo run -p bootleg-bench --bin freeze_artifact -- --golden --out
+/// tests/data/golden.btfz`) when that happens.
+pub fn golden_inputs() -> (KnowledgeBase, bootleg_corpus::Corpus, BootlegModel) {
+    let kb = bootleg_kb::generate(&bootleg_kb::KbConfig {
+        n_entities: 160,
+        n_types: 24,
+        n_relations: 12,
+        seed: 2021,
+        ..Default::default()
+    });
+    let corpus = bootleg_corpus::generate_corpus(
+        &kb,
+        &bootleg_corpus::CorpusConfig { n_pages: 48, seed: 2021, ..Default::default() },
+    );
+    let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+    let mut model = BootlegModel::new(
+        &kb,
+        &corpus.vocab,
+        &counts,
+        BootlegConfig::default().serving(),
+    );
+    // Pin the cache policy so the exported plane (and hence the fixture
+    // bytes) never depends on the generating process's environment.
+    model.set_entity_cache_policy(crate::entitycache::CachePolicy::Full);
+    (kb, corpus, model)
+}
+
+// ---------------------------------------------------------------------------
+// Config codec.
+// ---------------------------------------------------------------------------
+
+fn encode_config(cfg: &BootlegConfig) -> Vec<u8> {
+    let mut b = Builder::new();
+    b.u32(cfg.hidden as u32)
+        .u32(cfg.entity_dim as u32)
+        .u32(cfg.type_dim as u32)
+        .u32(cfg.rel_dim as u32)
+        .u32(cfg.coarse_dim as u32)
+        .u32(cfg.n_layers as u32)
+        .u32(cfg.n_heads as u32)
+        .f32(cfg.dropout)
+        .u32(cfg.max_types as u32)
+        .u32(cfg.max_relations as u32);
+    b.u8(match cfg.variant {
+        ModelVariant::Full => 0,
+        ModelVariant::EntOnly => 1,
+        ModelVariant::TypeOnly => 2,
+        ModelVariant::KgOnly => 3,
+    });
+    b.u8(cfg.type_prediction as u8);
+    let (tag, p) = match cfg.regularization {
+        RegScheme::None => (0u8, 0.0),
+        RegScheme::Fixed(p) => (1, p),
+        RegScheme::InvPopPow => (2, 0.0),
+        RegScheme::InvPopLog => (3, 0.0),
+        RegScheme::InvPopLin => (4, 0.0),
+        RegScheme::PopPow => (5, 0.0),
+    };
+    b.u8(tag).f32(p);
+    b.u32(cfg.word_encoder.vocab as u32)
+        .u32(cfg.word_encoder.d_model as u32)
+        .u32(cfg.word_encoder.n_layers as u32)
+        .u32(cfg.word_encoder.n_heads as u32)
+        .u32(cfg.word_encoder.max_len as u32)
+        .f32(cfg.word_encoder.dropout);
+    b.u8(cfg.title_feature as u8)
+        .u8(cfg.cooccur_kg as u8)
+        .u8(cfg.position_encoding as u8)
+        .u8(cfg.kg_two_hop as u8)
+        .u8(cfg.ensemble_scoring as u8)
+        .u8(cfg.use_ent2ent as u8)
+        .u64(cfg.seed);
+    b.into_bytes()
+}
+
+fn schema(section: &str, what: impl Into<String>) -> FrozenError {
+    FrozenError::SectionSchema { section: section.to_string(), what: what.into() }
+}
+
+fn read_bool(c: &mut Cursor<'_>, what: &str) -> Result<bool, FrozenError> {
+    match c.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        v => Err(schema(SECTION_CONFIG, format!("{what} tag {v} is not a bool"))),
+    }
+}
+
+fn decode_config(payload: &[u8]) -> Result<BootlegConfig, FrozenError> {
+    let mut c = Cursor::new(SECTION_CONFIG, payload);
+    let dim = |c: &mut Cursor<'_>| c.count(MAX_DIM);
+    let hidden = dim(&mut c)?;
+    let entity_dim = dim(&mut c)?;
+    let type_dim = dim(&mut c)?;
+    let rel_dim = dim(&mut c)?;
+    let coarse_dim = dim(&mut c)?;
+    let n_layers = c.count(MAX_LAYERS)?;
+    let n_heads = c.count(MAX_LAYERS)?;
+    let dropout = c.f32()?;
+    let max_types = c.count(MAX_DIM)?;
+    let max_relations = c.count(MAX_DIM)?;
+    let variant = match c.u8()? {
+        0 => ModelVariant::Full,
+        1 => ModelVariant::EntOnly,
+        2 => ModelVariant::TypeOnly,
+        3 => ModelVariant::KgOnly,
+        v => return Err(schema(SECTION_CONFIG, format!("variant tag {v} out of range"))),
+    };
+    let type_prediction = read_bool(&mut c, "type_prediction")?;
+    let reg_tag = c.u8()?;
+    let reg_p = c.f32()?;
+    let regularization = match reg_tag {
+        0 => RegScheme::None,
+        1 => {
+            if !reg_p.is_finite() {
+                return Err(schema(SECTION_CONFIG, "non-finite fixed regularization"));
+            }
+            RegScheme::Fixed(reg_p)
+        }
+        2 => RegScheme::InvPopPow,
+        3 => RegScheme::InvPopLog,
+        4 => RegScheme::InvPopLin,
+        5 => RegScheme::PopPow,
+        v => return Err(schema(SECTION_CONFIG, format!("regularization tag {v} out of range"))),
+    };
+    let word_encoder = WordEncoderConfig {
+        vocab: c.count(MAX_VOCAB)?,
+        d_model: dim(&mut c)?,
+        n_layers: c.count(MAX_LAYERS)?,
+        n_heads: c.count(MAX_LAYERS)?,
+        max_len: c.count(MAX_DIM)?,
+        dropout: c.f32()?,
+    };
+    let title_feature = read_bool(&mut c, "title_feature")?;
+    let cooccur_kg = read_bool(&mut c, "cooccur_kg")?;
+    let position_encoding = read_bool(&mut c, "position_encoding")?;
+    let kg_two_hop = read_bool(&mut c, "kg_two_hop")?;
+    let ensemble_scoring = read_bool(&mut c, "ensemble_scoring")?;
+    let use_ent2ent = read_bool(&mut c, "use_ent2ent")?;
+    let seed = c.u64()?;
+    c.finish()?;
+    Ok(BootlegConfig {
+        hidden,
+        entity_dim,
+        type_dim,
+        rel_dim,
+        coarse_dim,
+        n_layers,
+        n_heads,
+        dropout,
+        max_types,
+        max_relations,
+        variant,
+        type_prediction,
+        regularization,
+        word_encoder,
+        title_feature,
+        cooccur_kg,
+        position_encoding,
+        kg_two_hop,
+        ensemble_scoring,
+        use_ent2ent,
+        seed,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Freeze.
+// ---------------------------------------------------------------------------
+
+/// Serialises a trained model + KB + vocab into artifact bytes.
+///
+/// Fails with [`FrozenError::Unsupported`] when the model carries state the
+/// format does not snapshot (the benchmark co-occurrence index).
+pub fn freeze(
+    model: &BootlegModel,
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+) -> Result<Vec<u8>, FrozenError> {
+    if model.cooccur.is_some() {
+        return Err(FrozenError::Unsupported {
+            what: "models with a sentence co-occurrence index (benchmark config) cannot be \
+                   frozen; rebuild the index at load time instead"
+                .into(),
+        });
+    }
+    if kb.num_entities() != model.n_entities {
+        return Err(FrozenError::Unsupported {
+            what: format!(
+                "KB has {} entities but the model was built for {}",
+                kb.num_entities(),
+                model.n_entities
+            ),
+        });
+    }
+
+    // Parameter manifest + one concatenated value blob, in store order
+    // (which is construction order, deterministic for a given config).
+    let mut manifest = Builder::new();
+    let mut values: Vec<f32> = Vec::with_capacity(model.params.num_scalars(false));
+    let n_params = model.params.iter().count();
+    manifest.u32(n_params as u32);
+    for (_, p) in model.params.iter() {
+        manifest.string(&p.name);
+        manifest.u32s(&p.data.shape().iter().map(|&d| d as u32).collect::<Vec<_>>());
+        manifest.u64(values.len() as u64);
+        manifest.u64(p.data.numel() as u64);
+        values.extend_from_slice(p.data.data());
+    }
+
+    let mut vocab_b = Builder::new();
+    vocab_b.u32(vocab.len() as u32);
+    for w in vocab.words() {
+        vocab_b.string(w);
+    }
+
+    let mut counts_b = Builder::new();
+    counts_b.u32s(&model.entity_counts);
+
+    let mut w = FrozenWriter::new();
+    w.add(SECTION_CONFIG, encode_config(&model.config));
+    w.add(SECTION_PARAM_MANIFEST, manifest.into_bytes());
+    w.add(SECTION_PARAM_F32, f32_bytes(&values));
+    w.add(bootleg_kb::frozen::SECTION_KB, bootleg_kb::frozen::encode(kb));
+    w.add(SECTION_VOCAB, vocab_b.into_bytes());
+    w.add(SECTION_COUNTS, counts_b.into_bytes());
+    if let Some((width, rows)) = model.export_entity_plane() {
+        let mut meta = Builder::new();
+        meta.u32(width as u32).u64((rows.len() / width) as u64);
+        w.add(SECTION_PLANE_META, meta.into_bytes());
+        w.add(SECTION_PLANE_F32, f32_bytes(&rows));
+    }
+    Ok(w.to_bytes())
+}
+
+/// Freezes to a file (atomic write).
+pub fn freeze_to_path(
+    model: &BootlegModel,
+    kb: &KnowledgeBase,
+    vocab: &Vocab,
+    path: &Path,
+) -> Result<(), FrozenError> {
+    let bytes = freeze(model, kb, vocab)?;
+    bootleg_tensor::checkpoint::atomic_write(path, &bytes)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Thaw.
+// ---------------------------------------------------------------------------
+
+/// Thaws an artifact file into a ready-to-serve bundle, recording
+/// `frozen.{load_ns,bytes,sections}` observability counters.
+pub fn thaw_from_path(path: &Path) -> Result<FrozenBundle, FrozenError> {
+    let start = std::time::Instant::now();
+    let bytes = std::fs::read(path)?;
+    let n_bytes = bytes.len();
+    let reader = FrozenReader::from_bytes(bytes)?;
+    let n_sections = reader.sections().len();
+    let bundle = thaw(&reader)?;
+    bootleg_obs::counter!("frozen.load_ns").add(start.elapsed().as_nanos() as u64);
+    bootleg_obs::counter!("frozen.bytes").add(n_bytes as u64);
+    bootleg_obs::counter!("frozen.sections").add(n_sections as u64);
+    Ok(bundle)
+}
+
+/// Thaws an artifact held in memory (fuzz/test entry point).
+pub fn thaw_from_bytes(bytes: Vec<u8>) -> Result<FrozenBundle, FrozenError> {
+    thaw(&FrozenReader::from_bytes(bytes)?)
+}
+
+fn thaw(reader: &FrozenReader) -> Result<FrozenBundle, FrozenError> {
+    let config = decode_config(reader.require(SECTION_CONFIG)?)?;
+    let kb = bootleg_kb::frozen::decode(reader.require(bootleg_kb::frozen::SECTION_KB)?)?;
+
+    let vocab_payload = reader.require(SECTION_VOCAB)?;
+    let mut c = Cursor::new(SECTION_VOCAB, vocab_payload);
+    let n_words = c.count(MAX_VOCAB)?;
+    let words: Vec<String> =
+        (0..n_words).map(|_| c.string(1 << 10)).collect::<Result<_, _>>()?;
+    c.finish()?;
+    let vocab = Vocab::from_words(words)
+        .ok_or_else(|| schema(SECTION_VOCAB, "duplicate word (token ids must be unique)"))?;
+    if config.word_encoder.vocab != vocab.len() {
+        return Err(schema(
+            SECTION_VOCAB,
+            format!(
+                "config expects a {}-token vocabulary, artifact has {}",
+                config.word_encoder.vocab,
+                vocab.len()
+            ),
+        ));
+    }
+
+    let mut c = Cursor::new(SECTION_COUNTS, reader.require(SECTION_COUNTS)?);
+    let counts_vec = c.u32s(MAX_VOCAB)?;
+    c.finish()?;
+    if counts_vec.len() != kb.num_entities() {
+        return Err(schema(
+            SECTION_COUNTS,
+            format!("{} counts for {} entities", counts_vec.len(), kb.num_entities()),
+        ));
+    }
+    let counts: HashMap<EntityId, u32> = counts_vec
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .map(|(i, &n)| (EntityId(i as u32), n))
+        .collect();
+
+    // Rebuild the model architecture from the decoded inputs, then restore
+    // the trained parameter bytes. The skip-init guard makes construction
+    // allocate zeroed weight tensors instead of sampling ~10⁶ random draws
+    // that `restore_params` would overwrite anyway — `restore_params`
+    // enforces that every parameter is covered, so no zero row can survive.
+    let mut model = {
+        let _skip = bootleg_tensor::init::skip_init();
+        BootlegModel::new(&kb, &vocab, &counts, config)
+    };
+    restore_params(&mut model, reader)?;
+
+    // The payload plane was built from the weights just restored, so it is
+    // current *by construction*; install it under the post-restore version
+    // stamp. Non-`Full` cache policies ignore it (install returns false).
+    if let (Some(meta), Ok(rows)) =
+        (reader.section(SECTION_PLANE_META), reader.f32_section(SECTION_PLANE_F32))
+    {
+        let mut c = Cursor::new(SECTION_PLANE_META, meta);
+        let width = c.count(MAX_DIM)?;
+        let n_rows = c.u64()? as usize;
+        c.finish()?;
+        if width == 0 || n_rows != model.n_entities || rows.len() != n_rows * width {
+            return Err(schema(
+                SECTION_PLANE_META,
+                format!(
+                    "plane {n_rows}x{width} does not match {} entities / {} floats",
+                    model.n_entities,
+                    rows.len()
+                ),
+            ));
+        }
+        model.install_entity_plane(width, rows);
+    }
+
+    Ok(FrozenBundle { model, kb, vocab, counts })
+}
+
+/// Overwrites the freshly initialised parameters with the frozen values.
+/// Every manifest entry must match a parameter of the same name and shape;
+/// every parameter must be covered exactly once.
+fn restore_params(model: &mut BootlegModel, reader: &FrozenReader) -> Result<(), FrozenError> {
+    // Copy straight from the raw section into each parameter's own buffer:
+    // one memcpy per tensor, no intermediate whole-blob materialization.
+    let raw = reader.require(SECTION_PARAM_F32)?;
+    if raw.len() % 4 != 0 {
+        return Err(schema(
+            SECTION_PARAM_F32,
+            format!("{} bytes is not a whole number of f32s", raw.len()),
+        ));
+    }
+    let total_floats = raw.len() / 4;
+    let manifest = reader.require(SECTION_PARAM_MANIFEST)?;
+    let mut c = Cursor::new(SECTION_PARAM_MANIFEST, manifest);
+
+    let by_name: HashMap<String, bootleg_tensor::ParamId> =
+        model.params.iter().map(|(id, p)| (p.name.clone(), id)).collect();
+    let n = c.count(MAX_PARAMS)?;
+    if n != by_name.len() {
+        return Err(schema(
+            SECTION_PARAM_MANIFEST,
+            format!("{n} frozen parameters, model has {}", by_name.len()),
+        ));
+    }
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let name = c.string(1 << 10)?;
+        let shape: Vec<usize> = c.u32s(8)?.into_iter().map(|d| d as usize).collect();
+        let off = c.u64()? as usize;
+        let len = c.u64()? as usize;
+        let id = *by_name.get(&name).ok_or_else(|| {
+            schema(SECTION_PARAM_MANIFEST, format!("unknown parameter {name:?}"))
+        })?;
+        if seen[id.index()] {
+            return Err(schema(SECTION_PARAM_MANIFEST, format!("parameter {name:?} repeated")));
+        }
+        seen[id.index()] = true;
+        // `get_mut` bumps the store's version stamp, correctly invalidating
+        // any payload plane built from the pre-restore initialization.
+        let param = model.params.get_mut(id);
+        if param.data.shape() != &shape[..] {
+            return Err(schema(
+                SECTION_PARAM_MANIFEST,
+                format!(
+                    "parameter {name:?} has shape {shape:?} frozen, {:?} live",
+                    param.data.shape()
+                ),
+            ));
+        }
+        let end = off.checked_add(len).filter(|&e| e <= total_floats).ok_or_else(|| {
+            schema(SECTION_PARAM_MANIFEST, format!("parameter {name:?} values out of range"))
+        })?;
+        if len != param.data.numel() {
+            return Err(schema(
+                SECTION_PARAM_MANIFEST,
+                format!("parameter {name:?}: {len} values for {} slots", param.data.numel()),
+            ));
+        }
+        bootleg_tensor::frozen::copy_f32(&raw[off * 4..end * 4], param.data.data_mut());
+    }
+    c.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bootleg_corpus::{generate_corpus, CorpusConfig};
+    use bootleg_kb::{generate as gen_kb, KbConfig};
+
+    fn setup() -> (KnowledgeBase, Vocab, BootlegModel) {
+        let kb = gen_kb(&KbConfig { n_entities: 150, seed: 11, ..KbConfig::default() });
+        let corpus = generate_corpus(
+            &kb,
+            &CorpusConfig { n_pages: 30, seed: 11, ..CorpusConfig::default() },
+        );
+        let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+        let model = BootlegModel::new(&kb, &corpus.vocab, &counts, BootlegConfig::default());
+        (kb, corpus.vocab, model)
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips_params_and_tables() {
+        let (kb, vocab, model) = setup();
+        let bytes = freeze(&model, &kb, &vocab).unwrap();
+        let bundle = thaw_from_bytes(bytes).unwrap();
+        assert_eq!(bundle.model.n_entities, model.n_entities);
+        assert_eq!(bundle.vocab.len(), vocab.len());
+        assert_eq!(bundle.model.entity_counts, model.entity_counts);
+        assert_eq!(bundle.model.reg_p, model.reg_p);
+        let n = model.params.iter().count();
+        assert_eq!(bundle.model.params.iter().count(), n);
+        for ((_, a), (_, b)) in model.params.iter().zip(bundle.model.params.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.data.shape(), b.data.shape());
+            let ab = a.data.data().iter().map(|v| v.to_bits());
+            let bb = b.data.data().iter().map(|v| v.to_bits());
+            assert!(ab.eq(bb), "parameter {} not bit-identical", a.name);
+        }
+    }
+
+    #[test]
+    fn freeze_is_deterministic() {
+        let (kb, vocab, model) = setup();
+        assert_eq!(freeze(&model, &kb, &vocab).unwrap(), freeze(&model, &kb, &vocab).unwrap());
+    }
+
+    #[test]
+    fn cooccur_model_is_unsupported() {
+        let kb = gen_kb(&KbConfig { n_entities: 60, seed: 3, ..KbConfig::default() });
+        let corpus = generate_corpus(
+            &kb,
+            &CorpusConfig { n_pages: 10, seed: 3, ..CorpusConfig::default() },
+        );
+        let counts = bootleg_corpus::stats::entity_counts(&corpus.train, true);
+        let mut model = BootlegModel::new(
+            &kb,
+            &corpus.vocab,
+            &counts,
+            BootlegConfig::default().benchmark(),
+        );
+        model.set_cooccurrence(crate::cooccur::CooccurrenceIndex::build(&[], 1));
+        assert!(matches!(
+            freeze(&model, &kb, &corpus.vocab),
+            Err(FrozenError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn thawed_plane_is_installed_and_current() {
+        let (kb, vocab, mut model) = setup();
+        model.set_entity_cache_policy(crate::entitycache::CachePolicy::Full);
+        model.warm_entity_cache();
+        let cached_bytes = model.entity_cache_bytes();
+        assert!(cached_bytes > 0);
+        let bytes = freeze(&model, &kb, &vocab).unwrap();
+        let bundle = thaw_from_bytes(bytes).unwrap();
+        if matches!(bundle.model.entity_cache_policy(), crate::entitycache::CachePolicy::Full) {
+            // Installed at thaw: bytes present without any warm call.
+            assert_eq!(bundle.model.entity_cache_bytes(), cached_bytes);
+        }
+    }
+
+    #[test]
+    fn artifact_env_helper() {
+        // Only checks the parse of an explicit value; the var is unset in
+        // the test environment by default.
+        assert!(artifact_from_env().is_none() || std::env::var(ARTIFACT_ENV).is_ok());
+    }
+}

@@ -36,6 +36,7 @@ pub mod example;
 pub mod explain;
 pub mod fault;
 pub mod forward;
+pub mod frozen;
 pub mod model;
 pub mod regularization;
 pub mod size;
@@ -47,6 +48,10 @@ pub use entitycache::CachePolicy;
 pub use example::{ExMention, Example, ExampleDefect, ValidationLimits};
 pub use explain::{Explanation, Signal};
 pub use forward::{Deadline, ForwardInterrupted, ForwardOptions, ForwardOutput};
+pub use frozen::{
+    artifact_from_env, freeze, freeze_to_path, thaw_from_bytes, thaw_from_path, FrozenBundle,
+    FrozenError,
+};
 pub use model::BootlegModel;
 pub use regularization::RegScheme;
 pub use fault::{corrupt_file, CorruptionMode, Fault, FaultPlan};

@@ -8,8 +8,8 @@
 //! payloads the moment the weights move (train step, manual mutation).
 
 use bootleg_core::{
-    train, BootlegConfig, BootlegModel, CachePolicy, Example, ForwardOptions, ModelVariant,
-    TrainConfig,
+    compress_entity_embeddings, train, BootlegConfig, BootlegModel, CachePolicy, Example,
+    ForwardOptions, ModelVariant, TrainConfig,
 };
 use bootleg_corpus::{generate_corpus, Corpus, CorpusConfig};
 use bootleg_kb::{generate as gen_kb, KbConfig, KnowledgeBase};
@@ -190,6 +190,51 @@ fn weight_mutation_invalidates_the_cache() {
     let after_ref = snapshots(&m, &kb, &exs);
     assert_eq!(after_cached, after_ref, "cache served stale payloads after mutation");
     assert_ne!(after_ref, before, "mutation should change the forward outputs");
+}
+
+#[test]
+fn compression_bumps_version_and_rebuilds_the_plane() {
+    let (kb, c, mut m) = setup(BootlegConfig::default());
+    let exs = corpus_examples(&c, 4);
+    // Fresh models share one entity row across the table (the tail-reg
+    // init), which would make compression a bytewise no-op; make the rows
+    // distinguishable the way training would.
+    let (_, entity_param) = m
+        .params
+        .iter_mut()
+        .find(|(_, p)| p.name == "embedding.entity")
+        .expect("entity table present");
+    let dim = entity_param.data.shape()[1];
+    for (r, row) in entity_param.data.data_mut().chunks_mut(dim).enumerate() {
+        row[0] += r as f32;
+    }
+    m.set_entity_cache_policy(CachePolicy::Full);
+    m.warm_entity_cache();
+    let v0 = m.params.version();
+    let (w0, rows0) = m.export_entity_plane().expect("warmed Full plane exports");
+
+    let (mut compressed, kept) = compress_entity_embeddings(&m, 0.05);
+    assert!(kept > 0);
+    // The row rewrite goes through `get_mut`, so the store stamp must move:
+    // that stamp is the only thing standing between a weight change and a
+    // cache serving payloads of the pre-compression table.
+    assert_ne!(compressed.params.version(), v0, "compression must bump the ParamStore version");
+
+    // The compressed model's plane rebuilds from the rewritten table — the
+    // dropped rows' payloads change, so the planes cannot be byte-equal.
+    compressed.set_entity_cache_policy(CachePolicy::Full);
+    let (w1, rows1) = compressed.export_entity_plane().expect("compressed plane exports");
+    assert_eq!(w0, w1, "compression must not change the payload layout");
+    let bits0: Vec<u32> = rows0.iter().map(|v| v.to_bits()).collect();
+    let bits1: Vec<u32> = rows1.iter().map(|v| v.to_bits()).collect();
+    assert_ne!(bits0, bits1, "compressed plane must be rebuilt, not inherited");
+
+    // And the cached forward is still invisible: cached == uncached on the
+    // compressed model (i.e. nothing stale leaked into serving outputs).
+    let cached = snapshots(&compressed, &kb, &exs);
+    compressed.set_entity_cache_policy(CachePolicy::Off);
+    let reference = snapshots(&compressed, &kb, &exs);
+    assert_eq!(cached, reference, "compressed model served stale cached payloads");
 }
 
 #[test]

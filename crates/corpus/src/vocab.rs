@@ -65,6 +65,24 @@ impl Vocab {
         v
     }
 
+    /// Rebuilds a vocabulary from its id-ordered word list (the frozen-
+    /// artifact thaw path). `None` if any word repeats: token ids must stay
+    /// dense and unique, or every downstream id lookup would silently shift.
+    pub fn from_words(words: Vec<String>) -> Option<Self> {
+        let mut map = HashMap::with_capacity(words.len());
+        for (i, w) in words.iter().enumerate() {
+            if map.insert(w.clone(), i as u32).is_some() {
+                return None;
+            }
+        }
+        Some(Vocab { map, words })
+    }
+
+    /// The id-ordered word list (the freeze path's serialization source).
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
     /// Interns a token, returning its id.
     pub fn intern(&mut self, word: &str) -> u32 {
         if let Some(&id) = self.map.get(word) {

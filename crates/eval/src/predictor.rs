@@ -63,6 +63,14 @@ impl<'a> BootlegPredictor<'a> {
         model.warm_entity_cache();
         Self { model, kb }
     }
+
+    /// Serves straight from a thawed frozen artifact
+    /// ([`bootleg_core::frozen`]). When the artifact carried a prebuilt
+    /// entity-payload plane, the warm call inside [`Self::new`] is a no-op —
+    /// the bundle is serve-ready as loaded.
+    pub fn from_frozen(bundle: &'a bootleg_core::FrozenBundle) -> Self {
+        Self::new(&bundle.model, &bundle.kb)
+    }
 }
 
 impl Predictor for BootlegPredictor<'_> {

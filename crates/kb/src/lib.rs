@@ -20,6 +20,7 @@
 //!   subclass parents sharing an alias (the "granularity" error bucket).
 
 pub mod entity;
+pub mod frozen;
 pub mod gen;
 pub mod ids;
 pub mod kb;

@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod breaker;
 pub mod chain;
 pub mod clock;
@@ -47,6 +48,7 @@ pub mod server;
 pub mod telemetry;
 pub mod tier;
 
+pub use artifact::startup_bundle;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chain::{breaker_state_value, FallbackChain};
 pub use clock::{Clock, VirtualClock, WallClock};

@@ -40,8 +40,8 @@ const MAX_NAME_LEN: usize = 1 << 12;
 // CRC-32 (IEEE 802.3), table-driven.
 // ---------------------------------------------------------------------------
 
-fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -50,21 +50,137 @@ fn crc32_table() -> [u32; 256] {
             c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    // Slice-by-8 extension tables: tables[k][i] advances the CRC of byte i
+    // through k additional zero bytes.
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
-/// CRC-32 (IEEE) of `bytes`.
+static CRC_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+/// CRC-32 (IEEE) of `bytes`, slice-by-8: eight table lookups per 8-byte
+/// word instead of one per byte. Cold-start artifact validation CRCs the
+/// whole multi-megabyte file (trailer + per-section), so this sits on the
+/// serve-ready critical path.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    // Computed per call; checkpoint I/O is far from any hot path.
-    let table = crc32_table();
+    let t = &CRC_TABLES;
     let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C (Castagnoli), hardware-accelerated where available.
+// ---------------------------------------------------------------------------
+
+const fn crc32c_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0x82F63B78 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static CRC32C_TABLES: [[u32; 256]; 8] = crc32c_tables();
+
+fn crc32c_sw(bytes: &[u8]) -> u32 {
+    let t = &CRC32C_TABLES;
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// SAFETY: caller must ensure SSE4.2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc32c_hw(bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut c = u32::MAX as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for ch in &mut chunks {
+        c = _mm_crc32_u64(c, u64::from_le_bytes(ch.try_into().expect("8-byte chunk")));
+    }
+    let mut c = c as u32;
+    for &b in chunks.remainder() {
+        c = _mm_crc32_u8(c, b);
+    }
+    !c
+}
+
+/// CRC-32C (Castagnoli) of `bytes` — the checksum of the frozen serving
+/// artifact (`frozen`), picked over CRC-32/IEEE because x86_64 executes it
+/// in hardware (SSE4.2 `crc32` instruction, ~an order of magnitude faster
+/// than the table walk). The software slice-by-8 fallback computes the
+/// identical function, so artifacts are portable across machines. The
+/// `BTCP` checkpoint format keeps CRC-32/IEEE ([`crc32`]) — its files
+/// predate this function.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: feature detected at runtime.
+        return unsafe { crc32c_hw(bytes) };
+    }
+    crc32c_sw(bytes)
 }
 
 // ---------------------------------------------------------------------------
@@ -467,6 +583,31 @@ mod tests {
         // CRC-32 (IEEE) of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF43926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_matches_known_vector() {
+        // CRC-32C (Castagnoli) of "123456789" is 0xE3069283.
+        assert_eq!(crc32c(b"123456789"), 0xE3069283);
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn crc32c_hw_and_sw_agree() {
+        // The dispatcher may pick either implementation depending on the
+        // host; an artifact written on one machine must verify on any other,
+        // so the two paths have to agree on every length and alignment.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for start in [0usize, 1, 3, 7] {
+            for len in [0usize, 1, 2, 7, 8, 9, 63, 64, 65, 1023, 4000] {
+                let slice = &data[start..start + len];
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("sse4.2") {
+                    assert_eq!(unsafe { crc32c_hw(slice) }, crc32c_sw(slice), "start {start} len {len}");
+                }
+                assert_eq!(crc32c(slice), crc32c_sw(slice), "start {start} len {len}");
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,38 @@
 
 use crate::tensor::Tensor;
 use rand::Rng;
+use std::cell::Cell;
+
+thread_local! {
+    static SKIP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard from [`skip_init`]; restores the previous mode on drop.
+pub struct SkipInitGuard {
+    prev: bool,
+}
+
+impl Drop for SkipInitGuard {
+    fn drop(&mut self) {
+        SKIP.with(|s| s.set(self.prev));
+    }
+}
+
+/// While the returned guard lives (on this thread), every sampler in this
+/// module returns zero tensors without drawing from the RNG. Bulk
+/// weight-restore paths (frozen-artifact thaw) construct the model only
+/// for its architecture and immediately overwrite every parameter;
+/// sampling ~10⁶ Box–Muller draws to discard them would dominate an
+/// otherwise memcpy-bound cold start. Callers MUST overwrite all
+/// parameters before using the model — restore layers enforce this by
+/// checking full manifest coverage.
+pub fn skip_init() -> SkipInitGuard {
+    SKIP.with(|s| SkipInitGuard { prev: s.replace(true) })
+}
+
+fn skipping() -> bool {
+    SKIP.with(|s| s.get())
+}
 
 /// Samples one standard-normal value via Box–Muller.
 pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
@@ -16,6 +48,9 @@ pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
 
 /// Tensor with i.i.d. N(0, std²) entries.
 pub fn normal<R: Rng>(rng: &mut R, shape: &[usize], std: f32) -> Tensor {
+    if skipping() {
+        return Tensor::zeros(shape);
+    }
     let n = crate::shape::numel(shape);
     let data = (0..n).map(|_| standard_normal(rng) * std).collect();
     Tensor::new(shape.to_vec(), data)
@@ -23,6 +58,9 @@ pub fn normal<R: Rng>(rng: &mut R, shape: &[usize], std: f32) -> Tensor {
 
 /// Xavier/Glorot uniform init for a `fan_in × fan_out` weight matrix.
 pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    if skipping() {
+        return Tensor::zeros(&[fan_in, fan_out]);
+    }
     let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
     let data = (0..fan_in * fan_out).map(|_| rng.gen_range(-limit..limit)).collect();
     Tensor::new(vec![fan_in, fan_out], data)
@@ -30,6 +68,9 @@ pub fn xavier_uniform<R: Rng>(rng: &mut R, fan_in: usize, fan_out: usize) -> Ten
 
 /// Uniform init in `[-limit, limit]`.
 pub fn uniform<R: Rng>(rng: &mut R, shape: &[usize], limit: f32) -> Tensor {
+    if skipping() {
+        return Tensor::zeros(shape);
+    }
     let n = crate::shape::numel(shape);
     let data = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();
     Tensor::new(shape.to_vec(), data)

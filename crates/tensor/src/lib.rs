@@ -22,6 +22,7 @@
 
 pub mod arena;
 pub mod checkpoint;
+pub mod frozen;
 pub mod gradcheck;
 pub mod graph;
 pub mod ops;

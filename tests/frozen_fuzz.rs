@@ -1,0 +1,180 @@
+//! Hostile-input fuzz suite for the frozen-artifact loader.
+//!
+//! Every mutation of a valid artifact — truncation, bit flips, shuffled
+//! section offsets, inflated lengths, duplicated section ids, and even
+//! corruption with all checksums recomputed by the attacker — must come
+//! back as a typed [`FrozenError`], never a panic, an out-of-bounds slice,
+//! or an unwind. Both loader layers are exercised: the raw container
+//! validator ([`FrozenReader::from_bytes`]) and the full semantic thaw
+//! ([`bootleg::core::frozen::thaw_from_bytes`]).
+
+use bootleg::core::frozen;
+use bootleg::tensor::checkpoint::crc32c;
+use bootleg::tensor::frozen::{FrozenReader, HEADER_LEN, SECTION_ENTRY_LEN};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A small but fully populated artifact (model + KB + vocab + counts),
+/// built once and mutated per test case.
+fn artifact() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let kb = bootleg::kb::generate(&bootleg::kb::KbConfig {
+            n_entities: 90,
+            ..bootleg::kb::KbConfig::micro(9)
+        });
+        let corpus = bootleg::corpus::generate_corpus(
+            &kb,
+            &bootleg::corpus::CorpusConfig { n_pages: 16, seed: 9, ..Default::default() },
+        );
+        let counts = bootleg::corpus::stats::entity_counts(&corpus.train, true);
+        let model = bootleg::core::BootlegModel::new(
+            &kb,
+            &corpus.vocab,
+            &counts,
+            bootleg::core::BootlegConfig::default(),
+        );
+        frozen::freeze(&model, &kb, &corpus.vocab).expect("freeze fuzz base artifact")
+    })
+}
+
+fn section_count(bytes: &[u8]) -> usize {
+    u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize
+}
+
+fn entry(i: usize) -> usize {
+    HEADER_LEN + i * SECTION_ENTRY_LEN
+}
+
+fn entry_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Recomputes every checksum a sophisticated attacker controls: per-section
+/// CRCs (where the claimed range is still in bounds), the header CRC, and
+/// the whole-file trailer CRC. After this, only the structural validators
+/// (ordering, overlap, alignment, bounds, schema) stand between the
+/// mutation and acceptance.
+fn resign(bytes: &mut [u8]) {
+    let n = section_count(bytes);
+    let payload_start = HEADER_LEN + n * SECTION_ENTRY_LEN;
+    let payload_end = bytes.len().saturating_sub(4);
+    for i in 0..n {
+        let e = entry(i);
+        let off = entry_u64(bytes, e + 8) as usize;
+        let len = entry_u64(bytes, e + 16) as usize;
+        if off.checked_add(len).is_some_and(|end| end <= payload_end) {
+            let crc = crc32c(&bytes[off..off + len]);
+            bytes[e + 24..e + 28].copy_from_slice(&crc.to_le_bytes());
+        }
+    }
+    bytes[32..36].copy_from_slice(&[0; 4]);
+    let hcrc = crc32c(&bytes[..payload_start]);
+    bytes[32..36].copy_from_slice(&hcrc.to_le_bytes());
+    let tcrc = crc32c(&bytes[..payload_end]);
+    bytes[payload_end..].copy_from_slice(&tcrc.to_le_bytes());
+}
+
+#[test]
+fn pristine_artifact_thaws() {
+    let bundle = frozen::thaw_from_bytes(artifact().to_vec()).expect("valid artifact thaws");
+    assert_eq!(bundle.model.n_entities, 90);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncation_yields_typed_error(keep_frac in 0.0f64..1.0) {
+        let base = artifact();
+        let keep = ((base.len() - 1) as f64 * keep_frac) as usize;
+        let cut = base[..keep].to_vec();
+        prop_assert!(FrozenReader::from_bytes(cut.clone()).is_err());
+        prop_assert!(frozen::thaw_from_bytes(cut).is_err());
+    }
+
+    #[test]
+    fn bit_flip_yields_typed_error(pos_frac in 0.0f64..1.0, bit in 0u32..8) {
+        let mut bytes = artifact().to_vec();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(FrozenReader::from_bytes(bytes.clone()).is_err());
+        prop_assert!(frozen::thaw_from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn shuffled_section_offsets_yield_typed_error(a_raw in 0usize..64, step in 1usize..64) {
+        let mut bytes = artifact().to_vec();
+        let n = section_count(&bytes);
+        prop_assert!(n >= 2, "base artifact must have at least two sections");
+        let a = a_raw % n;
+        let b = (a + 1 + step % (n - 1)) % n;
+        let (ea, eb) = (entry(a) + 8, entry(b) + 8);
+        let off_a = entry_u64(&bytes, ea);
+        let off_b = entry_u64(&bytes, eb);
+        bytes[ea..ea + 8].copy_from_slice(&off_b.to_le_bytes());
+        bytes[eb..eb + 8].copy_from_slice(&off_a.to_le_bytes());
+        resign(&mut bytes);
+        prop_assert!(FrozenReader::from_bytes(bytes.clone()).is_err());
+        prop_assert!(frozen::thaw_from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn inflated_length_yields_typed_error(idx_raw in 0usize..64, extra in 64u64..(1u64 << 40)) {
+        let mut bytes = artifact().to_vec();
+        let n = section_count(&bytes);
+        let e = entry(idx_raw % n) + 16;
+        // +64 at minimum: larger than any alignment slack, so the claimed
+        // end always lands beyond the payload region.
+        let inflated = entry_u64(&bytes, e).saturating_add(extra);
+        bytes[e..e + 8].copy_from_slice(&inflated.to_le_bytes());
+        resign(&mut bytes);
+        prop_assert!(FrozenReader::from_bytes(bytes.clone()).is_err());
+        prop_assert!(frozen::thaw_from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn duplicated_section_id_yields_typed_error(a_raw in 0usize..64, step in 1usize..64) {
+        let mut bytes = artifact().to_vec();
+        let n = section_count(&bytes);
+        prop_assert!(n >= 2);
+        let a = a_raw % n;
+        let b = (a + 1 + step % (n - 1)) % n;
+        let id_a: [u8; 8] = bytes[entry(a)..entry(a) + 8].try_into().expect("8-byte id");
+        bytes[entry(b)..entry(b) + 8].copy_from_slice(&id_a);
+        resign(&mut bytes);
+        prop_assert!(FrozenReader::from_bytes(bytes.clone()).is_err());
+        prop_assert!(frozen::thaw_from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn resigned_payload_corruption_never_panics(
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        // The attacker corrupts payload bytes and then recomputes every
+        // checksum. The container may validate (the CRCs genuinely match),
+        // so the only guarantees left are: no panic, and any acceptance at
+        // the semantic layer is of *schema-valid* data. A panic anywhere
+        // fails this test.
+        let mut bytes = artifact().to_vec();
+        let n = section_count(&bytes);
+        let payload_start = HEADER_LEN + n * SECTION_ENTRY_LEN;
+        let span = bytes.len() - 4 - payload_start;
+        let pos = payload_start + ((span - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        resign(&mut bytes);
+        if let Ok(reader) = FrozenReader::from_bytes(bytes.clone()) {
+            drop(reader);
+            let _ = frozen::thaw_from_bytes(bytes);
+        }
+    }
+
+    #[test]
+    fn random_garbage_yields_typed_error(
+        garbage in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        prop_assert!(FrozenReader::from_bytes(garbage.clone()).is_err());
+        prop_assert!(frozen::thaw_from_bytes(garbage).is_err());
+    }
+}
